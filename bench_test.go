@@ -1,0 +1,177 @@
+// Top-level benchmarks: one per table/figure of the paper's evaluation.
+// Each benchmark runs the reduced-size configuration of the corresponding
+// experiment (fast enough for CI) and reports the experiment's headline
+// metric via b.ReportMetric, so `go test -bench=.` regenerates the whole
+// evaluation in miniature. cmd/swiftbench runs the paper-scale versions.
+package swift_test
+
+import (
+	"testing"
+
+	"swift/internal/exp"
+	"swift/internal/shuffle"
+)
+
+func benchCfg(i int) exp.Config { return exp.Config{Reduced: true, Seed: int64(i + 1)} }
+
+func BenchmarkFig3IdleRatio(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig3IdleRatio(benchCfg(i))
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.IdleRatioPct
+		}
+		last = sum / float64(len(rows))
+	}
+	b.ReportMetric(last, "idle_%")
+}
+
+func BenchmarkFig8TraceCharacteristics(b *testing.B) {
+	var last exp.Fig8Stats
+	for i := 0; i < b.N; i++ {
+		last = exp.Fig8TraceCharacteristics(benchCfg(i))
+	}
+	b.ReportMetric(last.MeanRuntimeSec, "mean_runtime_s")
+	b.ReportMetric(last.FracTasksUnder80*100, "pct_jobs_le80_tasks")
+}
+
+func BenchmarkFig9aTPCH(b *testing.B) {
+	var last exp.Fig9aResult
+	for i := 0; i < b.N; i++ {
+		last = exp.Fig9aTPCH(benchCfg(i))
+	}
+	b.ReportMetric(last.TotalSpeedup, "total_speedup_x")
+}
+
+func BenchmarkFig9bQ9Phases(b *testing.B) {
+	var sparkLaunch, swiftLaunch float64
+	for i := 0; i < b.N; i++ {
+		sparkLaunch, swiftLaunch = 0, 0
+		for _, r := range exp.Fig9bQ9Phases(benchCfg(i)) {
+			if r.System == "Spark" {
+				sparkLaunch += r.Launch
+			} else {
+				swiftLaunch += r.Launch
+			}
+		}
+	}
+	b.ReportMetric(sparkLaunch, "spark_launch_s")
+	b.ReportMetric(swiftLaunch, "swift_launch_s")
+}
+
+func BenchmarkTable1Terasort(b *testing.B) {
+	var last []exp.Table1Row
+	for i := 0; i < b.N; i++ {
+		last = exp.Table1Terasort(benchCfg(i))
+	}
+	b.ReportMetric(last[len(last)-1].Speedup, "largest_speedup_x")
+}
+
+func BenchmarkFig10ExecutorTimeline(b *testing.B) {
+	var last exp.Fig10Result
+	for i := 0; i < b.N; i++ {
+		last = exp.Fig10ExecutorTimeline(benchCfg(i))
+	}
+	b.ReportMetric(last.SpeedupOverJetScope["Swift"], "swift_vs_jetscope_x")
+	b.ReportMetric(last.SpeedupOverJetScope["Bubble"], "bubble_vs_jetscope_x")
+}
+
+func BenchmarkFig11LatencyCDF(b *testing.B) {
+	var last exp.Fig11Result
+	for i := 0; i < b.N; i++ {
+		last = exp.Fig11LatencyCDF(benchCfg(i))
+	}
+	b.ReportMetric(last.FracJetScopeOver2x*100, "pct_jetscope_over_2x")
+	b.ReportMetric(last.MeanBubbleRatio, "bubble_latency_ratio")
+}
+
+func BenchmarkFig12ShuffleModes(b *testing.B) {
+	var cells []exp.Fig12Cell
+	for i := 0; i < b.N; i++ {
+		cells = exp.Fig12ShuffleModes(benchCfg(i))
+	}
+	for _, c := range cells {
+		if c.Class == shuffle.LargeShuffle && c.Mode == shuffle.Local {
+			b.ReportMetric(c.Normalized, "large_local_vs_direct")
+		}
+		if c.Class == shuffle.MediumShuffle && c.Mode == shuffle.Remote {
+			b.ReportMetric(c.Normalized, "medium_remote_vs_direct")
+		}
+	}
+}
+
+func BenchmarkFig13Q13Detail(b *testing.B) {
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n = len(exp.Fig13Q13Detail())
+	}
+	b.ReportMetric(float64(n), "stages")
+}
+
+func BenchmarkFig14FaultInjection(b *testing.B) {
+	var rows []exp.Fig14Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Fig14FaultInjection(benchCfg(i))
+	}
+	worstSwift, worstRestart := 0.0, 0.0
+	for _, r := range rows {
+		if r.SwiftSlowdownPct > worstSwift {
+			worstSwift = r.SwiftSlowdownPct
+		}
+		if r.RestartSlowdownPct > worstRestart {
+			worstRestart = r.RestartSlowdownPct
+		}
+	}
+	b.ReportMetric(worstSwift, "swift_worst_slowdown_%")
+	b.ReportMetric(worstRestart, "restart_worst_slowdown_%")
+}
+
+func BenchmarkFig15TraceFailures(b *testing.B) {
+	var last exp.Fig15Result
+	for i := 0; i < b.N; i++ {
+		last = exp.Fig15TraceFailures(benchCfg(i))
+	}
+	b.ReportMetric(last.SwiftSlowdownPct, "swift_slowdown_%")
+	b.ReportMetric(last.RestartSlowdownPct, "restart_slowdown_%")
+}
+
+func BenchmarkAblationAdaptiveShuffle(b *testing.B) {
+	var rows []exp.AblationShuffleRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.AblationAdaptiveShuffle(benchCfg(i))
+	}
+	for _, r := range rows {
+		if r.Policy == "adaptive" {
+			b.ReportMetric(r.MeanSec, "adaptive_mean_s")
+		}
+		if r.Policy == "direct" {
+			b.ReportMetric(r.MeanSec, "direct_mean_s")
+		}
+	}
+}
+
+func BenchmarkAblationPartition(b *testing.B) {
+	var rows []exp.AblationPartitionRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.AblationPartition(benchCfg(i))
+	}
+	for _, r := range rows {
+		switch r.Policy {
+		case "graphlet":
+			b.ReportMetric(r.MakespanSec, "graphlet_makespan_s")
+		case "whole-job":
+			b.ReportMetric(r.MakespanSec, "wholejob_makespan_s")
+		}
+	}
+}
+
+func BenchmarkFig16Scalability(b *testing.B) {
+	var rows []exp.Fig16Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Fig16Scalability(benchCfg(i))
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.Speedup, "speedup_at_max")
+	b.ReportMetric(last.Speedup/last.Ideal*100, "pct_of_ideal")
+}

@@ -1,0 +1,52 @@
+// Command swiftbench regenerates the tables and figures of the paper's
+// evaluation (Section V) on the simulated platform.
+//
+// Usage:
+//
+//	swiftbench [-reduced] [-seed N] [-run fig9a,table1,...]
+//
+// With no -run flag every experiment runs in paper order. The -reduced
+// flag shrinks workloads to the CI-sized configurations used by the
+// repository's benchmarks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"swift/internal/exp"
+)
+
+func main() {
+	reduced := flag.Bool("reduced", false, "run the CI-sized configurations")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all); one of "+strings.Join(exp.Names(), ","))
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(exp.Names(), "\n"))
+		return
+	}
+
+	cfg := exp.Config{Reduced: *reduced, Seed: *seed}
+	order := []string{"fig3", "fig8", "fig9a", "fig9b", "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+	if *run != "" {
+		order = strings.Split(*run, ",")
+	}
+	for i, name := range order {
+		name = strings.TrimSpace(name)
+		if i > 0 {
+			fmt.Println()
+		}
+		t0 := time.Now()
+		if !exp.Run(name, cfg, os.Stdout) {
+			fmt.Fprintf(os.Stderr, "swiftbench: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("[%s in %.1fs]\n", name, time.Since(t0).Seconds())
+	}
+}

@@ -1,0 +1,136 @@
+// Command swiftsim runs one job on the simulated cluster under any of the
+// four engines and reports the schedule: graphlets, per-stage phases and
+// end-to-end latency.
+//
+// Usage:
+//
+//	swiftsim -job q9 -system swift
+//	swiftsim -job terasort=1000x1000 -system spark -machines 100
+//	swiftsim -job q13 -system swift -failstage J3 -failat 0.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"swift/internal/baseline"
+	"swift/internal/cluster"
+	"swift/internal/core"
+	"swift/internal/dag"
+	"swift/internal/sim"
+	"swift/internal/simrun"
+	"swift/internal/tpch"
+)
+
+func main() {
+	jobName := flag.String("job", "q9", "q1..q22, or terasort=MxN")
+	system := flag.String("system", "swift", "swift | spark | jetscope | bubble")
+	machines := flag.Int("machines", 100, "cluster machines")
+	execs := flag.Int("executors", 60, "executors per machine")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	failStage := flag.String("failstage", "", "inject a failure into this stage")
+	failAt := flag.Float64("failat", 0.5, "failure time as a fraction of the clean runtime")
+	flag.Parse()
+
+	job, err := buildJob(*jobName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swiftsim:", err)
+		os.Exit(2)
+	}
+	opts, err := systemOptions(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swiftsim:", err)
+		os.Exit(2)
+	}
+
+	ccfg := cluster.Config{Machines: *machines, ExecutorsPerMachine: *execs, Model: cluster.DefaultModel()}
+
+	// Clean run (also the baseline for failure injection timing).
+	clean := runOnce(job.Clone(), ccfg, opts, *seed, "", 0)
+	fmt.Printf("system=%s job=%s machines=%d executors=%d\n", *system, job.ID, *machines, *machines**execs)
+	fmt.Printf("stages=%d tasks=%d\n", job.NumStages(), job.NumTasks())
+	printGraphlets(job, opts)
+	fmt.Printf("\nclean run: %.2fs\n", clean.Duration())
+	printPhases(clean)
+
+	if *failStage != "" {
+		at := clean.Duration() * *failAt
+		faulty := runOnce(job.Clone(), ccfg, opts, *seed, *failStage, at)
+		fmt.Printf("\nwith failure in %s at %.1fs: %.2fs (%+.1f%%), restarts=%d resends=%d\n",
+			*failStage, at, faulty.Duration(), (faulty.Duration()/clean.Duration()-1)*100,
+			faulty.Restarts, faulty.Resends)
+	}
+}
+
+func buildJob(name string) (*dag.Job, error) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if strings.HasPrefix(name, "terasort=") {
+		var m, n int
+		if _, err := fmt.Sscanf(strings.TrimPrefix(name, "terasort="), "%dx%d", &m, &n); err != nil {
+			return nil, fmt.Errorf("bad terasort size %q (want MxN)", name)
+		}
+		return tpch.Terasort(m, n), nil
+	}
+	var q int
+	if _, err := fmt.Sscanf(name, "q%d", &q); err != nil || q < 1 || q > 22 {
+		return nil, fmt.Errorf("unknown job %q (q1..q22 or terasort=MxN)", name)
+	}
+	return tpch.Query(q), nil
+}
+
+func systemOptions(name string) (core.Options, error) {
+	switch strings.ToLower(name) {
+	case "swift":
+		return baseline.Swift(), nil
+	case "spark":
+		return baseline.Spark(), nil
+	case "jetscope":
+		return baseline.JetScope(), nil
+	case "bubble":
+		return baseline.Bubble(baseline.DefaultBubbleTasks, 96<<20), nil
+	}
+	return core.Options{}, fmt.Errorf("unknown system %q", name)
+}
+
+func runOnce(job *dag.Job, ccfg cluster.Config, opts core.Options, seed int64, failStage string, failAt float64) *simrun.JobResult {
+	r := simrun.New(simrun.Config{Cluster: ccfg, Options: opts, Seed: seed})
+	r.SubmitAt(0, job)
+	if failStage != "" {
+		r.InjectTaskFailureAt(sim.FromSeconds(failAt), job.ID, failStage, core.FailCrash)
+	}
+	res := r.Run()
+	jr := res.Jobs[job.ID]
+	if jr == nil || !jr.Completed {
+		fmt.Fprintln(os.Stderr, "swiftsim: job did not complete")
+		os.Exit(1)
+	}
+	return jr
+}
+
+func printGraphlets(job *dag.Job, opts core.Options) {
+	gs, err := opts.Partition(job)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swiftsim: partition:", err)
+		return
+	}
+	fmt.Printf("graphlets=%d\n", len(gs))
+	for _, g := range gs {
+		fmt.Printf("  %s deps=%v\n", g, g.DependsOn)
+	}
+}
+
+func printPhases(jr *simrun.JobResult) {
+	stages := make([]string, 0, len(jr.Phases))
+	for s := range jr.Phases {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	fmt.Printf("%-6s %8s %8s %8s %8s\n", "stage", "launch", "read", "process", "write")
+	for _, s := range stages {
+		p := jr.Phases[s]
+		fmt.Printf("%-6s %8.2f %8.2f %8.2f %8.2f\n", s, p.Launch, p.ShuffleRead, p.Process, p.ShuffleWrite)
+	}
+}

@@ -1,0 +1,83 @@
+// Command swiftsql parses a statement in the Swift programming language
+// (Section II-A, Fig. 1), lowers it to the DAG job model and prints the
+// plan plus its graphlet partition — the Fig. 1 → Fig. 4 pipeline.
+//
+// Usage:
+//
+//	swiftsql -q9                 # use the paper's Fig. 1 query
+//	swiftsql 'select k, sum(v) from tpch_orders group by k order by k'
+//	swiftsql -file query.sql -run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swift/internal/baseline"
+	"swift/internal/cluster"
+	"swift/internal/graphlet"
+	"swift/internal/simrun"
+	"swift/internal/sqlparse"
+	"swift/internal/tpch"
+)
+
+func main() {
+	file := flag.String("file", "", "read the query from a file")
+	useQ9 := flag.Bool("q9", false, "use the paper's Fig. 1 TPC-H Q9 text")
+	run := flag.Bool("run", false, "also run the plan on the simulated cluster")
+	machines := flag.Int("machines", 100, "cluster machines for -run")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *useQ9:
+		src = tpch.Q9SwiftSQL
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	case flag.NArg() > 0:
+		src = strings.Join(flag.Args(), " ")
+	default:
+		fmt.Fprintln(os.Stderr, "swiftsql: provide a query, -file or -q9")
+		os.Exit(2)
+	}
+
+	job, err := sqlparse.ParseAndPlan("swiftsql", src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(job)
+	gs, err := graphlet.Partition(job)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\npartitioned into %d graphlets:\n", len(gs))
+	for _, g := range gs {
+		fmt.Printf("  %s deps=%v\n", g, g.DependsOn)
+	}
+
+	if *run {
+		r := simrun.New(simrun.Config{
+			Cluster: cluster.Config{Machines: *machines, ExecutorsPerMachine: 60, Model: cluster.DefaultModel()},
+			Options: baseline.Swift(),
+			Seed:    1,
+		})
+		r.SubmitAt(0, job)
+		res := r.Run()
+		jr := res.Jobs[job.ID]
+		if jr == nil || !jr.Completed {
+			fatal(fmt.Errorf("job did not complete"))
+		}
+		fmt.Printf("\nsimulated run on %d machines: %.2fs\n", *machines, jr.Duration())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swiftsql:", err)
+	os.Exit(1)
+}

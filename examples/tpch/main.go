@@ -1,0 +1,65 @@
+// TPC-H example: the paper's Fig. 1 → Fig. 4 pipeline end to end. The Q9
+// text in the Swift language is parsed and planned into a DAG, partitioned
+// into graphlets, and then both the published Q9 physical plan and the
+// SQL-derived one run on the simulated 100-node cluster under Swift and
+// the Spark baseline — reproducing the per-query slice of Fig. 9(a).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swift/internal/baseline"
+	"swift/internal/cluster"
+	"swift/internal/core"
+	"swift/internal/dag"
+	"swift/internal/graphlet"
+	"swift/internal/simrun"
+	"swift/internal/sqlparse"
+	"swift/internal/tpch"
+)
+
+func main() {
+	// Parse the paper's Fig. 1 text.
+	stmt, err := sqlparse.Parse(tpch.Q9SwiftSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed Q9: %d select items, %d joins in sub-select, group by %v, limit %d\n",
+		len(stmt.Items), len(stmt.From.Sub.Joins), stmt.GroupBy, stmt.Limit)
+
+	planned, err := sqlparse.ParseAndPlan("q9-sql", tpch.Q9SwiftSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gs, _ := graphlet.Partition(planned)
+	fmt.Printf("SQL-derived plan: %d stages, %d tasks, %d graphlets\n",
+		planned.NumStages(), planned.NumTasks(), len(gs))
+
+	// The published physical plan (Fig. 4) with its exact task counts.
+	paper := tpch.Q9()
+	pgs, _ := graphlet.Partition(paper)
+	fmt.Printf("published plan:   %d stages, %d tasks, %d graphlets\n", paper.NumStages(), paper.NumTasks(), len(pgs))
+	for _, g := range pgs {
+		fmt.Printf("  %s\n", g)
+	}
+
+	// Run both plans under Swift and Spark on the 100-node cluster.
+	fmt.Printf("\n%-16s %10s %10s %8s\n", "plan", "swift_s", "spark_s", "speedup")
+	for _, p := range []*dag.Job{paper, planned} {
+		sw := run(p.Clone(), baseline.Swift())
+		sp := run(p.Clone(), baseline.Spark())
+		fmt.Printf("%-16s %10.1f %10.1f %8.2f\n", p.ID, sw, sp, sp/sw)
+	}
+}
+
+func run(job *dag.Job, opts core.Options) float64 {
+	r := simrun.New(simrun.Config{Cluster: cluster.Paper100(), Options: opts, Seed: 1})
+	r.SubmitAt(0, job)
+	res := r.Run()
+	jr := res.Jobs[job.ID]
+	if jr == nil || !jr.Completed {
+		log.Fatalf("%s did not complete", job.ID)
+	}
+	return jr.Duration()
+}

@@ -1,0 +1,377 @@
+// Package cluster models the simulated compute platform: machines hosting
+// pre-launched executors, the network/disk cost model (model.go), machine
+// health states for the failure experiments, and executor allocation with
+// the data-locality + machine-load policy of Section III-A2.
+//
+// Allocation is performance-critical (the scalability experiment allocates
+// hundreds of thousands of executors), so the cluster keeps a per-machine
+// free-executor stack and a lazy min-heap of machines keyed by load.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// ExecutorID identifies one executor slot cluster-wide.
+type ExecutorID int
+
+// MachineID identifies one machine.
+type MachineID int
+
+// Health is a machine's health state (Section IV-A).
+type Health int
+
+const (
+	// Healthy machines accept new tasks.
+	Healthy Health = iota
+	// ReadOnly machines finish their running tasks but receive no new
+	// ones ("mark it as read-only and stop scheduling new tasks to it").
+	ReadOnly
+	// Failed machines have crashed; their executors are revoked.
+	Failed
+)
+
+// String renders the health state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case ReadOnly:
+		return "read-only"
+	case Failed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Machine is one simulated worker machine.
+type Machine struct {
+	ID        MachineID
+	Executors []ExecutorID
+	Health    Health
+	busy      int          // executors currently running tasks
+	freeList  []ExecutorID // idle executors (stack)
+	// recentTaskFailures counts task failures since the last health
+	// sweep; a burst marks the machine unhealthy.
+	recentTaskFailures int
+}
+
+// Busy returns the number of executors running tasks.
+func (m *Machine) Busy() int { return m.busy }
+
+// Load returns the busy fraction of the machine's executors.
+func (m *Machine) Load() float64 {
+	if len(m.Executors) == 0 {
+		return 1
+	}
+	return float64(m.busy) / float64(len(m.Executors))
+}
+
+// Config sizes a simulated cluster.
+type Config struct {
+	Machines            int
+	ExecutorsPerMachine int
+	Model               *Model
+}
+
+// Paper100 returns the paper's 100-node evaluation cluster with the
+// executor density used throughout the experiments.
+func Paper100() Config {
+	return Config{Machines: 100, ExecutorsPerMachine: 60, Model: DefaultModel()}
+}
+
+// Paper2000 returns the paper's 2,000-node cluster.
+func Paper2000() Config {
+	return Config{Machines: 2000, ExecutorsPerMachine: 60, Model: DefaultModel()}
+}
+
+// loadEntry is a lazy heap entry; stale entries (busy changed since push)
+// are discarded at pop time.
+type loadEntry struct {
+	id   MachineID
+	busy int
+}
+
+type loadHeap []loadEntry
+
+func (h loadHeap) Len() int { return len(h) }
+func (h loadHeap) Less(i, j int) bool {
+	if h[i].busy != h[j].busy {
+		return h[i].busy < h[j].busy
+	}
+	return h[i].id < h[j].id
+}
+func (h loadHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *loadHeap) Push(x interface{}) { *h = append(*h, x.(loadEntry)) }
+func (h *loadHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Cluster tracks machines, executor occupancy and active connection load.
+type Cluster struct {
+	cfg      Config
+	machines []*Machine
+	owner    []MachineID // executor -> machine
+	busyExec []bool      // executor -> running a task
+	nFree    int
+	byLoad   loadHeap
+	inHeap   []bool // machine -> has a (possibly stale) heap entry
+	// activeConns approximates the cluster-wide live TCP connection
+	// count feeding the congestion model.
+	activeConns int
+}
+
+// New builds a cluster from the configuration.
+func New(cfg Config) *Cluster {
+	if cfg.Machines <= 0 || cfg.ExecutorsPerMachine <= 0 {
+		panic("cluster: non-positive size")
+	}
+	if cfg.Model == nil {
+		cfg.Model = DefaultModel()
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		busyExec: make([]bool, cfg.Machines*cfg.ExecutorsPerMachine),
+		inHeap:   make([]bool, cfg.Machines),
+	}
+	next := ExecutorID(0)
+	for i := 0; i < cfg.Machines; i++ {
+		m := &Machine{ID: MachineID(i)}
+		for j := 0; j < cfg.ExecutorsPerMachine; j++ {
+			m.Executors = append(m.Executors, next)
+			c.owner = append(c.owner, m.ID)
+			next++
+		}
+		// Stack order: highest ID on top; allocation pops from the top.
+		m.freeList = append([]ExecutorID(nil), m.Executors...)
+		c.machines = append(c.machines, m)
+		c.pushLoad(m)
+	}
+	c.nFree = len(c.owner)
+	return c
+}
+
+func (c *Cluster) pushLoad(m *Machine) {
+	heap.Push(&c.byLoad, loadEntry{id: m.ID, busy: m.busy})
+	c.inHeap[m.ID] = true
+}
+
+// Model returns the cost model.
+func (c *Cluster) Model() *Model { return c.cfg.Model }
+
+// NumMachines returns the machine count.
+func (c *Cluster) NumMachines() int { return len(c.machines) }
+
+// NumExecutors returns the total executor count.
+func (c *Cluster) NumExecutors() int { return len(c.owner) }
+
+// FreeExecutors returns how many executors are idle and schedulable.
+func (c *Cluster) FreeExecutors() int { return c.nFree }
+
+// BusyExecutors returns how many executors are running tasks.
+func (c *Cluster) BusyExecutors() int {
+	n := 0
+	for _, m := range c.machines {
+		n += m.busy
+	}
+	return n
+}
+
+// Machine returns the machine with the given ID.
+func (c *Cluster) Machine(id MachineID) *Machine { return c.machines[id] }
+
+// MachineOf returns the machine hosting an executor.
+func (c *Cluster) MachineOf(e ExecutorID) MachineID { return c.owner[e] }
+
+// takeFrom pops one free executor from a machine; the caller guarantees
+// one exists.
+func (c *Cluster) takeFrom(m *Machine) ExecutorID {
+	e := m.freeList[len(m.freeList)-1]
+	m.freeList = m.freeList[:len(m.freeList)-1]
+	c.busyExec[e] = true
+	m.busy++
+	c.nFree--
+	return e
+}
+
+// Allocate hands out up to n free executors, preferring machines in
+// locality (data locality) but never pushing a preferred machine past 90%
+// load — the guard against "scheduling flock" (Section III-A2). Remaining
+// demand is served from the least-loaded healthy machines ("for tasks
+// without locality preference, the most free machine is chosen"). It
+// returns fewer than n when the cluster cannot supply them.
+func (c *Cluster) Allocate(n int, locality []MachineID) []ExecutorID {
+	if n <= 0 || c.nFree == 0 {
+		return nil
+	}
+	var out []ExecutorID
+	for _, mid := range locality {
+		if len(out) >= n {
+			break
+		}
+		m := c.machines[mid]
+		if m.Health != Healthy {
+			continue
+		}
+		localityCap := int(0.9 * float64(len(m.Executors)))
+		for len(out) < n && len(m.freeList) > 0 && m.busy < localityCap {
+			out = append(out, c.takeFrom(m))
+		}
+		if !c.inHeap[mid] {
+			c.pushLoad(m)
+		}
+	}
+	// Load-balancing pass over the lazy min-heap.
+	for len(out) < n && c.nFree > 0 && c.byLoad.Len() > 0 {
+		top := c.byLoad[0]
+		m := c.machines[top.id]
+		if top.busy != m.busy {
+			// Stale entry: refresh.
+			heap.Pop(&c.byLoad)
+			heap.Push(&c.byLoad, loadEntry{id: m.ID, busy: m.busy})
+			continue
+		}
+		if m.Health != Healthy || len(m.freeList) == 0 {
+			heap.Pop(&c.byLoad)
+			c.inHeap[m.ID] = false
+			continue
+		}
+		out = append(out, c.takeFrom(m))
+		c.byLoad[0].busy = m.busy // update key in place, then restore heap order
+		heap.Fix(&c.byLoad, 0)
+	}
+	return out
+}
+
+// Release returns executors to the free pool. Executors on non-healthy
+// machines are not re-pooled (read-only machines drain; failed machines
+// have lost them).
+func (c *Cluster) Release(execs []ExecutorID) {
+	for _, e := range execs {
+		if !c.busyExec[e] {
+			continue
+		}
+		c.busyExec[e] = false
+		m := c.machines[c.owner[e]]
+		m.busy--
+		if m.Health == Healthy {
+			m.freeList = append(m.freeList, e)
+			c.nFree++
+			if !c.inHeap[m.ID] {
+				c.pushLoad(m)
+			}
+		}
+	}
+}
+
+// SetHealth transitions a machine's health state. Marking a machine Failed
+// or ReadOnly removes its idle executors from the pool; restoring it to
+// Healthy re-pools the idle ones.
+func (c *Cluster) SetHealth(id MachineID, h Health) {
+	m := c.machines[id]
+	if m.Health == h {
+		return
+	}
+	wasHealthy := m.Health == Healthy
+	m.Health = h
+	switch {
+	case wasHealthy && h != Healthy:
+		c.nFree -= len(m.freeList)
+	case !wasHealthy && h == Healthy:
+		// Re-pool idle executors that are not running tasks. A failed
+		// machine's executors were revoked; they come back fresh.
+		m.freeList = m.freeList[:0]
+		for _, e := range m.Executors {
+			if !c.busyExec[e] {
+				m.freeList = append(m.freeList, e)
+			}
+		}
+		c.nFree += len(m.freeList)
+		if !c.inHeap[id] {
+			c.pushLoad(m)
+		}
+	}
+}
+
+// ExecutorsOn returns the busy executors currently hosted by a machine.
+func (c *Cluster) ExecutorsOn(id MachineID) []ExecutorID {
+	var out []ExecutorID
+	for _, e := range c.machines[id].Executors {
+		if c.busyExec[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RecordTaskFailure bumps a machine's recent failure counter and returns
+// the new count, letting the health monitor apply its "large quantity of
+// tasks failed in a short time" rule.
+func (c *Cluster) RecordTaskFailure(id MachineID) int {
+	m := c.machines[id]
+	m.recentTaskFailures++
+	return m.recentTaskFailures
+}
+
+// ResetTaskFailures clears a machine's failure counter (periodic sweep).
+func (c *Cluster) ResetTaskFailures(id MachineID) {
+	c.machines[id].recentTaskFailures = 0
+}
+
+// AddConns and RemoveConns adjust the live connection estimate.
+func (c *Cluster) AddConns(n int) { c.activeConns += n }
+
+// RemoveConns lowers the estimate, clamping at zero.
+func (c *Cluster) RemoveConns(n int) {
+	c.activeConns -= n
+	if c.activeConns < 0 {
+		c.activeConns = 0
+	}
+}
+
+// ActiveConns returns the live connection estimate.
+func (c *Cluster) ActiveConns() int { return c.activeConns }
+
+// Congestion returns the current congestion level from the model.
+func (c *Cluster) Congestion() float64 {
+	return c.cfg.Model.Congestion(c.activeConns, len(c.machines))
+}
+
+// SpreadMachines returns how many distinct machines host the given
+// executors.
+func (c *Cluster) SpreadMachines(execs []ExecutorID) int {
+	seen := make(map[MachineID]bool)
+	for _, e := range execs {
+		seen[c.owner[e]] = true
+	}
+	return len(seen)
+}
+
+// MachinesByLoad returns machine IDs sorted by ascending load, a helper
+// for deterministic tests and diagnostics.
+func (c *Cluster) MachinesByLoad() []MachineID {
+	ids := make([]MachineID, len(c.machines))
+	for i := range c.machines {
+		ids[i] = MachineID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		la, lb := c.machines[ids[a]].Load(), c.machines[ids[b]].Load()
+		if la != lb {
+			return la < lb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// String summarises the cluster.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster{%d machines, %d executors, %d free, %d conns}",
+		len(c.machines), len(c.owner), c.nFree, c.activeConns)
+}

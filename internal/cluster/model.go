@@ -1,0 +1,241 @@
+package cluster
+
+import "math"
+
+// Model holds the calibrated cost constants of the simulated platform.
+// The defaults correspond to the paper's evaluation clusters (two-socket
+// Xeon machines, 10 GbE, a dozen SATA disks) and are calibrated so the
+// published result *shapes* hold; see DESIGN.md ("Cost-model calibration").
+// All rates are bytes per second, all latencies seconds.
+type Model struct {
+	// NICBandwidth is the per-machine network bandwidth (10 GbE).
+	NICBandwidth float64
+	// NetUtilization derates the NIC for protocol overhead and the
+	// background workload the paper keeps running during evaluations.
+	NetUtilization float64
+	// DiskShuffleBandwidth is the effective per-machine disk bandwidth
+	// for shuffle files: far below sequential speed because file-based
+	// shuffle does many small, seek-heavy accesses (the Dryad/Spark
+	// behaviour the paper contrasts against).
+	DiskShuffleBandwidth float64
+	// MemBandwidth is the per-machine memory-copy bandwidth used when a
+	// shuffle mode introduces additional copies.
+	MemBandwidth float64
+
+	// ConnSetupBase is the uncongested TCP connection establishment
+	// latency; ConnSetupCongested is the asymptote under congestion
+	// ("hundreds of milliseconds in a congested network").
+	ConnSetupBase      float64
+	ConnSetupCongested float64
+	// ConnParallelism is how many connections one task establishes
+	// concurrently; with hundreds of successors the serial remainder
+	// reaches "dozens of seconds", as the paper's logs report.
+	ConnParallelism float64
+	// ConnCapacityPerMachine is the connection load at which the
+	// congestion curve reaches its half-way point.
+	ConnCapacityPerMachine float64
+
+	// RetransMaxRate is the retransmission-rate ceiling for Direct
+	// Shuffle at very large fan-out (the paper measured 3%);
+	// RetransHalfConns is the connection count at which half the ceiling
+	// is reached. CachedRetransRate is the rate through Cache Workers
+	// (measured < 0.02%).
+	RetransMaxRate    float64
+	RetransHalfConns  float64
+	CachedRetransRate float64
+	// RetransPenalty converts a retransmission rate into a transfer
+	// slowdown factor (each retransmission stalls a connection for an
+	// RTO, so the cost is far above the byte share).
+	RetransPenalty float64
+
+	// SwiftPlanDelivery is the time for Swift Admin to ship a cached
+	// execution plan to a pre-launched executor (milliseconds).
+	SwiftPlanDelivery float64
+	// ColdLaunch is the per-stage cost of downloading packages and
+	// launching executors in systems without long-running executors
+	// (Spark in Fig. 9b: >71 s summed over the critical stages).
+	ColdLaunch float64
+	// TaskDispatch is the per-wave task dispatch overhead common to all
+	// systems.
+	TaskDispatch float64
+
+	// IncastStreamCapacity is the concurrent-stream count at which a
+	// Cache Worker hotspot (a Remote-mode worker serving all N consumers)
+	// doubles its service time; MaxIncastFactor caps the degradation.
+	IncastStreamCapacity float64
+	MaxIncastFactor      float64
+
+	// LocalHopFactor is the store-and-forward overhead of Local
+	// Shuffle's extra Cache-Worker-to-Cache-Worker hop on the transfer
+	// path (> 1).
+	LocalHopFactor float64
+
+	// BaseCongestion is the standing congestion level contributed by the
+	// background workload the paper keeps running in every evaluation.
+	BaseCongestion float64
+
+	// ScanBandwidth is the per-task table-scan throughput from the
+	// distributed store (columnar decode + local disk / rack-local read).
+	ScanBandwidth float64
+
+	// DiskBlockHalfCount is the shuffle block count (M×N) at which
+	// file-based shuffle's seek overhead doubles the disk time — the
+	// small-file explosion that makes Spark's Terasort "shoot up" past
+	// 1000×1000 in Table I.
+	DiskBlockHalfCount float64
+
+	// TaskPacking is the average number of a stage's tasks co-located
+	// per machine on a busy production cluster; it converts task counts
+	// into the machine spread Y of Section III-B ("each machine can run
+	// tens of Executors, Y is much smaller than M and N").
+	TaskPacking float64
+}
+
+// DefaultModel returns the calibration used across the test-suite and
+// benchmark harness.
+func DefaultModel() *Model {
+	return &Model{
+		NICBandwidth:           1.25e9, // 10 GbE
+		NetUtilization:         0.70,
+		DiskShuffleBandwidth:   9.0e7, // seek-bound shuffle files
+		MemBandwidth:           5.0e9,
+		ConnSetupBase:          0.0005,
+		ConnSetupCongested:     0.30,
+		ConnParallelism:        16,
+		ConnCapacityPerMachine: 4000,
+		RetransMaxRate:         0.03,
+		RetransHalfConns:       60000,
+		CachedRetransRate:      0.0002,
+		RetransPenalty:         60,
+		SwiftPlanDelivery:      0.005,
+		ColdLaunch:             5.5,
+		TaskDispatch:           0.05,
+		IncastStreamCapacity:   1200,
+		MaxIncastFactor:        3,
+		LocalHopFactor:         1.10,
+		BaseCongestion:         0.02,
+		ScanBandwidth:          1.5e8,
+		DiskBlockHalfCount:     8e5,
+		TaskPacking:            8,
+	}
+}
+
+// Congestion maps a cluster-wide active connection count to a [0,1)
+// congestion level with soft saturation.
+func (m *Model) Congestion(activeConns, machines int) float64 {
+	if machines <= 0 {
+		return m.BaseCongestion
+	}
+	load := float64(activeConns) / (float64(machines) * m.ConnCapacityPerMachine)
+	c := m.BaseCongestion + load/(1+load)
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// ConnSetupLatency returns the per-connection establishment latency at the
+// given congestion level.
+func (m *Model) ConnSetupLatency(congestion float64) float64 {
+	if congestion < 0 {
+		congestion = 0
+	}
+	if congestion > 1 {
+		congestion = 1
+	}
+	return m.ConnSetupBase + congestion*m.ConnSetupCongested
+}
+
+// ConnSetupTime returns how long one task needs to establish conns
+// connections at the given congestion level.
+func (m *Model) ConnSetupTime(conns int, congestion float64) float64 {
+	if conns <= 0 {
+		return 0
+	}
+	rounds := math.Ceil(float64(conns) / m.ConnParallelism)
+	return rounds * m.ConnSetupLatency(congestion)
+}
+
+// RetransRate returns the TCP retransmission rate for a direct task-to-task
+// shuffle with the given total connection count ("TCP retransmission rate
+// increases as the number of connections").
+func (m *Model) RetransRate(conns int) float64 {
+	if conns <= 0 {
+		return 0
+	}
+	c := float64(conns)
+	return m.RetransMaxRate * c / (c + m.RetransHalfConns)
+}
+
+// RetransSlowdown converts a retransmission rate into a multiplicative
+// transfer slowdown.
+func (m *Model) RetransSlowdown(rate float64) float64 {
+	return 1 + rate*m.RetransPenalty
+}
+
+// NetTransferTime returns the time to move bytes across the network when
+// the flows are spread over the given number of machine NICs.
+func (m *Model) NetTransferTime(bytes int64, machines int) float64 {
+	if bytes <= 0 || machines <= 0 {
+		return 0
+	}
+	bw := m.NICBandwidth * m.NetUtilization * float64(machines)
+	return float64(bytes) / bw
+}
+
+// DiskTime returns the time to stream bytes through the machines' shuffle
+// disks (one pass; a disk-based shuffle pays it twice, write then read).
+func (m *Model) DiskTime(bytes int64, machines int) float64 {
+	if bytes <= 0 || machines <= 0 {
+		return 0
+	}
+	return float64(bytes) / (m.DiskShuffleBandwidth * float64(machines))
+}
+
+// DiskSeekFactor returns the seek-overhead multiplier of a file-based
+// shuffle producing blocks = M×N shuffle files.
+func (m *Model) DiskSeekFactor(blocks int) float64 {
+	if blocks <= 0 || m.DiskBlockHalfCount <= 0 {
+		return 1
+	}
+	return 1 + float64(blocks)/m.DiskBlockHalfCount
+}
+
+// Spread converts a stage's task count into the number of machines it
+// realistically occupies on a busy cluster (TaskPacking tasks per machine,
+// capped at the cluster size).
+func (m *Model) Spread(tasks, machines int) int {
+	if tasks <= 0 {
+		return 1
+	}
+	p := m.TaskPacking
+	if p < 1 {
+		p = 1
+	}
+	y := int(float64(tasks)/p + 0.999)
+	if y < 1 {
+		y = 1
+	}
+	if machines > 0 && y > machines {
+		y = machines
+	}
+	return y
+}
+
+// ScanTime returns the per-task time to scan its share of bytes base-table
+// data with the stage's task count.
+func (m *Model) ScanTime(bytes int64, tasks int) float64 {
+	if bytes <= 0 || tasks <= 0 {
+		return 0
+	}
+	return float64(bytes) / float64(tasks) / m.ScanBandwidth
+}
+
+// MemCopyTime returns the time for copies additional in-memory copies of
+// bytes spread across machines.
+func (m *Model) MemCopyTime(bytes int64, machines, copies int) float64 {
+	if bytes <= 0 || machines <= 0 || copies <= 0 {
+		return 0
+	}
+	return float64(copies) * float64(bytes) / (m.MemBandwidth * float64(machines))
+}

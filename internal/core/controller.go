@@ -1,0 +1,493 @@
+// Package core implements the Swift Admin of Section II: job admission,
+// shuffle-mode-aware partitioning, graphlet gang scheduling against the
+// resource pool (data locality + machine load), executor management,
+// machine health monitoring, and the fine-grained failure recovery of
+// Section IV. The controller is a pure event→action state machine: it owns
+// no clock, goroutines or I/O. Drivers (the discrete-event simulator in
+// package simrun and the real execution engine in package engine) feed it
+// events — job submissions, task completions, failures, machine health
+// changes — and interpret the actions it emits.
+package core
+
+import (
+	"fmt"
+
+	"swift/internal/cluster"
+	"swift/internal/dag"
+	"swift/internal/graphlet"
+	"swift/internal/shuffle"
+)
+
+type taskStatus int8
+
+const (
+	tPending taskStatus = iota
+	tRunning
+	tDone
+)
+
+type gStatus int8
+
+const (
+	gWaiting gStatus = iota // gating stages not yet complete
+	gQueued                 // registered with the resource scheduler
+	gRunning                // at least one task launched, none pending
+	gDone
+)
+
+// stageState tracks per-task execution state of one stage.
+type stageState struct {
+	graphlet int
+	status   []taskStatus
+	executor []cluster.ExecutorID // executor of current/last attempt (-1 unknown)
+	attempt  []int
+	retries  []int
+	started  []bool        // ever launched (non-idempotent cascade scope)
+	reason   []StartReason // reason for the next launch of each task
+	done     int
+}
+
+func (s *stageState) complete() bool { return s.done == len(s.status) }
+
+// graphletRun tracks scheduling state of one graphlet.
+type graphletRun struct {
+	status  gStatus
+	pending []TaskRef // tasks awaiting an executor, topologically ordered
+	running int
+	gating  []string // external producer stages that must finish first
+}
+
+type edgeKey struct{ from, to string }
+
+// monitor is the per-job state the paper calls the Job Monitor.
+type monitor struct {
+	job       *dag.Job
+	graphlets []*graphlet.Graphlet
+	owner     map[string]int // stage -> graphlet index
+	gruns     []*graphletRun
+	stages    map[string]*stageState
+	modes     map[edgeKey]shuffle.Mode
+	done      bool
+	failed    bool
+	restarts  int
+}
+
+// Controller is the Swift Admin state machine.
+type Controller struct {
+	opts    Options
+	cl      *cluster.Cluster
+	jobs    map[string]*monitor
+	order   []string  // submission order of live jobs
+	queue   []reqItem // graphlet resource requests (ReqItems), FIFO
+	actions []Action
+	// deferSchedule suppresses the resource loop while a batch of
+	// related failures is being processed (machine failure), so that
+	// recovery decisions see the full damage before relaunches begin.
+	deferSchedule bool
+}
+
+type reqItem struct {
+	job string
+	g   int
+}
+
+// NewController builds a controller over the given cluster.
+func NewController(cl *cluster.Cluster, opts Options) *Controller {
+	if opts.Partition == nil {
+		opts.Partition = GraphletPartition
+	}
+	if opts.Shuffle == nil {
+		opts.Shuffle = AdaptiveShuffle(shuffle.DefaultThresholds())
+	}
+	if opts.MaxTaskRetries <= 0 {
+		opts.MaxTaskRetries = 3
+	}
+	if opts.UnhealthyThreshold <= 0 {
+		opts.UnhealthyThreshold = 8
+	}
+	return &Controller{opts: opts, cl: cl, jobs: make(map[string]*monitor)}
+}
+
+// Cluster returns the managed cluster.
+func (c *Controller) Cluster() *cluster.Cluster { return c.cl }
+
+// Drain returns and clears the accumulated actions.
+func (c *Controller) Drain() []Action {
+	a := c.actions
+	c.actions = nil
+	return a
+}
+
+func (c *Controller) emit(a Action) { c.actions = append(c.actions, a) }
+
+// SubmitJob admits a job: validates it, partitions it with the configured
+// policy, selects shuffle modes per edge, and registers resource requests
+// for the graphlets whose inputs are already available.
+func (c *Controller) SubmitJob(job *dag.Job) error {
+	if job == nil {
+		return fmt.Errorf("core: nil job")
+	}
+	if _, dup := c.jobs[job.ID]; dup {
+		return fmt.Errorf("core: duplicate job id %q", job.ID)
+	}
+	if err := job.Validate(); err != nil {
+		return err
+	}
+	gs, err := c.opts.Partition(job)
+	if err != nil {
+		return err
+	}
+	m := &monitor{
+		job:       job,
+		graphlets: gs,
+		owner:     make(map[string]int),
+		stages:    make(map[string]*stageState),
+		modes:     make(map[edgeKey]shuffle.Mode),
+	}
+	for _, g := range gs {
+		for _, s := range g.Stages {
+			m.owner[s] = g.Index
+		}
+	}
+	for _, e := range job.Edges() {
+		crossing := m.owner[e.From] != m.owner[e.To]
+		m.modes[edgeKey{e.From, e.To}] = c.opts.Shuffle(job.ShuffleEdgeSize(e), e.Bytes, crossing)
+	}
+	for _, s := range job.Stages() {
+		st := &stageState{
+			graphlet: m.owner[s.Name],
+			status:   make([]taskStatus, s.Tasks),
+			executor: make([]cluster.ExecutorID, s.Tasks),
+			attempt:  make([]int, s.Tasks),
+			retries:  make([]int, s.Tasks),
+			started:  make([]bool, s.Tasks),
+			reason:   make([]StartReason, s.Tasks),
+		}
+		for i := range st.executor {
+			st.executor[i] = -1
+		}
+		m.stages[s.Name] = st
+	}
+	m.gruns = c.buildGraphletRuns(m)
+	c.jobs[job.ID] = m
+	c.order = append(c.order, job.ID)
+	c.enqueueReady(m)
+	c.schedule()
+	return nil
+}
+
+// buildGraphletRuns derives the scheduling state for each graphlet:
+// pending-task order (topological within the graphlet) and gating stages
+// (producers of edges entering from outside — the "all its input data are
+// ready" submission rule).
+func (c *Controller) buildGraphletRuns(m *monitor) []*graphletRun {
+	topo, _ := m.job.TopoOrder() // validated at submit
+	runs := make([]*graphletRun, len(m.graphlets))
+	for _, g := range m.graphlets {
+		run := &graphletRun{status: gWaiting}
+		inG := make(map[string]bool, len(g.Stages))
+		for _, s := range g.Stages {
+			inG[s] = true
+		}
+		for _, s := range topo {
+			if !inG[s] {
+				continue
+			}
+			for i := 0; i < m.job.Stage(s).Tasks; i++ {
+				run.pending = append(run.pending, TaskRef{Job: m.job.ID, Stage: s, Index: i})
+			}
+			for _, e := range m.job.In(s) {
+				if !inG[e.From] {
+					run.gating = append(run.gating, e.From)
+				}
+			}
+		}
+		runs[g.Index] = run
+	}
+	return runs
+}
+
+// enqueueReady moves graphlets whose gating stages are all complete from
+// gWaiting to gQueued.
+func (c *Controller) enqueueReady(m *monitor) {
+	if m.failed || m.done {
+		return
+	}
+	for i, run := range m.gruns {
+		if run.status != gWaiting {
+			continue
+		}
+		ready := true
+		for _, s := range run.gating {
+			if !m.stages[s].complete() {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			run.status = gQueued
+			c.queue = append(c.queue, reqItem{job: m.job.ID, g: i})
+		}
+	}
+}
+
+// requeue re-registers a graphlet that needs more executors (recovery or a
+// pool shrunk by machine failure).
+func (c *Controller) requeue(m *monitor, g int) {
+	run := m.gruns[g]
+	if run.status == gQueued {
+		for _, it := range c.queue {
+			if it.job == m.job.ID && it.g == g {
+				return
+			}
+		}
+	}
+	run.status = gQueued
+	c.queue = append(c.queue, reqItem{job: m.job.ID, g: g})
+}
+
+// schedule is the ResourceScheduleLoop: walk the request queue in FIFO
+// order, allocate executors (locality + load policy in cluster.Allocate),
+// and launch pending tasks. Items that cannot make progress stay queued;
+// later items may still be served (backfill), which is what lets small
+// jobs flow around a large one.
+func (c *Controller) schedule() {
+	if c.deferSchedule || len(c.queue) == 0 || c.cl.FreeExecutors() == 0 {
+		return
+	}
+	// In-place queue compaction: entries that were fully served (or whose
+	// job died) are dropped; entries still waiting stay in FIFO order. In
+	// the common saturated case one freed executor is absorbed by the
+	// head entry and the loop exits after one iteration with the queue
+	// untouched — this must stay O(1), it runs on every task completion.
+	n := len(c.queue)
+	w, i := 0, 0
+	for ; i < n; i++ {
+		// Once the pool is dry nothing further can be served this
+		// round. (StrictGang items may skip while leaving executors
+		// free for backfill, so only stop when the pool is empty.)
+		if c.cl.FreeExecutors() == 0 {
+			break
+		}
+		item := c.queue[i]
+		if c.serveItem(item) {
+			if w != i {
+				c.queue[w] = item
+			}
+			w++
+			if c.opts.StrictFIFO {
+				i++
+				break // head-of-line blocking: nothing behind is served
+			}
+		}
+	}
+	if w == i {
+		return // nothing dropped; unprocessed tail already in place
+	}
+	for ; i < n; i++ {
+		c.queue[w] = c.queue[i]
+		w++
+	}
+	c.queue = c.queue[:w]
+}
+
+// serveItem tries to allocate executors for one queued graphlet request
+// and reports whether the item should remain queued.
+func (c *Controller) serveItem(item reqItem) (keep bool) {
+	m := c.jobs[item.job]
+	if m == nil || m.failed || m.done {
+		return false
+	}
+	run := m.gruns[item.g]
+	if run.status != gQueued || len(run.pending) == 0 {
+		if run.status == gQueued {
+			run.status = gRunning
+		}
+		return false
+	}
+	want := len(run.pending)
+	if c.opts.StrictGang && c.cl.FreeExecutors() < want {
+		// JetScope semantics: nothing launches until the whole gang
+		// fits.
+		return true
+	}
+	if c.opts.MaxGraphletExecutors > 0 && want > c.opts.MaxGraphletExecutors {
+		want = c.opts.MaxGraphletExecutors
+	}
+	execs := c.cl.Allocate(want, nil)
+	if len(execs) == 0 {
+		return true
+	}
+	for i, e := range execs {
+		if len(run.pending) == 0 {
+			// More executors than pending tasks (pending shrank since
+			// `want` was computed): return the leftovers.
+			c.cl.Release(execs[i:])
+			break
+		}
+		ref := run.pending[0]
+		run.pending = run.pending[1:]
+		c.launch(m, run, ref, e)
+	}
+	if len(run.pending) > 0 {
+		return true
+	}
+	run.status = gRunning
+	return false
+}
+
+// launch starts one task attempt on an executor and emits the action. The
+// start reason was recorded in the stage state by whoever marked the task
+// pending (fresh submission, retry or cascade).
+func (c *Controller) launch(m *monitor, run *graphletRun, ref TaskRef, e cluster.ExecutorID) {
+	st := m.stages[ref.Stage]
+	reason := st.reason[ref.Index]
+	st.reason[ref.Index] = StartFresh
+	st.status[ref.Index] = tRunning
+	st.executor[ref.Index] = e
+	st.attempt[ref.Index]++
+	st.started[ref.Index] = true
+	run.running++
+	c.emit(ActStartTask{
+		Task:     ref,
+		Executor: e,
+		Graphlet: st.graphlet,
+		Attempt:  st.attempt[ref.Index],
+		Reason:   reason,
+	})
+	if reason == StartRetry && m.job.Stage(ref.Stage).Idempotent {
+		// Intra-graphlet idempotent recovery: surviving pipeline
+		// producers in the same graphlet re-send buffered output.
+		for _, pe := range m.job.In(ref.Stage) {
+			if m.owner[pe.From] == st.graphlet {
+				c.emit(ActResend{To: ref, FromStage: pe.From})
+			}
+		}
+	}
+}
+
+// TaskFinished records a successful task completion. Stale attempts (from
+// an aborted execution racing its abort) are ignored.
+func (c *Controller) TaskFinished(ref TaskRef, attempt int) {
+	m := c.jobs[ref.Job]
+	if m == nil || m.failed || m.done {
+		return
+	}
+	st, ok := m.stages[ref.Stage]
+	if !ok || ref.Index < 0 || ref.Index >= len(st.status) {
+		return
+	}
+	if st.attempt[ref.Index] != attempt || st.status[ref.Index] != tRunning {
+		return
+	}
+	st.status[ref.Index] = tDone
+	st.done++
+	run := m.gruns[st.graphlet]
+	run.running--
+	e := st.executor[ref.Index]
+
+	// Reuse the freed executor for the next pending task of the same
+	// graphlet; otherwise hand it back to the resource pool.
+	if len(run.pending) > 0 {
+		next := run.pending[0]
+		run.pending = run.pending[1:]
+		c.launch(m, run, next, e)
+	} else {
+		c.cl.Release([]cluster.ExecutorID{e})
+		if run.running == 0 && run.status != gDone {
+			run.status = gDone
+		}
+	}
+
+	if st.complete() {
+		c.enqueueReady(m)
+		c.checkJobDone(m)
+	}
+	c.schedule()
+}
+
+func (c *Controller) checkJobDone(m *monitor) {
+	for _, st := range m.stages {
+		if !st.complete() {
+			return
+		}
+	}
+	m.done = true
+	c.emit(ActJobCompleted{Job: m.job.ID})
+}
+
+// JobDone reports whether the job has completed successfully.
+func (c *Controller) JobDone(job string) bool {
+	m := c.jobs[job]
+	return m != nil && m.done
+}
+
+// JobFailed reports whether the job was abandoned.
+func (c *Controller) JobFailed(job string) bool {
+	m := c.jobs[job]
+	return m != nil && m.failed
+}
+
+// StageComplete reports whether all tasks of a stage have finished.
+func (c *Controller) StageComplete(job, stage string) bool {
+	m := c.jobs[job]
+	if m == nil {
+		return false
+	}
+	st, ok := m.stages[stage]
+	return ok && st.complete()
+}
+
+// EdgeMode returns the shuffle mode selected for an edge at admission.
+func (c *Controller) EdgeMode(job, from, to string) shuffle.Mode {
+	m := c.jobs[job]
+	if m == nil {
+		return shuffle.Direct
+	}
+	return m.modes[edgeKey{from, to}]
+}
+
+// Graphlets returns the partition computed for a job at admission.
+func (c *Controller) Graphlets(job string) []*graphlet.Graphlet {
+	m := c.jobs[job]
+	if m == nil {
+		return nil
+	}
+	return m.graphlets
+}
+
+// GraphletOf returns the graphlet index owning a stage (-1 if unknown).
+func (c *Controller) GraphletOf(job, stage string) int {
+	m := c.jobs[job]
+	if m == nil {
+		return -1
+	}
+	g, ok := m.owner[stage]
+	if !ok {
+		return -1
+	}
+	return g
+}
+
+// RunningTask returns the executor and attempt of a task if it is
+// currently running.
+func (c *Controller) RunningTask(ref TaskRef) (cluster.ExecutorID, int, bool) {
+	m := c.jobs[ref.Job]
+	if m == nil {
+		return 0, 0, false
+	}
+	st, ok := m.stages[ref.Stage]
+	if !ok || ref.Index < 0 || ref.Index >= len(st.status) || st.status[ref.Index] != tRunning {
+		return 0, 0, false
+	}
+	return st.executor[ref.Index], st.attempt[ref.Index], true
+}
+
+// Restarts returns how many times the JobRestart policy reset the job.
+func (c *Controller) Restarts(job string) int {
+	m := c.jobs[job]
+	if m == nil {
+		return 0
+	}
+	return m.restarts
+}

@@ -1,0 +1,560 @@
+package core
+
+import (
+	"testing"
+
+	"swift/internal/cluster"
+	"swift/internal/dag"
+	"swift/internal/shuffle"
+)
+
+// harness drives a Controller from tests: it tracks running tasks from the
+// action stream and lets tests complete or fail them.
+type harness struct {
+	t       *testing.T
+	c       *Controller
+	running map[TaskRef]ActStartTask
+	starts  []ActStartTask
+	resends []ActResend
+	events  []Action
+}
+
+func newHarness(t *testing.T, machines, execsPer int, opts Options) *harness {
+	cl := cluster.New(cluster.Config{Machines: machines, ExecutorsPerMachine: execsPer})
+	h := &harness{t: t, c: NewController(cl, opts), running: make(map[TaskRef]ActStartTask)}
+	return h
+}
+
+func (h *harness) drain() {
+	for _, a := range h.c.Drain() {
+		h.events = append(h.events, a)
+		switch a := a.(type) {
+		case ActStartTask:
+			h.running[a.Task] = a
+			h.starts = append(h.starts, a)
+		case ActAbortTask:
+			if cur, ok := h.running[a.Task]; ok && cur.Attempt == a.Attempt {
+				delete(h.running, a.Task)
+			}
+		case ActResend:
+			h.resends = append(h.resends, a)
+		}
+	}
+}
+
+func (h *harness) submit(j *dag.Job) {
+	h.t.Helper()
+	if err := h.c.SubmitJob(j); err != nil {
+		h.t.Fatal(err)
+	}
+	h.drain()
+}
+
+func (h *harness) finish(ref TaskRef) {
+	h.t.Helper()
+	a, ok := h.running[ref]
+	if !ok {
+		h.t.Fatalf("finish of non-running task %s", ref)
+	}
+	delete(h.running, ref)
+	h.c.TaskFinished(ref, a.Attempt)
+	h.drain()
+}
+
+// finishAll completes running tasks (including newly started waves) until
+// none remain or the predicate stops matching.
+func (h *harness) finishAll() {
+	for len(h.running) > 0 {
+		for ref := range h.running {
+			h.finish(ref)
+			break
+		}
+	}
+}
+
+func (h *harness) fail(ref TaskRef, kind FailureKind) {
+	h.t.Helper()
+	a, ok := h.running[ref]
+	if !ok {
+		h.t.Fatalf("fail of non-running task %s", ref)
+	}
+	delete(h.running, ref)
+	h.c.TaskFailed(ref, a.Attempt, kind)
+	h.drain()
+}
+
+func (h *harness) completed(job string) bool {
+	for _, a := range h.events {
+		if c, ok := a.(ActJobCompleted); ok && c.Job == job {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *harness) jobFailed(job string) bool {
+	for _, a := range h.events {
+		if c, ok := a.(ActJobFailed); ok && c.Job == job {
+			return true
+		}
+	}
+	return false
+}
+
+func pipelineJob(id string, aTasks, bTasks int) *dag.Job {
+	return dag.NewBuilder(id).
+		Stage("A", aTasks, dag.Op(dag.OpTableScan), dag.Op(dag.OpShuffleWrite)).
+		Stage("B", bTasks, dag.Op(dag.OpShuffleRead), dag.Op(dag.OpAdhocSink)).
+		Pipeline("A", "B", 1<<20).
+		MustBuild()
+}
+
+func barrierJob(id string, aTasks, bTasks int) *dag.Job {
+	return dag.NewBuilder(id).
+		Stage("A", aTasks, dag.Op(dag.OpTableScan), dag.Op(dag.OpMergeSort), dag.Op(dag.OpShuffleWrite)).
+		Stage("B", bTasks, dag.Op(dag.OpShuffleRead), dag.Op(dag.OpAdhocSink)).
+		Barrier("A", "B", 1<<20).
+		MustBuild()
+}
+
+func ref(job, stage string, i int) TaskRef { return TaskRef{Job: job, Stage: stage, Index: i} }
+
+func TestSimplePipelineJobCompletes(t *testing.T) {
+	h := newHarness(t, 4, 4, DefaultOptions())
+	h.submit(pipelineJob("j", 3, 2))
+	// Pipeline graphlet: all 5 tasks gang launched together.
+	if len(h.running) != 5 {
+		t.Fatalf("running = %d, want 5", len(h.running))
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job not completed")
+	}
+	if h.c.Cluster().BusyExecutors() != 0 {
+		t.Errorf("executors leaked: %d busy", h.c.Cluster().BusyExecutors())
+	}
+	if !h.c.JobDone("j") || h.c.JobFailed("j") {
+		t.Error("job state wrong")
+	}
+}
+
+func TestBarrierDefersSecondGraphlet(t *testing.T) {
+	h := newHarness(t, 4, 4, DefaultOptions())
+	h.submit(barrierJob("j", 2, 3))
+	if len(h.running) != 2 {
+		t.Fatalf("running = %d, want only stage A's 2 tasks", len(h.running))
+	}
+	h.finish(ref("j", "A", 0))
+	if _, ok := h.running[ref("j", "B", 0)]; ok {
+		t.Fatal("B started before A completed")
+	}
+	h.finish(ref("j", "A", 1))
+	if len(h.running) != 3 {
+		t.Fatalf("after A done, running = %d, want B's 3 tasks", len(h.running))
+	}
+	if !h.c.StageComplete("j", "A") || h.c.StageComplete("j", "B") {
+		t.Error("StageComplete wrong")
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job not completed")
+	}
+}
+
+func TestWavesUnderPartialAllocation(t *testing.T) {
+	// 2 executors for 6 tasks: waves of 2.
+	h := newHarness(t, 1, 2, DefaultOptions())
+	h.submit(pipelineJob("j", 6, 1))
+	if len(h.running) != 2 {
+		t.Fatalf("first wave = %d, want 2", len(h.running))
+	}
+	h.finishAll() // each finish frees an executor for the next pending task
+	if !h.completed("j") {
+		t.Fatal("job not completed")
+	}
+	if len(h.starts) != 7 {
+		t.Errorf("total starts = %d, want 7", len(h.starts))
+	}
+}
+
+func TestStrictGangWaitsForFullAllocation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Partition = WholeJobPartition
+	opts.StrictGang = true
+	h := newHarness(t, 1, 4, opts)
+	h.submit(pipelineJob("big", 4, 2)) // needs 6 > 4 executors
+	if len(h.running) != 0 {
+		t.Fatalf("strict gang launched %d tasks with insufficient executors", len(h.running))
+	}
+	// A small job behind it can still be served (backfill).
+	h.submit(pipelineJob("small", 2, 1))
+	if len(h.running) != 3 {
+		t.Fatalf("backfill failed: running = %d, want 3", len(h.running))
+	}
+	h.finishAll()
+	if !h.completed("small") || h.completed("big") {
+		t.Fatal("wrong completion states")
+	}
+}
+
+func TestIdempotentRetryWithResend(t *testing.T) {
+	h := newHarness(t, 4, 4, DefaultOptions())
+	h.submit(pipelineJob("j", 2, 2))
+	h.finish(ref("j", "A", 0))
+	h.finish(ref("j", "A", 1))
+	victim := ref("j", "B", 0)
+	first := h.running[victim].Attempt
+	h.fail(victim, FailCrash)
+	again, ok := h.running[victim]
+	if !ok {
+		t.Fatal("failed task not relaunched")
+	}
+	if again.Attempt != first+1 || again.Reason != StartRetry {
+		t.Errorf("relaunch attempt=%d reason=%v", again.Attempt, again.Reason)
+	}
+	// Same-graphlet pipeline parent must re-send its buffered output.
+	if len(h.resends) != 1 || h.resends[0].FromStage != "A" || h.resends[0].To != victim {
+		t.Errorf("resends = %v", h.resends)
+	}
+	// A and B's other task must not re-run.
+	for _, s := range h.starts {
+		if s.Task.Stage == "A" && s.Attempt > 1 {
+			t.Error("idempotent recovery re-ran a predecessor")
+		}
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job not completed after recovery")
+	}
+}
+
+func TestNonIdempotentCascade(t *testing.T) {
+	j := dag.NewJob("j")
+	for _, s := range []*dag.Stage{
+		{Name: "A", Tasks: 1, Idempotent: false},
+		{Name: "B", Tasks: 2, Idempotent: true},
+		{Name: "C", Tasks: 1, Idempotent: true},
+	} {
+		if err := j.AddStage(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []*dag.Edge{{From: "A", To: "B", Mode: dag.Pipeline}, {From: "B", To: "C", Mode: dag.Pipeline}} {
+		if err := j.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := newHarness(t, 4, 4, DefaultOptions())
+	h.submit(j)
+	if len(h.running) != 4 {
+		t.Fatalf("running = %d", len(h.running))
+	}
+	// Let one successor finish, keep others running, then fail A.
+	h.finish(ref("j", "B", 0))
+	h.fail(ref("j", "A", 0), FailCrash)
+	// A re-runs, finished B[0] re-runs (cascade), running B[1] and C[0]
+	// aborted and re-run.
+	wantRunning := map[TaskRef]bool{
+		ref("j", "A", 0): true, ref("j", "B", 0): true,
+		ref("j", "B", 1): true, ref("j", "C", 0): true,
+	}
+	if len(h.running) != len(wantRunning) {
+		t.Fatalf("running after cascade = %v", h.running)
+	}
+	for r := range wantRunning {
+		if _, ok := h.running[r]; !ok {
+			t.Errorf("missing relaunch of %s", r)
+		}
+	}
+	for _, s := range h.starts[4:] {
+		if s.Task.Stage != "A" && s.Reason != StartCascade {
+			t.Errorf("successor %s relaunched with reason %v", s.Task, s.Reason)
+		}
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job not completed")
+	}
+}
+
+func TestAppErrorFailsJobWithoutRecovery(t *testing.T) {
+	h := newHarness(t, 2, 2, DefaultOptions())
+	h.submit(pipelineJob("j", 1, 1))
+	h.fail(ref("j", "A", 0), FailAppError)
+	if !h.jobFailed("j") {
+		t.Fatal("job not failed")
+	}
+	if len(h.running) != 0 {
+		t.Errorf("tasks still running after job failure: %v", h.running)
+	}
+	if h.c.Cluster().BusyExecutors() != 0 {
+		t.Error("executors leaked after job failure")
+	}
+	if !h.c.JobFailed("j") {
+		t.Error("JobFailed() = false")
+	}
+}
+
+func TestRetryExhaustionFailsJob(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxTaskRetries = 2
+	h := newHarness(t, 2, 2, opts)
+	h.submit(pipelineJob("j", 1, 1))
+	for i := 0; i < 2; i++ {
+		h.fail(ref("j", "A", 0), FailCrash)
+		if h.jobFailed("j") {
+			t.Fatalf("job failed after %d retries, limit is 2", i+1)
+		}
+	}
+	h.fail(ref("j", "A", 0), FailCrash)
+	if !h.jobFailed("j") {
+		t.Fatal("job not failed after exhausting retries")
+	}
+}
+
+func TestJobRestartPolicy(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Recovery = JobRestart
+	h := newHarness(t, 4, 4, opts)
+	h.submit(barrierJob("j", 2, 2))
+	h.finish(ref("j", "A", 0))
+	h.fail(ref("j", "A", 1), FailCrash)
+	restarted := false
+	for _, a := range h.events {
+		if _, ok := a.(ActJobRestarted); ok {
+			restarted = true
+		}
+	}
+	if !restarted {
+		t.Fatal("no restart action")
+	}
+	if h.c.Restarts("j") != 1 {
+		t.Errorf("restarts = %d", h.c.Restarts("j"))
+	}
+	// Everything (including the finished A[0]) runs again.
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job not completed after restart")
+	}
+	aStarts := 0
+	for _, s := range h.starts {
+		if s.Task == ref("j", "A", 0) {
+			aStarts++
+		}
+	}
+	if aStarts != 2 {
+		t.Errorf("A[0] started %d times, want 2", aStarts)
+	}
+}
+
+func TestMachineFailureRecoversRunningAndLostOutputs(t *testing.T) {
+	h := newHarness(t, 2, 4, DefaultOptions())
+	h.submit(barrierJob("j", 2, 2))
+	// Finish A entirely; B starts; then the machine hosting A[0]'s
+	// output fails while B is running.
+	a0Exec := h.running[ref("j", "A", 0)].Executor
+	failedMachine := h.c.Cluster().MachineOf(a0Exec)
+	h.finish(ref("j", "A", 0))
+	h.finish(ref("j", "A", 1))
+	if len(h.running) != 2 {
+		t.Fatalf("B not started: %v", h.running)
+	}
+	h.c.MachineFailed(failedMachine)
+	h.drain()
+	// A[0]'s Cache Worker output was lost and B is not done consuming:
+	// A[0] must re-run. Any B task on the failed machine re-runs too.
+	if _, ok := h.running[ref("j", "A", 0)]; !ok {
+		t.Error("lost output of A[0] not regenerated")
+	}
+	if h.c.Cluster().Machine(failedMachine).Health != cluster.Failed {
+		t.Error("machine not marked failed")
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job not completed after machine failure")
+	}
+	// New allocations avoided the failed machine.
+	for _, s := range h.starts {
+		if s.Attempt > 1 && h.c.Cluster().MachineOf(s.Executor) == failedMachine {
+			t.Error("recovery task scheduled on failed machine")
+		}
+	}
+}
+
+func TestMachineFailureNoStepWhenConsumersDone(t *testing.T) {
+	h := newHarness(t, 2, 4, DefaultOptions())
+	h.submit(barrierJob("j", 1, 1))
+	aExec := h.running[ref("j", "A", 0)].Executor
+	machine := h.c.Cluster().MachineOf(aExec)
+	h.finish(ref("j", "A", 0))
+	h.finish(ref("j", "B", 0))
+	if !h.completed("j") {
+		t.Fatal("job should be done")
+	}
+	before := len(h.starts)
+	h.c.MachineFailed(machine)
+	h.drain()
+	if len(h.starts) != before {
+		t.Error("machine failure after job completion triggered recovery")
+	}
+}
+
+func TestUnhealthyMachineGoesReadOnly(t *testing.T) {
+	opts := DefaultOptions()
+	opts.UnhealthyThreshold = 2
+	h := newHarness(t, 2, 8, opts)
+	h.submit(pipelineJob("j", 4, 4))
+	// Fail tasks on machine 0 repeatedly.
+	fails := 0
+	for fails < 2 {
+		var target TaskRef
+		found := false
+		for r, a := range h.running {
+			if h.c.Cluster().MachineOf(a.Executor) == 0 {
+				target, found = r, true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("no running task on machine 0")
+		}
+		h.fail(target, FailCrash)
+		fails++
+	}
+	if h.c.Cluster().Machine(0).Health != cluster.ReadOnly {
+		t.Errorf("machine 0 health = %v, want read-only", h.c.Cluster().Machine(0).Health)
+	}
+	sawAction := false
+	for _, a := range h.events {
+		if ro, ok := a.(ActMachineReadOnly); ok && ro.Machine == 0 {
+			sawAction = true
+		}
+	}
+	if !sawAction {
+		t.Error("no ActMachineReadOnly emitted")
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job not completed")
+	}
+}
+
+func TestExecutorRestartedRecoversItsTask(t *testing.T) {
+	h := newHarness(t, 2, 2, DefaultOptions())
+	h.submit(pipelineJob("j", 1, 1))
+	a := h.running[ref("j", "A", 0)]
+	delete(h.running, ref("j", "A", 0))
+	h.c.ExecutorRestarted(a.Executor)
+	h.drain()
+	if got, ok := h.running[ref("j", "A", 0)]; !ok || got.Attempt != a.Attempt+1 {
+		t.Fatalf("task not recovered after executor restart: %v", h.running)
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job not completed")
+	}
+}
+
+func TestStaleEventsIgnored(t *testing.T) {
+	h := newHarness(t, 2, 2, DefaultOptions())
+	h.submit(pipelineJob("j", 1, 1))
+	a := h.running[ref("j", "A", 0)]
+	h.c.TaskFinished(ref("j", "A", 0), a.Attempt+7) // bogus attempt
+	h.c.TaskFailed(ref("j", "A", 0), a.Attempt-1, FailCrash)
+	h.c.TaskFinished(ref("j", "zzz", 0), 1)  // unknown stage
+	h.c.TaskFinished(ref("nope", "A", 0), 1) // unknown job
+	h.drain()
+	if h.completed("j") || h.jobFailed("j") {
+		t.Fatal("stale events changed job state")
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job not completed")
+	}
+	// Finishing an already-done task is ignored.
+	h.c.TaskFinished(ref("j", "A", 0), a.Attempt)
+	h.drain()
+}
+
+func TestSubmitValidation(t *testing.T) {
+	h := newHarness(t, 1, 1, DefaultOptions())
+	if err := h.c.SubmitJob(nil); err == nil {
+		t.Error("nil job accepted")
+	}
+	h.submit(pipelineJob("dup", 1, 1))
+	if err := h.c.SubmitJob(pipelineJob("dup", 1, 1)); err == nil {
+		t.Error("duplicate job accepted")
+	}
+	if err := h.c.SubmitJob(dag.NewJob("empty")); err == nil {
+		t.Error("empty job accepted")
+	}
+}
+
+func TestEdgeModeSelection(t *testing.T) {
+	h := newHarness(t, 4, 4, DefaultOptions())
+	h.submit(pipelineJob("j", 2, 2)) // edge size 4 -> Direct
+	if got := h.c.EdgeMode("j", "A", "B"); got != shuffle.Direct {
+		t.Errorf("mode = %v, want Direct", got)
+	}
+	if got := h.c.EdgeMode("nope", "A", "B"); got != shuffle.Direct {
+		t.Errorf("unknown job mode = %v", got)
+	}
+
+	opts := DefaultOptions()
+	opts.Shuffle = DiskShuffle()
+	h2 := newHarness(t, 4, 4, opts)
+	h2.submit(pipelineJob("j", 2, 2))
+	if got := h2.c.EdgeMode("j", "A", "B"); got != shuffle.Disk {
+		t.Errorf("disk policy mode = %v", got)
+	}
+
+	big := pipelineJob("big", 400, 400) // 160k edges -> Local under adaptive
+	h3 := newHarness(t, 100, 60, DefaultOptions())
+	h3.submit(big)
+	if got := h3.c.EdgeMode("big", "A", "B"); got != shuffle.Local {
+		t.Errorf("adaptive large mode = %v, want Local", got)
+	}
+}
+
+func TestPerStagePartitionSchedulesStagewise(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Partition = PerStagePartition
+	h := newHarness(t, 4, 4, opts)
+	h.submit(pipelineJob("j", 2, 2)) // pipeline edge, but per-stage gating
+	if len(h.running) != 2 {
+		t.Fatalf("per-stage: running = %d, want 2 (A only)", len(h.running))
+	}
+	h.finish(ref("j", "A", 0))
+	h.finish(ref("j", "A", 1))
+	if len(h.running) != 2 {
+		t.Fatalf("B not launched after A: %v", h.running)
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job not completed")
+	}
+}
+
+func TestGraphletAccessors(t *testing.T) {
+	h := newHarness(t, 4, 4, DefaultOptions())
+	h.submit(barrierJob("j", 1, 1))
+	gs := h.c.Graphlets("j")
+	if len(gs) != 2 {
+		t.Fatalf("graphlets = %d", len(gs))
+	}
+	if h.c.GraphletOf("j", "A") != 0 || h.c.GraphletOf("j", "B") != 1 {
+		t.Error("GraphletOf wrong")
+	}
+	if h.c.GraphletOf("j", "zzz") != -1 || h.c.GraphletOf("nope", "A") != -1 {
+		t.Error("GraphletOf should be -1 for unknowns")
+	}
+	if h.c.Graphlets("nope") != nil {
+		t.Error("Graphlets of unknown job")
+	}
+	if _, _, ok := h.c.RunningTask(ref("j", "A", 0)); !ok {
+		t.Error("RunningTask should find A[0]")
+	}
+	if _, _, ok := h.c.RunningTask(ref("j", "B", 0)); ok {
+		t.Error("RunningTask found un-started B[0]")
+	}
+}

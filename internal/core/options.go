@@ -1,0 +1,141 @@
+package core
+
+import (
+	"swift/internal/dag"
+	"swift/internal/graphlet"
+	"swift/internal/shuffle"
+)
+
+// PartitionPolicy turns a job DAG into schedulable graphlets. Swift's
+// default is the shuffle-mode-aware Algorithm 1; the baselines substitute
+// whole-job gang scheduling (JetScope), per-stage scheduling (Spark) or
+// shuffle-size bubbles (Bubble Execution).
+type PartitionPolicy func(*dag.Job) ([]*graphlet.Graphlet, error)
+
+// GraphletPartition is Swift's partitioner (Section III-A).
+func GraphletPartition(j *dag.Job) ([]*graphlet.Graphlet, error) { return graphlet.Partition(j) }
+
+// WholeJobPartition treats the entire job as a single gang-scheduled unit,
+// as JetScope and Impala do.
+func WholeJobPartition(j *dag.Job) ([]*graphlet.Graphlet, error) {
+	topo, err := j.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	g := &graphlet.Graphlet{Index: 0, Stages: topo, Tasks: j.NumTasks()}
+	return []*graphlet.Graphlet{g}, nil
+}
+
+// PerStagePartition schedules every stage independently, the Spark model.
+func PerStagePartition(j *dag.Job) ([]*graphlet.Graphlet, error) {
+	topo, err := j.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	owner := make(map[string]int, len(topo))
+	gs := make([]*graphlet.Graphlet, 0, len(topo))
+	for i, s := range topo {
+		owner[s] = i
+		gs = append(gs, &graphlet.Graphlet{Index: i, Stages: []string{s}, Tasks: j.Stage(s).Tasks})
+	}
+	for _, g := range gs {
+		seen := make(map[int]bool)
+		for _, e := range j.In(g.Stages[0]) {
+			d := owner[e.From]
+			if !seen[d] {
+				seen[d] = true
+				g.DependsOn = append(g.DependsOn, d)
+			}
+		}
+		for _, e := range j.Out(g.Stages[0]) {
+			if len(e.To) > 0 {
+				g.Trigger = g.Stages[0]
+			}
+		}
+	}
+	return gs, nil
+}
+
+// ShufflePolicy chooses the shuffle mode for one edge. crossing reports
+// whether the edge crosses a graphlet boundary.
+type ShufflePolicy func(edgeSize int, bytes int64, crossing bool) shuffle.Mode
+
+// AdaptiveShuffle is Swift's runtime selection by shuffle edge size.
+func AdaptiveShuffle(t shuffle.Thresholds) ShufflePolicy {
+	return func(edgeSize int, _ int64, _ bool) shuffle.Mode { return t.Select(edgeSize) }
+}
+
+// FixedShuffle always uses one mode (the Fig. 12 ablation arms).
+func FixedShuffle(m shuffle.Mode) ShufflePolicy {
+	return func(int, int64, bool) shuffle.Mode { return m }
+}
+
+// DiskShuffle is the Spark-style file-based shuffle for every edge.
+func DiskShuffle() ShufflePolicy {
+	return func(int, int64, bool) shuffle.Mode { return shuffle.Disk }
+}
+
+// BubbleShuffle pipelines inside a bubble and spills to disk across bubble
+// boundaries, the Bubble Execution model.
+func BubbleShuffle() ShufflePolicy {
+	return func(_ int, _ int64, crossing bool) shuffle.Mode {
+		if crossing {
+			return shuffle.Disk
+		}
+		return shuffle.Direct
+	}
+}
+
+// RecoveryPolicy selects the failure-handling strategy.
+type RecoveryPolicy int
+
+const (
+	// FineGrained is Swift's graphlet-based recovery (Section IV-B).
+	FineGrained RecoveryPolicy = iota
+	// JobRestart re-runs the whole job on any failure, the baseline the
+	// paper compares against in Figs. 14 and 15.
+	JobRestart
+)
+
+// Options configures a Controller. The zero value is not usable; call
+// DefaultOptions and adjust.
+type Options struct {
+	Partition PartitionPolicy
+	Shuffle   ShufflePolicy
+	Recovery  RecoveryPolicy
+	// StrictGang makes a graphlet wait until its full executor demand is
+	// free before any task starts (JetScope semantics). Swift instead
+	// accepts partial allocations and runs waves.
+	StrictGang bool
+	// StrictFIFO stops serving the request queue at the first entry that
+	// cannot be fully served, so a large waiting job blocks everything
+	// behind it — the head-of-line behaviour that makes JetScope's
+	// running-executor curve in Fig. 10 "full of waiting and waste".
+	// Swift and Bubble Execution backfill past stuck entries.
+	StrictFIFO bool
+	// ColdLaunch charges the per-stage package-download/executor-launch
+	// cost to every first task wave (Spark semantics); Swift's executors
+	// are pre-launched.
+	ColdLaunch bool
+	// MaxTaskRetries bounds recovery attempts per task before the job is
+	// declared failed.
+	MaxTaskRetries int
+	// UnhealthyThreshold is the recent-task-failure count at which the
+	// health monitor marks a machine read-only (Section IV-A).
+	UnhealthyThreshold int
+	// MaxGraphletExecutors caps executors granted to one graphlet in one
+	// allocation round (0 = no cap), keeping a single huge graphlet from
+	// starving the rest of the queue.
+	MaxGraphletExecutors int
+}
+
+// DefaultOptions returns Swift's production configuration.
+func DefaultOptions() Options {
+	return Options{
+		Partition:          GraphletPartition,
+		Shuffle:            AdaptiveShuffle(shuffle.DefaultThresholds()),
+		Recovery:           FineGrained,
+		MaxTaskRetries:     3,
+		UnhealthyThreshold: 8,
+	}
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"swift/internal/cluster"
+)
+
+// TaskFailed handles a detected task failure (Section IV-B). Stale attempt
+// numbers are ignored. Application-logic errors skip recovery entirely
+// (Section IV-C, "Avoiding Useless Failure Recovery").
+func (c *Controller) TaskFailed(ref TaskRef, attempt int, kind FailureKind) {
+	m := c.jobs[ref.Job]
+	if m == nil || m.failed || m.done {
+		return
+	}
+	st, ok := m.stages[ref.Stage]
+	if !ok || ref.Index < 0 || ref.Index >= len(st.status) {
+		return
+	}
+	if st.status[ref.Index] != tRunning || st.attempt[ref.Index] != attempt {
+		return
+	}
+
+	if kind == FailAppError {
+		c.failJob(m, fmt.Sprintf("application error in %s", ref))
+		return
+	}
+
+	// Track machine failure bursts for the health monitor.
+	if e := st.executor[ref.Index]; e >= 0 {
+		mid := c.cl.MachineOf(e)
+		if c.cl.RecordTaskFailure(mid) >= c.opts.UnhealthyThreshold && c.cl.Machine(mid).Health == cluster.Healthy {
+			c.MachineUnhealthy(mid)
+		}
+	}
+
+	if c.opts.Recovery == JobRestart {
+		c.restartJob(m)
+		return
+	}
+
+	st.retries[ref.Index]++
+	if st.retries[ref.Index] > c.opts.MaxTaskRetries {
+		c.failJob(m, fmt.Sprintf("task %s exceeded %d retries", ref, c.opts.MaxTaskRetries))
+		return
+	}
+	c.releaseRunning(m, ref)
+	c.markPending(m, ref, StartRetry)
+
+	// Non-idempotent tasks may have streamed rows that successors
+	// already consumed; those successors must re-run too (Fig. 6b). The
+	// cascade stays within the graphlet: cross-graphlet consumers read
+	// from Cache Workers whose contents the re-run will replace before
+	// the consumer graphlet is submitted (Figs. 7a/7b).
+	if !m.job.Stage(ref.Stage).Idempotent {
+		c.cascade(m, ref.Stage, m.stages[ref.Stage].graphlet, map[string]bool{ref.Stage: true})
+	}
+
+	c.requeue(m, st.graphlet)
+	c.schedule()
+}
+
+// cascade re-runs every started task of the successor stages of `stage`
+// within graphlet g, transitively.
+func (c *Controller) cascade(m *monitor, stage string, g int, visited map[string]bool) {
+	for _, e := range m.job.Out(stage) {
+		if visited[e.To] || m.owner[e.To] != g {
+			continue
+		}
+		visited[e.To] = true
+		st := m.stages[e.To]
+		for i := range st.status {
+			if !st.started[i] {
+				continue
+			}
+			ref := TaskRef{Job: m.job.ID, Stage: e.To, Index: i}
+			switch st.status[i] {
+			case tRunning:
+				c.emit(ActAbortTask{Task: ref, Executor: st.executor[i], Attempt: st.attempt[i]})
+				c.releaseRunning(m, ref)
+				c.markPending(m, ref, StartCascade)
+			case tDone:
+				st.done--
+				c.markPending(m, ref, StartCascade)
+			}
+		}
+		c.requeue(m, g)
+		c.cascade(m, e.To, g, visited)
+	}
+}
+
+// releaseRunning returns a running task's executor to the pool and fixes
+// the graphlet's running count. The task's status is left to the caller.
+func (c *Controller) releaseRunning(m *monitor, ref TaskRef) {
+	st := m.stages[ref.Stage]
+	if st.status[ref.Index] != tRunning {
+		return
+	}
+	run := m.gruns[st.graphlet]
+	run.running--
+	if e := st.executor[ref.Index]; e >= 0 {
+		c.cl.Release([]cluster.ExecutorID{e})
+	}
+	st.status[ref.Index] = tPending
+}
+
+// markPending resets a task for re-execution with the given reason and
+// appends it to its graphlet's pending queue.
+func (c *Controller) markPending(m *monitor, ref TaskRef, reason StartReason) {
+	st := m.stages[ref.Stage]
+	st.status[ref.Index] = tPending
+	st.reason[ref.Index] = reason
+	run := m.gruns[st.graphlet]
+	run.pending = append(run.pending, ref)
+	if run.status == gDone {
+		run.status = gQueued
+	}
+}
+
+// MachineFailed handles a detected machine crash: every executor on the
+// machine is revoked, running tasks there fail, and completed tasks whose
+// Cache Worker output lived on the machine and is still needed are re-run
+// (their consumers will fetch the regenerated data; Section IV-B2).
+func (c *Controller) MachineFailed(id cluster.MachineID) {
+	// Fail running tasks hosted there, then mark completed-but-needed
+	// outputs lost. Collect first: recovery mutates state.
+	type victim struct {
+		ref     TaskRef
+		attempt int
+		running bool
+	}
+	var victims []victim
+	for _, jobID := range c.order {
+		m := c.jobs[jobID]
+		if m == nil || m.failed || m.done {
+			continue
+		}
+		for _, name := range m.job.StageNames() {
+			st := m.stages[name]
+			for i := range st.status {
+				if st.executor[i] < 0 || c.cl.MachineOf(st.executor[i]) != id {
+					continue
+				}
+				ref := TaskRef{Job: jobID, Stage: name, Index: i}
+				switch st.status[i] {
+				case tRunning:
+					victims = append(victims, victim{ref, st.attempt[i], true})
+				case tDone:
+					victims = append(victims, victim{ref, st.attempt[i], false})
+				}
+			}
+		}
+	}
+	// Running tasks recover first: a consumer re-marked pending by that
+	// pass re-needs its producers' buffered outputs, which the
+	// lost-output pass below then regenerates.
+	sort.SliceStable(victims, func(a, b int) bool {
+		return victims[a].running && !victims[b].running
+	})
+	c.cl.SetHealth(id, cluster.Failed)
+	c.deferSchedule = true
+	for _, v := range victims {
+		m := c.jobs[v.ref.Job]
+		if m == nil || m.failed || m.done {
+			continue
+		}
+		if v.running {
+			c.emit(ActAbortTask{Task: v.ref, Executor: m.stages[v.ref.Stage].executor[v.ref.Index], Attempt: v.attempt})
+			c.TaskFailed(v.ref, v.attempt, FailCrash)
+		} else {
+			// Lost output of a finished task: TaskOutputLost applies
+			// the "no step taken" rule (or restarts the job under the
+			// baseline policy).
+			c.TaskOutputLost(v.ref)
+		}
+	}
+	c.deferSchedule = false
+	c.schedule()
+}
+
+// outputStillNeeded reports whether some consumer task has yet to receive
+// the stage's buffered output. Running consumers already received it —
+// pipeline consumers by streaming, barrier consumers by fetching from the
+// Cache Worker at launch — so only never-started (pending) consumer tasks
+// still need it ("If T6 and T7 have received the desired data from T4, no
+// step will be taken").
+func (c *Controller) outputStillNeeded(m *monitor, stage string) bool {
+	outs := m.job.Out(stage)
+	if len(outs) == 0 {
+		return false // sink output already delivered to the client
+	}
+	for _, e := range outs {
+		st := m.stages[e.To]
+		for i := range st.status {
+			if st.status[i] == tPending {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TaskOutputLost reports that the buffered output of a completed task was
+// lost (e.g. its Cache Worker's memory was reclaimed or the hosting process
+// died without taking the machine down). If every consumer already received
+// the data, no step is taken; otherwise the task re-runs so consumers can
+// re-fetch (the Fig. 6a / Fig. 7 semantics).
+func (c *Controller) TaskOutputLost(ref TaskRef) {
+	m := c.jobs[ref.Job]
+	if m == nil || m.failed || m.done {
+		return
+	}
+	st, ok := m.stages[ref.Stage]
+	if !ok || ref.Index < 0 || ref.Index >= len(st.status) || st.status[ref.Index] != tDone {
+		return
+	}
+	if c.opts.Recovery == JobRestart {
+		// The baseline policy restarts on any failure; the "no step
+		// taken" shortcut below is Swift's fine-grained intelligence.
+		c.restartJob(m)
+		return
+	}
+	if !c.outputStillNeeded(m, ref.Stage) {
+		return // "no step will be taken"
+	}
+	st.done--
+	c.markPending(m, ref, StartRetry)
+	if !m.job.Stage(ref.Stage).Idempotent {
+		c.cascade(m, ref.Stage, st.graphlet, map[string]bool{ref.Stage: true})
+	}
+	c.requeue(m, st.graphlet)
+	c.schedule()
+}
+
+// MachineUnhealthy applies the health monitor's read-only policy: the
+// machine finishes its running tasks but receives no new ones.
+func (c *Controller) MachineUnhealthy(id cluster.MachineID) {
+	if c.cl.Machine(id).Health != cluster.Healthy {
+		return
+	}
+	c.cl.SetHealth(id, cluster.ReadOnly)
+	c.emit(ActMachineReadOnly{Machine: id})
+}
+
+// ExecutorRestarted handles an executor process reporting a fresh start
+// (the lazy self-reporting channel of Section IV-A): whatever task the
+// controller believed was running there has died.
+func (c *Controller) ExecutorRestarted(e cluster.ExecutorID) {
+	for _, jobID := range c.order {
+		m := c.jobs[jobID]
+		if m == nil || m.failed || m.done {
+			continue
+		}
+		for _, name := range m.job.StageNames() {
+			st := m.stages[name]
+			for i := range st.status {
+				if st.status[i] == tRunning && st.executor[i] == e {
+					c.TaskFailed(TaskRef{Job: jobID, Stage: name, Index: i}, st.attempt[i], FailCrash)
+					return
+				}
+			}
+		}
+	}
+}
+
+// restartJob implements the JobRestart baseline policy: abort everything
+// and start over from the first graphlet.
+func (c *Controller) restartJob(m *monitor) {
+	c.abortAll(m)
+	m.restarts++
+	for name, st := range m.stages {
+		tasks := m.job.Stage(name).Tasks
+		*st = stageState{
+			graphlet: st.graphlet,
+			status:   make([]taskStatus, tasks),
+			executor: make([]cluster.ExecutorID, tasks),
+			attempt:  st.attempt, // attempts keep increasing across restarts
+			retries:  make([]int, tasks),
+			started:  make([]bool, tasks),
+			reason:   make([]StartReason, tasks),
+		}
+		for i := range st.executor {
+			st.executor[i] = -1
+		}
+	}
+	// Drop queued items of this job and rebuild graphlet runs.
+	var q []reqItem
+	for _, it := range c.queue {
+		if it.job != m.job.ID {
+			q = append(q, it)
+		}
+	}
+	c.queue = q
+	m.gruns = c.buildGraphletRuns(m)
+	c.emit(ActJobRestarted{Job: m.job.ID})
+	c.enqueueReady(m)
+	c.schedule()
+}
+
+// abortAll aborts every running task of a job and releases its executors.
+func (c *Controller) abortAll(m *monitor) {
+	for _, name := range m.job.StageNames() {
+		st := m.stages[name]
+		for i := range st.status {
+			if st.status[i] == tRunning {
+				ref := TaskRef{Job: m.job.ID, Stage: name, Index: i}
+				c.emit(ActAbortTask{Task: ref, Executor: st.executor[i], Attempt: st.attempt[i]})
+				c.releaseRunning(m, ref)
+			}
+		}
+	}
+}
+
+// failJob abandons a job.
+func (c *Controller) failJob(m *monitor, reason string) {
+	c.abortAll(m)
+	m.failed = true
+	var q []reqItem
+	for _, it := range c.queue {
+		if it.job != m.job.ID {
+			q = append(q, it)
+		}
+	}
+	c.queue = q
+	c.emit(ActJobFailed{Job: m.job.ID, Reason: reason})
+	c.schedule()
+}

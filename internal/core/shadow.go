@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"swift/internal/cluster"
+	"swift/internal/dag"
+)
+
+// Shadow-controller support (Fig. 2: "the shadow controller mechanism is
+// enabled to avoid a single point of failure"). The controller is a
+// deterministic state machine, so replication is event sourcing: every
+// input event is appended to a log, and replaying the log into a fresh
+// controller reproduces the primary's exact state — including in-flight
+// task attempts — at which point the shadow can take over and its future
+// actions match what the failed primary would have emitted.
+//
+// ReplicatedController wraps a Controller with such a log. Snapshot-free
+// event sourcing keeps the mechanism simple; production deployments would
+// checkpoint the log periodically, which Compact approximates by dropping
+// events of completed jobs.
+
+// EventKind tags a logged controller input.
+type EventKind int
+
+// Logged event kinds.
+const (
+	EvSubmitJob EventKind = iota
+	EvTaskFinished
+	EvTaskFailed
+	EvTaskOutputLost
+	EvMachineFailed
+	EvMachineUnhealthy
+	EvExecutorRestarted
+)
+
+// Event is one logged controller input. Job carries the submitted DAG for
+// EvSubmitJob (the log owns it; callers must not mutate it afterwards).
+type Event struct {
+	Kind     EventKind
+	Job      *dag.Job
+	Task     TaskRef
+	Attempt  int
+	Failure  FailureKind
+	Machine  cluster.MachineID
+	Executor cluster.ExecutorID
+}
+
+// ReplicatedController is a Controller whose inputs are logged for shadow
+// replay.
+type ReplicatedController struct {
+	*Controller
+	log []Event
+}
+
+// NewReplicatedController builds a primary with an empty event log.
+func NewReplicatedController(cl *cluster.Cluster, opts Options) *ReplicatedController {
+	return &ReplicatedController{Controller: NewController(cl, opts)}
+}
+
+// Log returns the event log (read-only view).
+func (r *ReplicatedController) Log() []Event { return r.log }
+
+// SubmitJob logs and applies.
+func (r *ReplicatedController) SubmitJob(job *dag.Job) error {
+	if err := r.Controller.SubmitJob(job); err != nil {
+		return err
+	}
+	r.log = append(r.log, Event{Kind: EvSubmitJob, Job: job.Clone()})
+	return nil
+}
+
+// TaskFinished logs and applies.
+func (r *ReplicatedController) TaskFinished(ref TaskRef, attempt int) {
+	r.log = append(r.log, Event{Kind: EvTaskFinished, Task: ref, Attempt: attempt})
+	r.Controller.TaskFinished(ref, attempt)
+}
+
+// TaskFailed logs and applies.
+func (r *ReplicatedController) TaskFailed(ref TaskRef, attempt int, kind FailureKind) {
+	r.log = append(r.log, Event{Kind: EvTaskFailed, Task: ref, Attempt: attempt, Failure: kind})
+	r.Controller.TaskFailed(ref, attempt, kind)
+}
+
+// TaskOutputLost logs and applies.
+func (r *ReplicatedController) TaskOutputLost(ref TaskRef) {
+	r.log = append(r.log, Event{Kind: EvTaskOutputLost, Task: ref})
+	r.Controller.TaskOutputLost(ref)
+}
+
+// MachineFailed logs and applies.
+func (r *ReplicatedController) MachineFailed(id cluster.MachineID) {
+	r.log = append(r.log, Event{Kind: EvMachineFailed, Machine: id})
+	r.Controller.MachineFailed(id)
+}
+
+// MachineUnhealthy logs and applies.
+func (r *ReplicatedController) MachineUnhealthy(id cluster.MachineID) {
+	r.log = append(r.log, Event{Kind: EvMachineUnhealthy, Machine: id})
+	r.Controller.MachineUnhealthy(id)
+}
+
+// ExecutorRestarted logs and applies.
+func (r *ReplicatedController) ExecutorRestarted(e cluster.ExecutorID) {
+	r.log = append(r.log, Event{Kind: EvExecutorRestarted, Executor: e})
+	r.Controller.ExecutorRestarted(e)
+}
+
+// Compact drops log entries belonging to jobs that have since completed or
+// failed — the state they produced is terminal and a shadow does not need
+// to reconstruct it. Cluster-level events are always retained.
+func (r *ReplicatedController) Compact() {
+	keep := r.log[:0]
+	for _, ev := range r.log {
+		switch ev.Kind {
+		case EvSubmitJob:
+			if r.JobDone(ev.Job.ID) || r.JobFailed(ev.Job.ID) {
+				continue
+			}
+		case EvTaskFinished, EvTaskFailed, EvTaskOutputLost:
+			if r.JobDone(ev.Task.Job) || r.JobFailed(ev.Task.Job) {
+				continue
+			}
+		}
+		keep = append(keep, ev)
+	}
+	r.log = keep
+}
+
+// Failover replays the log into a fresh controller over a fresh cluster of
+// the same shape — the shadow taking over after the primary dies. The
+// replayed controller's Drain output is discarded (those actions already
+// happened under the primary); the caller resumes feeding live events and
+// interpreting new actions. It returns an error if replay diverges (an
+// event is rejected), which would indicate the log is corrupt.
+func Failover(log []Event, ccfg cluster.Config, opts Options) (*ReplicatedController, error) {
+	shadow := NewReplicatedController(cluster.New(ccfg), opts)
+	for i, ev := range log {
+		switch ev.Kind {
+		case EvSubmitJob:
+			if ev.Job == nil {
+				return nil, fmt.Errorf("core: shadow replay: event %d has no job", i)
+			}
+			if err := shadow.SubmitJob(ev.Job.Clone()); err != nil {
+				return nil, fmt.Errorf("core: shadow replay diverged at event %d: %w", i, err)
+			}
+		case EvTaskFinished:
+			shadow.Controller.TaskFinished(ev.Task, ev.Attempt)
+			shadow.log = append(shadow.log, ev)
+		case EvTaskFailed:
+			shadow.Controller.TaskFailed(ev.Task, ev.Attempt, ev.Failure)
+			shadow.log = append(shadow.log, ev)
+		case EvTaskOutputLost:
+			shadow.Controller.TaskOutputLost(ev.Task)
+			shadow.log = append(shadow.log, ev)
+		case EvMachineFailed:
+			shadow.Controller.MachineFailed(ev.Machine)
+			shadow.log = append(shadow.log, ev)
+		case EvMachineUnhealthy:
+			shadow.Controller.MachineUnhealthy(ev.Machine)
+			shadow.log = append(shadow.log, ev)
+		case EvExecutorRestarted:
+			shadow.Controller.ExecutorRestarted(ev.Executor)
+			shadow.log = append(shadow.log, ev)
+		default:
+			return nil, fmt.Errorf("core: shadow replay: unknown event kind %d", ev.Kind)
+		}
+		shadow.Controller.Drain() // actions already executed by the primary
+	}
+	return shadow, nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"swift/internal/cluster"
+)
+
+// shadowHarness drives a ReplicatedController the way the controller
+// harness drives a plain one.
+type shadowHarness struct {
+	t               *testing.T
+	r               *ReplicatedController
+	running         map[TaskRef]ActStartTask
+	runningSnapshot map[TaskRef]ActStartTask
+}
+
+func newShadowHarness(t *testing.T, ccfg cluster.Config, opts Options) *shadowHarness {
+	return &shadowHarness{
+		t:       t,
+		r:       NewReplicatedController(cluster.New(ccfg), opts),
+		running: make(map[TaskRef]ActStartTask),
+	}
+}
+
+func (h *shadowHarness) drain() []Action {
+	acts := h.r.Drain()
+	for _, a := range acts {
+		switch a := a.(type) {
+		case ActStartTask:
+			h.running[a.Task] = a
+		case ActAbortTask:
+			if cur, ok := h.running[a.Task]; ok && cur.Attempt == a.Attempt {
+				delete(h.running, a.Task)
+			}
+		}
+	}
+	return acts
+}
+
+func TestShadowFailoverReproducesState(t *testing.T) {
+	ccfg := cluster.Config{Machines: 3, ExecutorsPerMachine: 4}
+	h := newShadowHarness(t, ccfg, DefaultOptions())
+	if err := h.r.SubmitJob(barrierJob("j1", 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.r.SubmitJob(pipelineJob("j2", 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	h.drain()
+	// Drive part-way: finish j1's A stage, fail one j2 task.
+	h.r.TaskFinished(ref("j1", "A", 0), h.running[ref("j1", "A", 0)].Attempt)
+	h.drain()
+	h.r.TaskFailed(ref("j2", "A", 0), h.running[ref("j2", "A", 0)].Attempt, FailCrash)
+	h.drain()
+	h.r.TaskFinished(ref("j1", "A", 1), h.running[ref("j1", "A", 1)].Attempt)
+	h.drain()
+
+	// Primary "dies"; shadow replays the log.
+	shadow, err := Failover(h.r.Log(), ccfg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// State agreement on everything externally observable.
+	for _, job := range []string{"j1", "j2"} {
+		if shadow.JobDone(job) != h.r.JobDone(job) || shadow.JobFailed(job) != h.r.JobFailed(job) {
+			t.Errorf("%s: job state diverged", job)
+		}
+	}
+	for _, st := range []struct{ job, stage string }{{"j1", "A"}, {"j1", "B"}, {"j2", "A"}, {"j2", "B"}} {
+		if shadow.StageComplete(st.job, st.stage) != h.r.StageComplete(st.job, st.stage) {
+			t.Errorf("%s/%s: stage completion diverged", st.job, st.stage)
+		}
+	}
+	if got, want := shadow.Cluster().BusyExecutors(), h.r.Cluster().BusyExecutors(); got != want {
+		t.Errorf("busy executors: shadow %d, primary %d", got, want)
+	}
+	// Running attempts agree task by task.
+	for ref2 := range h.running {
+		pe, pa, pok := h.r.RunningTask(ref2)
+		se, sa, sok := shadow.RunningTask(ref2)
+		if pok != sok || pa != sa || pe != se {
+			t.Errorf("%s: running attempt diverged (%v,%d,%v vs %v,%d,%v)", ref2, pe, pa, pok, se, sa, sok)
+		}
+	}
+
+	// Futures agree: finishing the same tasks on both sides (in the same
+	// deterministic order) produces the same action streams.
+	primaryActs := fmtActions(driveToCompletion(t, h.r))
+	shadowActs := fmtActions(driveToCompletion(t, shadow))
+	if !reflect.DeepEqual(primaryActs, shadowActs) {
+		t.Errorf("action streams diverged:\nprimary: %v\nshadow:  %v", primaryActs, shadowActs)
+	}
+}
+
+// driveToCompletion finishes running tasks in deterministic order until no
+// task is running, collecting all emitted actions.
+func driveToCompletion(t *testing.T, r *ReplicatedController) []Action {
+	t.Helper()
+	var out []Action
+	running := map[TaskRef]int{}
+	collect := func(acts []Action) {
+		for _, a := range acts {
+			out = append(out, a)
+			switch a := a.(type) {
+			case ActStartTask:
+				running[a.Task] = a.Attempt
+			case ActAbortTask:
+				if running[a.Task] == a.Attempt {
+					delete(running, a.Task)
+				}
+			}
+		}
+	}
+	// Seed from current state: finish whatever RunningTask reports for
+	// known refs is not enumerable, so tests must have drained into the
+	// harness already; here we reconstruct by probing all task refs of
+	// all logged jobs.
+	for _, ev := range r.Log() {
+		if ev.Kind != EvSubmitJob {
+			continue
+		}
+		for _, s := range ev.Job.Stages() {
+			for i := 0; i < s.Tasks; i++ {
+				tr := TaskRef{Job: ev.Job.ID, Stage: s.Name, Index: i}
+				if _, attempt, ok := r.RunningTask(tr); ok {
+					running[tr] = attempt
+				}
+			}
+		}
+	}
+	for len(running) > 0 {
+		// Deterministic order: smallest ref first.
+		var pick *TaskRef
+		for tr := range running {
+			if pick == nil || less(tr, *pick) {
+				c := tr
+				pick = &c
+			}
+		}
+		attempt := running[*pick]
+		delete(running, *pick)
+		r.TaskFinished(*pick, attempt)
+		collect(r.Drain())
+	}
+	return out
+}
+
+func less(a, b TaskRef) bool {
+	if a.Job != b.Job {
+		return a.Job < b.Job
+	}
+	if a.Stage != b.Stage {
+		return a.Stage < b.Stage
+	}
+	return a.Index < b.Index
+}
+
+func fmtActions(acts []Action) []string {
+	var out []string
+	for _, a := range acts {
+		switch a := a.(type) {
+		case ActStartTask:
+			out = append(out, "start "+a.Task.String())
+		case ActJobCompleted:
+			out = append(out, "done "+a.Job)
+		case ActJobFailed:
+			out = append(out, "failed "+a.Job)
+		case ActResend:
+			out = append(out, "resend "+a.To.String())
+		}
+	}
+	return out
+}
+
+func TestShadowCompact(t *testing.T) {
+	ccfg := cluster.Config{Machines: 2, ExecutorsPerMachine: 4}
+	h := newShadowHarness(t, ccfg, DefaultOptions())
+	if err := h.r.SubmitJob(pipelineJob("done-job", 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.r.SubmitJob(pipelineJob("live-job", 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	h.drain()
+	// Complete the first job only.
+	h.r.TaskFinished(ref("done-job", "A", 0), h.running[ref("done-job", "A", 0)].Attempt)
+	h.drain()
+	h.r.TaskFinished(ref("done-job", "B", 0), h.running[ref("done-job", "B", 0)].Attempt)
+	h.drain()
+	before := len(h.r.Log())
+	h.r.Compact()
+	after := len(h.r.Log())
+	if after >= before {
+		t.Errorf("compact did not shrink log: %d -> %d", before, after)
+	}
+	// Failover from the compacted log still reproduces the live job.
+	shadow, err := Failover(h.r.Log(), ccfg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shadow.JobDone("live-job") || shadow.JobFailed("live-job") {
+		t.Error("live job state wrong after compacted replay")
+	}
+	if _, _, ok := shadow.RunningTask(ref("live-job", "A", 0)); !ok {
+		t.Error("live job tasks not running after compacted replay")
+	}
+}
+
+func TestFailoverRejectsCorruptLog(t *testing.T) {
+	bad := []Event{{Kind: EvSubmitJob, Job: nil}}
+	if _, err := Failover(bad, cluster.Config{Machines: 1, ExecutorsPerMachine: 1}, DefaultOptions()); err == nil {
+		t.Error("nil-job event accepted")
+	}
+	bad2 := []Event{{Kind: EventKind(99)}}
+	if _, err := Failover(bad2, cluster.Config{Machines: 1, ExecutorsPerMachine: 1}, DefaultOptions()); err == nil {
+		t.Error("unknown event kind accepted")
+	}
+}

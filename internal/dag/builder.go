@@ -1,0 +1,71 @@
+package dag
+
+// Builder accumulates stages and edges and defers error handling until
+// Build, which makes hand-written DAG construction (tests, tpch, examples)
+// read linearly. The first error encountered is retained and returned.
+type Builder struct {
+	job *Job
+	err error
+}
+
+// NewBuilder starts a builder for a job with the given identifier.
+func NewBuilder(id string) *Builder {
+	return &Builder{job: NewJob(id)}
+}
+
+// Stage adds a stage with the given name, parallelism and operators.
+// Stages added this way default to idempotent (Section IV-B1 notes both
+// kinds exist in production; non-idempotent stages use StageOpt).
+func (b *Builder) Stage(name string, tasks int, ops ...Operator) *Builder {
+	return b.StageOpt(&Stage{Name: name, Tasks: tasks, Operators: ops, Idempotent: true})
+}
+
+// StageOpt adds a fully specified stage.
+func (b *Builder) StageOpt(s *Stage) *Builder {
+	if b.err == nil {
+		b.err = b.job.AddStage(s)
+	}
+	return b
+}
+
+// Pipeline adds a pipeline edge carrying the given shuffle volume.
+func (b *Builder) Pipeline(from, to string, bytes int64) *Builder {
+	return b.edge(&Edge{From: from, To: to, Op: OpShuffleRead, Mode: Pipeline, Bytes: bytes})
+}
+
+// Barrier adds a barrier edge carrying the given shuffle volume.
+func (b *Builder) Barrier(from, to string, bytes int64) *Builder {
+	return b.edge(&Edge{From: from, To: to, Op: OpShuffleRead, Mode: Barrier, Bytes: bytes})
+}
+
+// Edge adds an edge whose mode is derived from the consuming operator.
+func (b *Builder) Edge(from, to string, op OperatorKind, bytes int64) *Builder {
+	return b.edge(&Edge{From: from, To: to, Op: op, Bytes: bytes})
+}
+
+func (b *Builder) edge(e *Edge) *Builder {
+	if b.err == nil {
+		b.err = b.job.AddEdge(e)
+	}
+	return b
+}
+
+// Build validates and returns the job, or the first accumulated error.
+func (b *Builder) Build() (*Job, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.job.Validate(); err != nil {
+		return nil, err
+	}
+	return b.job, nil
+}
+
+// MustBuild is Build for static DAGs known to be valid; it panics on error.
+func (b *Builder) MustBuild() *Job {
+	j, err := b.Build()
+	if err != nil {
+		panic("dag: " + err.Error())
+	}
+	return j
+}

@@ -1,0 +1,263 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddStageValidation(t *testing.T) {
+	j := NewJob("j")
+	if err := j.AddStage(&Stage{Name: "", Tasks: 1}); err == nil {
+		t.Error("empty stage name accepted")
+	}
+	if err := j.AddStage(&Stage{Name: "a", Tasks: 0}); err == nil {
+		t.Error("zero task count accepted")
+	}
+	if err := j.AddStage(&Stage{Name: "a", Tasks: -3}); err == nil {
+		t.Error("negative task count accepted")
+	}
+	if err := j.AddStage(&Stage{Name: "a", Tasks: 2}); err != nil {
+		t.Fatalf("valid stage rejected: %v", err)
+	}
+	if err := j.AddStage(&Stage{Name: "a", Tasks: 2}); err == nil {
+		t.Error("duplicate stage accepted")
+	}
+	if err := j.AddStage(nil); err == nil {
+		t.Error("nil stage accepted")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	j := NewJob("j")
+	mustStage(t, j, "a", 1)
+	mustStage(t, j, "b", 1)
+	if err := j.AddEdge(&Edge{From: "a", To: "a"}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := j.AddEdge(&Edge{From: "x", To: "b"}); err == nil {
+		t.Error("unknown producer accepted")
+	}
+	if err := j.AddEdge(&Edge{From: "a", To: "x"}); err == nil {
+		t.Error("unknown consumer accepted")
+	}
+	if err := j.AddEdge(nil); err == nil {
+		t.Error("nil edge accepted")
+	}
+	if err := j.AddEdge(&Edge{From: "a", To: "b"}); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := j.AddEdge(&Edge{From: "a", To: "b"}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestEdgeModeFromOperator(t *testing.T) {
+	j := NewJob("j")
+	mustStage(t, j, "a", 1)
+	mustStage(t, j, "b", 1)
+	mustStage(t, j, "c", 1)
+	if err := j.AddEdge(&Edge{From: "a", To: "b", Op: OpMergeJoin}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AddEdge(&Edge{From: "a", To: "c", Op: OpShuffleRead}); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Out("a")[0].Mode; got != Barrier {
+		t.Errorf("MergeJoin edge mode = %v, want Barrier", got)
+	}
+	if got := j.Out("a")[1].Mode; got != Pipeline {
+		t.Errorf("ShuffleRead edge mode = %v, want Pipeline", got)
+	}
+}
+
+func TestClassifyProducerGlobalSort(t *testing.T) {
+	// Fig. 4 rule: a stage containing MergeSort makes its outgoing edges
+	// barriers, while its incoming edges stay pipeline.
+	j := NewJob("j")
+	mustStage(t, j, "m1", 4)
+	if err := j.AddStage(&Stage{Name: "j4", Tasks: 2, Operators: []Operator{Op(OpShuffleRead), Op(OpMergeSort), Op(OpShuffleWrite)}}); err != nil {
+		t.Fatal(err)
+	}
+	mustStage(t, j, "j6", 2)
+	if err := j.AddEdge(&Edge{From: "m1", To: "j4", Op: OpShuffleRead}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AddEdge(&Edge{From: "j4", To: "j6", Op: OpShuffleRead}); err != nil {
+		t.Fatal(err)
+	}
+	j.Classify()
+	if got := j.Out("m1")[0].Mode; got != Pipeline {
+		t.Errorf("m1->j4 mode = %v, want Pipeline", got)
+	}
+	if got := j.Out("j4")[0].Mode; got != Barrier {
+		t.Errorf("j4->j6 mode = %v, want Barrier", got)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	j := NewBuilder("t").
+		Stage("c", 1).Stage("a", 1).Stage("b", 1).
+		Pipeline("a", "b", 0).Pipeline("b", "c", 0).
+		MustBuild()
+	order, err := j.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("topo order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	j := NewJob("cyc")
+	mustStage(t, j, "a", 1)
+	mustStage(t, j, "b", 1)
+	if err := j.AddEdge(&Edge{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AddEdge(&Edge{From: "b", To: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.TopoOrder(); err == nil {
+		t.Error("cycle not detected")
+	}
+	if err := j.Validate(); err == nil {
+		t.Error("Validate accepted a cyclic job")
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	if err := NewJob("e").Validate(); err == nil {
+		t.Error("empty job validated")
+	}
+}
+
+func TestRootsAndSinks(t *testing.T) {
+	j := NewBuilder("rs").
+		Stage("a", 1).Stage("b", 1).Stage("c", 1).Stage("d", 1).
+		Pipeline("a", "c", 0).Pipeline("b", "c", 0).Pipeline("c", "d", 0).
+		MustBuild()
+	if got := j.Roots(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("roots = %v", got)
+	}
+	if got := j.Sinks(); len(got) != 1 || got[0] != "d" {
+		t.Errorf("sinks = %v", got)
+	}
+}
+
+func TestShuffleEdgeSizeAndBytes(t *testing.T) {
+	j := NewBuilder("sz").
+		Stage("m", 250, Op(OpTableScan)).
+		Stage("r", 400, Op(OpShuffleRead)).
+		Pipeline("m", "r", 5000).
+		MustBuild()
+	e := j.Edges()[0]
+	if got := j.ShuffleEdgeSize(e); got != 100000 {
+		t.Errorf("shuffle edge size = %d, want 100000", got)
+	}
+	if got := j.TotalShuffleBytes(); got != 5000 {
+		t.Errorf("total shuffle bytes = %d, want 5000", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	j := NewBuilder("cl").
+		Stage("a", 1, Op(OpTableScan)).Stage("b", 2).
+		Barrier("a", "b", 10).
+		MustBuild()
+	c := j.Clone()
+	c.Stage("a").Tasks = 99
+	c.Edges()[0].Bytes = 42
+	c.Stage("a").Operators[0].Kind = OpFilter
+	if j.Stage("a").Tasks != 1 {
+		t.Error("clone shares stage structs")
+	}
+	if j.Edges()[0].Bytes != 10 {
+		t.Error("clone shares edge structs")
+	}
+	if j.Stage("a").Operators[0].Kind != OpTableScan {
+		t.Error("clone shares operator slices")
+	}
+	if c.NumStages() != j.NumStages() || c.NumTasks() == j.NumTasks() {
+		t.Error("clone structure wrong")
+	}
+}
+
+func TestParentsChildren(t *testing.T) {
+	j := NewBuilder("pc").
+		Stage("a", 1).Stage("b", 1).Stage("c", 1).
+		Pipeline("a", "b", 0).Pipeline("a", "c", 0).Pipeline("b", "c", 0).
+		MustBuild()
+	if got := j.Children("a"); len(got) != 2 {
+		t.Errorf("children(a) = %v", got)
+	}
+	if got := j.Parents("c"); len(got) != 2 {
+		t.Errorf("parents(c) = %v", got)
+	}
+	if got := j.Parents("a"); len(got) != 0 {
+		t.Errorf("parents(a) = %v", got)
+	}
+}
+
+func TestGlobalSortOperators(t *testing.T) {
+	want := map[OperatorKind]bool{
+		OpStreamedAggregate: true, OpMergeJoin: true, OpWindow: true,
+		OpSortBy: true, OpMergeSort: true,
+		OpTableScan: false, OpShuffleRead: false, OpHashJoin: false,
+		OpFilter: false, OpHashAggregate: false, OpLimit: false,
+	}
+	for k, w := range want {
+		if k.GlobalSort() != w {
+			t.Errorf("%v.GlobalSort() = %v, want %v", k, !w, w)
+		}
+	}
+}
+
+func TestOperatorStrings(t *testing.T) {
+	if OpMergeSort.String() != "MergeSort" {
+		t.Errorf("OpMergeSort.String() = %q", OpMergeSort.String())
+	}
+	if OperatorKind(999).String() != "Invalid" {
+		t.Errorf("invalid kind string = %q", OperatorKind(999).String())
+	}
+}
+
+func TestJobString(t *testing.T) {
+	j := NewBuilder("str").
+		Stage("a", 1, Op(OpTableScan)).Stage("b", 1).
+		Barrier("a", "b", 7).
+		MustBuild()
+	s := j.String()
+	for _, want := range []string{"job str", "a x1", "TableScan", "a -> b", "barrier", "7 bytes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestBuilderErrorPropagation(t *testing.T) {
+	_, err := NewBuilder("bad").Stage("a", 1).Pipeline("a", "missing", 0).Build()
+	if err == nil {
+		t.Error("builder swallowed edge error")
+	}
+	_, err = NewBuilder("bad2").Stage("a", 0).Build()
+	if err == nil {
+		t.Error("builder swallowed stage error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on invalid job")
+		}
+	}()
+	NewBuilder("bad3").MustBuild()
+}
+
+func mustStage(t *testing.T, j *Job, name string, tasks int) {
+	t.Helper()
+	if err := j.AddStage(&Stage{Name: name, Tasks: tasks}); err != nil {
+		t.Fatal(err)
+	}
+}

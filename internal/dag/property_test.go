@@ -1,0 +1,118 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomJob builds a random DAG with edges always pointing from lower to
+// higher stage index, guaranteeing acyclicity by construction.
+func randomJob(r *rand.Rand) *Job {
+	n := 1 + r.Intn(12)
+	j := NewJob("rand")
+	for i := 0; i < n; i++ {
+		stage := &Stage{Name: fmt.Sprintf("s%d", i), Tasks: 1 + r.Intn(50), Idempotent: true}
+		if r.Intn(4) == 0 {
+			stage.Operators = append(stage.Operators, Op(OpMergeSort))
+		}
+		if err := j.AddStage(stage); err != nil {
+			panic(err)
+		}
+	}
+	for to := 1; to < n; to++ {
+		for from := 0; from < to; from++ {
+			if r.Intn(3) != 0 {
+				continue
+			}
+			mode := Pipeline
+			if r.Intn(3) == 0 {
+				mode = Barrier
+			}
+			e := &Edge{From: fmt.Sprintf("s%d", from), To: fmt.Sprintf("s%d", to),
+				Op: OpShuffleRead, Mode: mode, Bytes: r.Int63n(1 << 30)}
+			if err := j.AddEdge(e); err != nil {
+				panic(err)
+			}
+		}
+	}
+	j.Classify()
+	return j
+}
+
+// TestTopoOrderProperty checks, over random DAGs, that TopoOrder returns a
+// permutation of the stages in which every edge points forward.
+func TestTopoOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		j := randomJob(rand.New(rand.NewSource(seed)))
+		order, err := j.TopoOrder()
+		if err != nil {
+			return false
+		}
+		if len(order) != j.NumStages() {
+			return false
+		}
+		pos := make(map[string]int, len(order))
+		for i, s := range order {
+			if _, dup := pos[s]; dup {
+				return false
+			}
+			pos[s] = i
+		}
+		for _, e := range j.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCloneProperty checks that a clone is structurally identical but
+// storage-independent for random DAGs.
+func TestCloneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		j := randomJob(rand.New(rand.NewSource(seed)))
+		c := j.Clone()
+		if c.NumStages() != j.NumStages() || len(c.Edges()) != len(j.Edges()) {
+			return false
+		}
+		if c.String() != j.String() {
+			return false
+		}
+		for _, s := range c.Stages() {
+			s.Tasks++
+		}
+		return c.NumTasks() == j.NumTasks()+j.NumStages()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClassifyProperty checks the classification invariant on random DAGs:
+// after Classify, every out-edge of a global-sort stage is a barrier, and no
+// edge whose producer lacks global sort and whose op is streamable got
+// promoted from an explicit Pipeline to Barrier spuriously... (explicit
+// barriers set by the builder are preserved).
+func TestClassifyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		j := randomJob(rand.New(rand.NewSource(seed)))
+		for _, e := range j.Edges() {
+			if j.Stage(e.From).HasGlobalSort() && e.Mode != Barrier {
+				return false
+			}
+			if e.Op.GlobalSort() && e.Mode != Barrier {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package engine is Swift's real execution runtime: it runs DAG jobs on
+// actual rows, with executors as goroutines, in-memory Cache Workers
+// backing the Local/Remote shuffle paths, per-task channels backing Direct
+// Shuffle, and the same controller (package core) that drives the
+// simulator making every scheduling and recovery decision. It is the
+// engine behind the runnable examples and the swiftsim tool's --engine
+// mode; the discrete-event simulator (package simrun) remains the
+// substrate for paper-scale experiments.
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is one field of a row. The engine operates on untyped values the
+// way a columnar runtime would on decoded cells; comparisons follow Compare.
+type Value interface{}
+
+// Row is one record.
+type Row []Value
+
+// Clone copies the row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// Schema names the columns of a row stream.
+type Schema []string
+
+// Col returns the index of a named column, or -1.
+func (s Schema) Col(name string) int {
+	for i, c := range s {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustCol is Col but panics on unknown names (plan-construction time).
+func (s Schema) MustCol(name string) int {
+	i := s.Col(name)
+	if i < 0 {
+		panic(fmt.Sprintf("engine: unknown column %q in %v", name, s))
+	}
+	return i
+}
+
+// Compare orders two values: numerics numerically (int64/float64), strings
+// lexicographically, booleans false<true. Mixed numeric kinds compare as
+// float64. It panics on incomparable kinds — a plan bug, not runtime data.
+func Compare(a, b Value) int {
+	switch av := a.(type) {
+	case int64:
+		switch bv := b.(type) {
+		case int64:
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			}
+			return 0
+		case float64:
+			return cmpFloat(float64(av), bv)
+		}
+	case float64:
+		switch bv := b.(type) {
+		case float64:
+			return cmpFloat(av, bv)
+		case int64:
+			return cmpFloat(av, float64(bv))
+		}
+	case string:
+		if bv, ok := b.(string); ok {
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			}
+			return 0
+		}
+	case bool:
+		if bv, ok := b.(bool); ok {
+			switch {
+			case !av && bv:
+				return -1
+			case av && !bv:
+				return 1
+			}
+			return 0
+		}
+	}
+	panic(fmt.Sprintf("engine: incomparable values %T and %T", a, b))
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// CompareRows orders rows by the given key columns.
+func CompareRows(a, b Row, keys []int) int {
+	for _, k := range keys {
+		if c := Compare(a[k], b[k]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// SortRows sorts rows in place by the key columns (stable).
+func SortRows(rows []Row, keys []int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return CompareRows(rows[i], rows[j], keys) < 0
+	})
+}
+
+// Hash computes a partition-stable hash of the key columns.
+func Hash(r Row, keys []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(bs []byte) {
+		for _, b := range bs {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	for _, k := range keys {
+		switch v := r[k].(type) {
+		case int64:
+			var buf [8]byte
+			u := uint64(v)
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(u >> (8 * i))
+			}
+			mix(buf[:])
+		case float64:
+			mix([]byte(fmt.Sprintf("%g", v)))
+		case string:
+			mix([]byte(v))
+		case bool:
+			if v {
+				mix([]byte{1})
+			} else {
+				mix([]byte{0})
+			}
+		default:
+			mix([]byte(fmt.Sprintf("%v", v)))
+		}
+		h ^= prime64 // column separator
+	}
+	return h
+}
+
+// Table is a named, partitioned dataset registered with the engine;
+// partition i feeds scan task i.
+type Table struct {
+	Name       string
+	Schema     Schema
+	Partitions [][]Row
+}
+
+// NewTable partitions rows round-robin into parts partitions.
+func NewTable(name string, schema Schema, rows []Row, parts int) *Table {
+	if parts < 1 {
+		parts = 1
+	}
+	t := &Table{Name: name, Schema: schema, Partitions: make([][]Row, parts)}
+	for i, r := range rows {
+		p := i % parts
+		t.Partitions[p] = append(t.Partitions[p], r)
+	}
+	return t
+}
+
+// NumRows counts all rows.
+func (t *Table) NumRows() int {
+	n := 0
+	for _, p := range t.Partitions {
+		n += len(p)
+	}
+	return n
+}

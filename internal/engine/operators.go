@@ -1,0 +1,413 @@
+package engine
+
+import "sort"
+
+// Iter is the engine's row stream: Next returns the next row and whether
+// one was produced. Operators compose Iters the volcano way.
+type Iter interface {
+	Next() (Row, bool)
+}
+
+// SliceIter iterates a row slice.
+type SliceIter struct {
+	rows []Row
+	i    int
+}
+
+// NewSliceIter wraps rows.
+func NewSliceIter(rows []Row) *SliceIter { return &SliceIter{rows: rows} }
+
+// Next implements Iter.
+func (s *SliceIter) Next() (Row, bool) {
+	if s.i >= len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, true
+}
+
+// Drain collects an iterator into a slice.
+func Drain(it Iter) []Row {
+	var out []Row
+	for {
+		r, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// Filter yields rows satisfying pred.
+type Filter struct {
+	In   Iter
+	Pred func(Row) bool
+}
+
+// Next implements Iter.
+func (f *Filter) Next() (Row, bool) {
+	for {
+		r, ok := f.In.Next()
+		if !ok {
+			return nil, false
+		}
+		if f.Pred(r) {
+			return r, true
+		}
+	}
+}
+
+// Project maps each row through Fn.
+type Project struct {
+	In Iter
+	Fn func(Row) Row
+}
+
+// Next implements Iter.
+func (p *Project) Next() (Row, bool) {
+	r, ok := p.In.Next()
+	if !ok {
+		return nil, false
+	}
+	return p.Fn(r), true
+}
+
+// Limit yields at most N rows.
+type Limit struct {
+	In Iter
+	N  int
+}
+
+// Next implements Iter.
+func (l *Limit) Next() (Row, bool) {
+	if l.N <= 0 {
+		return nil, false
+	}
+	r, ok := l.In.Next()
+	if !ok {
+		return nil, false
+	}
+	l.N--
+	return r, true
+}
+
+// HashJoin joins a build side (fully materialised) against a probe stream
+// on equal keys, emitting probe-row ++ build-row concatenations (inner
+// join).
+type HashJoin struct {
+	probe     Iter
+	probeKeys []int
+	table     map[uint64][]Row
+	buildKeys []int
+	// pending are matches of the current probe row not yet emitted.
+	pending []Row
+	current Row
+}
+
+// NewHashJoin builds the hash table from build rows.
+func NewHashJoin(build []Row, buildKeys []int, probe Iter, probeKeys []int) *HashJoin {
+	t := make(map[uint64][]Row)
+	for _, r := range build {
+		h := Hash(r, buildKeys)
+		t[h] = append(t[h], r)
+	}
+	return &HashJoin{probe: probe, probeKeys: probeKeys, table: t, buildKeys: buildKeys}
+}
+
+// Next implements Iter.
+func (j *HashJoin) Next() (Row, bool) {
+	for {
+		for len(j.pending) > 0 {
+			b := j.pending[0]
+			j.pending = j.pending[1:]
+			if keysEqual(j.current, j.probeKeys, b, j.buildKeys) {
+				out := make(Row, 0, len(j.current)+len(b))
+				out = append(out, j.current...)
+				out = append(out, b...)
+				return out, true
+			}
+		}
+		r, ok := j.probe.Next()
+		if !ok {
+			return nil, false
+		}
+		j.current = r
+		j.pending = append([]Row(nil), j.table[Hash(r, j.probeKeys)]...)
+	}
+}
+
+func keysEqual(a Row, ak []int, b Row, bk []int) bool {
+	for i := range ak {
+		if Compare(a[ak[i]], b[bk[i]]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeJoin joins two key-sorted inputs on equal keys (inner join),
+// emitting left ++ right. Both inputs must be sorted ascending by their
+// key columns.
+type MergeJoin struct {
+	left, right         []Row
+	leftKeys, rightKeys []int
+	li, ri              int
+	pendLeft, pendRight []Row
+	pi, pj              int
+}
+
+// NewMergeJoin creates a merge join over sorted inputs.
+func NewMergeJoin(left []Row, leftKeys []int, right []Row, rightKeys []int) *MergeJoin {
+	return &MergeJoin{left: left, right: right, leftKeys: leftKeys, rightKeys: rightKeys}
+}
+
+// Next implements Iter.
+func (m *MergeJoin) Next() (Row, bool) {
+	for {
+		if m.pi < len(m.pendLeft) {
+			l := m.pendLeft[m.pi]
+			r := m.pendRight[m.pj]
+			m.pj++
+			if m.pj >= len(m.pendRight) {
+				m.pj = 0
+				m.pi++
+			}
+			out := make(Row, 0, len(l)+len(r))
+			out = append(out, l...)
+			out = append(out, r...)
+			return out, true
+		}
+		if m.li >= len(m.left) || m.ri >= len(m.right) {
+			return nil, false
+		}
+		c := compareKeys(m.left[m.li], m.leftKeys, m.right[m.ri], m.rightKeys)
+		switch {
+		case c < 0:
+			m.li++
+		case c > 0:
+			m.ri++
+		default:
+			// Gather the equal-key groups on both sides.
+			ls, rs := m.li, m.ri
+			for m.li < len(m.left) && compareKeys(m.left[m.li], m.leftKeys, m.right[rs], m.rightKeys) == 0 {
+				m.li++
+			}
+			for m.ri < len(m.right) && compareKeys(m.left[ls], m.leftKeys, m.right[m.ri], m.rightKeys) == 0 {
+				m.ri++
+			}
+			m.pendLeft = m.left[ls:m.li]
+			m.pendRight = m.right[rs:m.ri]
+			m.pi, m.pj = 0, 0
+		}
+	}
+}
+
+func compareKeys(a Row, ak []int, b Row, bk []int) int {
+	for i := range ak {
+		if c := Compare(a[ak[i]], b[bk[i]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Agg is one aggregate specification for HashAggregate: it folds input
+// rows' Col into an accumulator.
+type Agg struct {
+	Kind AggKind
+	Col  int
+}
+
+// AggKind enumerates supported aggregates.
+type AggKind int
+
+// Supported aggregate kinds.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggMin
+	AggMax
+)
+
+// HashAggregate groups rows by key columns and computes the aggregates,
+// emitting key values followed by aggregate values. Output order is
+// deterministic (sorted by key).
+func HashAggregate(rows []Row, keys []int, aggs []Agg) []Row {
+	type group struct {
+		key  Row
+		accs []Value
+	}
+	groups := make(map[uint64][]*group)
+	find := func(r Row) *group {
+		h := Hash(r, keys)
+		for _, g := range groups[h] {
+			if keysEqual(g.key, identity(len(keys)), r, keys) {
+				return g
+			}
+		}
+		key := make(Row, len(keys))
+		for i, k := range keys {
+			key[i] = r[k]
+		}
+		g := &group{key: key, accs: make([]Value, len(aggs))}
+		groups[h] = append(groups[h], g)
+		return g
+	}
+	for _, r := range rows {
+		g := find(r)
+		for i, a := range aggs {
+			g.accs[i] = fold(a.Kind, g.accs[i], r[a.Col])
+		}
+	}
+	var out []Row
+	for _, gs := range groups {
+		for _, g := range gs {
+			row := make(Row, 0, len(g.key)+len(g.accs))
+			row = append(row, g.key...)
+			for i, a := range g.accs {
+				if a == nil && aggs[i].Kind == AggCount {
+					a = int64(0)
+				}
+				row = append(row, a)
+			}
+			out = append(out, row)
+		}
+	}
+	SortRows(out, identity(len(keys)))
+	return out
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func fold(kind AggKind, acc Value, v Value) Value {
+	switch kind {
+	case AggCount:
+		if acc == nil {
+			return int64(1)
+		}
+		return acc.(int64) + 1
+	case AggSum:
+		if acc == nil {
+			return toFloatOrInt(v)
+		}
+		return addValues(acc, v)
+	case AggMin:
+		if acc == nil || Compare(v, acc) < 0 {
+			return v
+		}
+		return acc
+	case AggMax:
+		if acc == nil || Compare(v, acc) > 0 {
+			return v
+		}
+		return acc
+	}
+	return acc
+}
+
+func toFloatOrInt(v Value) Value { return v }
+
+func addValues(a, b Value) Value {
+	switch av := a.(type) {
+	case int64:
+		switch bv := b.(type) {
+		case int64:
+			return av + bv
+		case float64:
+			return float64(av) + bv
+		}
+	case float64:
+		switch bv := b.(type) {
+		case int64:
+			return av + float64(bv)
+		case float64:
+			return av + bv
+		}
+	}
+	panic("engine: sum over non-numeric values")
+}
+
+// StreamedAggregate aggregates key-sorted input in one pass (the paper's
+// sort-aggregate operator): rows must arrive sorted by the key columns.
+func StreamedAggregate(in Iter, keys []int, aggs []Agg) []Row {
+	var out []Row
+	var curKey Row
+	var accs []Value
+	flush := func() {
+		if curKey == nil {
+			return
+		}
+		row := make(Row, 0, len(curKey)+len(accs))
+		row = append(row, curKey...)
+		for i, a := range accs {
+			if a == nil && aggs[i].Kind == AggCount {
+				a = int64(0)
+			}
+			row = append(row, a)
+		}
+		out = append(out, row)
+	}
+	for {
+		r, ok := in.Next()
+		if !ok {
+			break
+		}
+		key := make(Row, len(keys))
+		for i, k := range keys {
+			key[i] = r[k]
+		}
+		if curKey == nil || CompareRows(key, curKey, identity(len(keys))) != 0 {
+			flush()
+			curKey = key
+			accs = make([]Value, len(aggs))
+		}
+		for i, a := range aggs {
+			accs[i] = fold(a.Kind, accs[i], r[a.Col])
+		}
+	}
+	flush()
+	return out
+}
+
+// MergeSortedRuns k-way merges pre-sorted runs into one sorted slice (the
+// MergeSort operator of a reduce task over sorted map outputs).
+func MergeSortedRuns(runs [][]Row, keys []int) []Row {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]Row, 0, total)
+	idx := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if idx[i] >= len(r) {
+				continue
+			}
+			if best < 0 || CompareRows(r[idx[i]], runs[best][idx[best]], keys) < 0 {
+				best = i
+			}
+		}
+		out = append(out, runs[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// TopK keeps the k smallest rows under the key ordering (order by +
+// limit).
+func TopK(rows []Row, keys []int, k int) []Row {
+	cp := append([]Row(nil), rows...)
+	sort.SliceStable(cp, func(i, j int) bool { return CompareRows(cp[i], cp[j], keys) < 0 })
+	if k < len(cp) {
+		cp = cp[:k]
+	}
+	return cp
+}

@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intRow(vs ...int64) Row {
+	r := make(Row, len(vs))
+	for i, v := range vs {
+		r[i] = v
+	}
+	return r
+}
+
+func TestCompareValues(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{int64(1), int64(2), -1},
+		{int64(2), int64(2), 0},
+		{int64(3), int64(2), 1},
+		{1.5, 2.5, -1},
+		{int64(2), 1.5, 1},
+		{1.5, int64(2), -1},
+		{"a", "b", -1},
+		{"b", "b", 0},
+		{false, true, -1},
+		{true, true, 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("incomparable values did not panic")
+		}
+	}()
+	Compare("x", int64(1))
+}
+
+func TestSchemaCol(t *testing.T) {
+	s := Schema{"a", "b"}
+	if s.Col("b") != 1 || s.Col("z") != -1 {
+		t.Error("Col wrong")
+	}
+	if s.MustCol("a") != 0 {
+		t.Error("MustCol wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCol on unknown did not panic")
+		}
+	}()
+	s.MustCol("z")
+}
+
+func TestFilterProjectLimit(t *testing.T) {
+	rows := []Row{intRow(1), intRow(2), intRow(3), intRow(4)}
+	it := &Limit{N: 2, In: &Project{
+		Fn: func(r Row) Row { return Row{r[0].(int64) * 10} },
+		In: &Filter{Pred: func(r Row) bool { return r[0].(int64)%2 == 0 }, In: NewSliceIter(rows)},
+	}}
+	got := Drain(it)
+	if len(got) != 2 || got[0][0] != int64(20) || got[1][0] != int64(40) {
+		t.Errorf("got %v", got)
+	}
+	if r, ok := it.Next(); ok {
+		t.Errorf("limit exceeded: %v", r)
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	build := []Row{{int64(1), "a"}, {int64(2), "b"}, {int64(2), "c"}}
+	probe := []Row{{int64(2), "x"}, {int64(3), "y"}, {int64(1), "z"}}
+	j := NewHashJoin(build, []int{0}, NewSliceIter(probe), []int{0})
+	got := Drain(j)
+	if len(got) != 3 {
+		t.Fatalf("got %d rows: %v", len(got), got)
+	}
+	// Probe row (2,x) matches both (2,b) and (2,c).
+	seen := map[string]bool{}
+	for _, r := range got {
+		seen[r[1].(string)+r[3].(string)] = true
+	}
+	for _, want := range []string{"xb", "xc", "za"} {
+		if !seen[want] {
+			t.Errorf("missing join pair %s in %v", want, got)
+		}
+	}
+}
+
+func TestMergeJoin(t *testing.T) {
+	left := []Row{{int64(1), "l1"}, {int64(2), "l2"}, {int64(2), "l2b"}, {int64(4), "l4"}}
+	right := []Row{{int64(2), "r2"}, {int64(2), "r2b"}, {int64(3), "r3"}, {int64(4), "r4"}}
+	m := NewMergeJoin(left, []int{0}, right, []int{0})
+	got := Drain(m)
+	// key 2: 2x2 = 4 pairs; key 4: 1 pair.
+	if len(got) != 5 {
+		t.Fatalf("got %d rows: %v", len(got), got)
+	}
+	for _, r := range got {
+		if Compare(r[0], r[2]) != 0 {
+			t.Errorf("mismatched keys in %v", r)
+		}
+	}
+}
+
+// TestMergeJoinMatchesHashJoin cross-validates the two join algorithms on
+// random inputs.
+func TestMergeJoinMatchesHashJoin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gen := func(n int) []Row {
+			rows := make([]Row, n)
+			for i := range rows {
+				rows[i] = Row{int64(r.Intn(8)), int64(i)}
+			}
+			return rows
+		}
+		left, right := gen(r.Intn(30)), gen(r.Intn(30))
+		SortRows(left, []int{0})
+		SortRows(right, []int{0})
+		mj := Drain(NewMergeJoin(left, []int{0}, right, []int{0}))
+		hj := Drain(NewHashJoin(right, []int{0}, NewSliceIter(left), []int{0}))
+		if len(mj) != len(hj) {
+			return false
+		}
+		key := func(rs []Row) []string {
+			out := make([]string, len(rs))
+			for i, row := range rs {
+				out[i] = rowKey(row)
+			}
+			sort.Strings(out)
+			return out
+		}
+		return reflect.DeepEqual(key(mj), key(hj))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func rowKey(r Row) string {
+	s := ""
+	for _, v := range r {
+		switch x := v.(type) {
+		case int64:
+			s += "i" + string(rune('0'+x%10)) + "|"
+		default:
+			s += "v|"
+		}
+	}
+	return s
+}
+
+func TestHashAggregate(t *testing.T) {
+	rows := []Row{
+		{"a", int64(1)}, {"b", int64(2)}, {"a", int64(3)}, {"b", int64(4)}, {"a", int64(5)},
+	}
+	got := HashAggregate(rows, []int{0}, []Agg{{AggSum, 1}, {AggCount, 1}, {AggMin, 1}, {AggMax, 1}})
+	want := []Row{
+		{"a", int64(9), int64(3), int64(1), int64(5)},
+		{"b", int64(6), int64(2), int64(2), int64(4)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestStreamedAggregateMatchesHash(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(100)
+		rows := make([]Row, n)
+		for i := range rows {
+			rows[i] = Row{int64(r.Intn(6)), float64(r.Intn(10))}
+		}
+		hashed := HashAggregate(rows, []int{0}, []Agg{{AggSum, 1}, {AggCount, 1}})
+		sorted := append([]Row(nil), rows...)
+		SortRows(sorted, []int{0})
+		streamed := StreamedAggregate(NewSliceIter(sorted), []int{0}, []Agg{{AggSum, 1}, {AggCount, 1}})
+		return reflect.DeepEqual(hashed, streamed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSortedRuns(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var runs [][]Row
+		var all []Row
+		for i := 0; i < 1+r.Intn(5); i++ {
+			n := r.Intn(20)
+			run := make([]Row, n)
+			for j := range run {
+				run[j] = Row{int64(r.Intn(100))}
+			}
+			SortRows(run, []int{0})
+			runs = append(runs, run)
+			all = append(all, run...)
+		}
+		merged := MergeSortedRuns(runs, []int{0})
+		SortRows(all, []int{0})
+		if len(merged) != len(all) {
+			return false
+		}
+		for i := range merged {
+			if Compare(merged[i][0], all[i][0]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	rows := []Row{intRow(5), intRow(1), intRow(3), intRow(2)}
+	got := TopK(rows, []int{0}, 2)
+	if len(got) != 2 || got[0][0] != int64(1) || got[1][0] != int64(2) {
+		t.Errorf("got %v", got)
+	}
+	if got := TopK(rows, []int{0}, 10); len(got) != 4 {
+		t.Errorf("k>len: %v", got)
+	}
+	// Input not mutated.
+	if rows[0][0] != int64(5) {
+		t.Error("TopK mutated input")
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	a := Row{"key", int64(7), 1.5, true}
+	b := Row{"key", int64(7), 1.5, true}
+	if Hash(a, []int{0, 1, 2, 3}) != Hash(b, []int{0, 1, 2, 3}) {
+		t.Error("equal rows hash differently")
+	}
+	if Hash(a, []int{0}) == Hash(Row{"other"}, []int{0}) {
+		t.Error("suspicious collision") // not guaranteed, but this pair must differ
+	}
+}
+
+func TestNewTablePartitioning(t *testing.T) {
+	rows := make([]Row, 10)
+	for i := range rows {
+		rows[i] = intRow(int64(i))
+	}
+	tab := NewTable("t", Schema{"x"}, rows, 3)
+	if len(tab.Partitions) != 3 || tab.NumRows() != 10 {
+		t.Errorf("partitions=%d rows=%d", len(tab.Partitions), tab.NumRows())
+	}
+	tab2 := NewTable("t2", Schema{"x"}, rows, 0)
+	if len(tab2.Partitions) != 1 {
+		t.Error("zero parts should clamp to 1")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{int64(1), "a"}
+	c := r.Clone()
+	c[0] = int64(9)
+	if r[0] != int64(1) {
+		t.Error("clone shares storage")
+	}
+}

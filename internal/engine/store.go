@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"swift/internal/shuffle"
+)
+
+// Store is the engine's in-memory shuffle fabric: one Cache Worker per
+// machine holding real row payloads, with blocking reads so a consumer
+// task launched before its producer (gang scheduling within a graphlet)
+// simply waits for the segment to appear — the pipeline-edge behaviour of
+// Section III-B ("after the destination Cache Worker receives the desired
+// shuffle data, the reader tasks are notified").
+//
+// Segments are retained until the whole job completes rather than being
+// freed at first consumption, so fine-grained recovery can re-read them;
+// DropJob releases everything at job completion (the simulator's cost
+// model covers the memory-pressure/LRU behaviour via shuffle.CacheWorker,
+// which also backs this store).
+type Store struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers []*shuffle.CacheWorker // per machine
+	home    map[string]int         // segment key -> machine
+	rows    map[string][]Row       // segment payloads
+	jobKeys map[string][]string
+}
+
+// NewStore creates a store with one Cache Worker per machine; capacity is
+// the per-worker memory budget in bytes (0 = unbounded).
+func NewStore(machines int, capacity int64) *Store {
+	s := &Store{
+		home:    make(map[string]int),
+		rows:    make(map[string][]Row),
+		jobKeys: make(map[string][]string),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < machines; i++ {
+		s.workers = append(s.workers, shuffle.NewCacheWorker(capacity))
+	}
+	return s
+}
+
+// SegmentKey names one shuffle partition: the rows produced by task
+// `producer` of edge from->to destined for consumer task `part`.
+func SegmentKey(job, from, to string, producer, part int) string {
+	return fmt.Sprintf("%s|%s>%s|%d|%d", job, from, to, producer, part)
+}
+
+// Put stores a segment on the given machine's Cache Worker, replacing any
+// previous attempt's segment (failure recovery re-writes).
+func (s *Store) Put(job string, machine int, key string, rows []Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.home[key]; ok {
+		s.workers[old].Drop(key)
+	} else {
+		s.jobKeys[job] = append(s.jobKeys[job], key)
+	}
+	w := s.workers[machine%len(s.workers)]
+	payload := make([][]byte, 0) // sizes tracked; rows carried out of band
+	if _, err := w.Put(key, int64(len(rows)*16+1), payload, 1<<30); err != nil {
+		return err
+	}
+	s.home[key] = machine % len(s.workers)
+	// Rows ride in a side table keyed the same way; the Cache Worker
+	// tracks memory accounting and spill behaviour.
+	s.rows[key] = rows
+	s.cond.Broadcast()
+	return nil
+}
+
+// Get blocks until the segment exists (or abort closes), then returns its
+// rows. ok is false if the wait was aborted.
+func (s *Store) Get(key string, aborted func() bool) (rows []Row, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if r, exists := s.rows[key]; exists {
+			if m, ok2 := s.home[key]; ok2 {
+				s.workers[m].Get(key) // touch LRU / reload accounting
+			}
+			return r, true
+		}
+		if aborted != nil && aborted() {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// Wake re-checks all blocked readers (used by task aborts).
+func (s *Store) Wake() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// DropTaskOutput discards every segment a producer task wrote for an edge
+// (machine-failure recovery invalidates lost outputs).
+func (s *Store) DropTaskOutput(job, from, to string, producer, consumers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for part := 0; part < consumers; part++ {
+		key := SegmentKey(job, from, to, producer, part)
+		if m, ok := s.home[key]; ok {
+			s.workers[m].Drop(key)
+			delete(s.home, key)
+			delete(s.rows, key)
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// DropJob releases every segment of a job.
+func (s *Store) DropJob(job string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, key := range s.jobKeys[job] {
+		if m, ok := s.home[key]; ok {
+			s.workers[m].Drop(key)
+			delete(s.home, key)
+			delete(s.rows, key)
+		}
+	}
+	delete(s.jobKeys, job)
+}
+
+// Stats aggregates Cache Worker statistics across machines.
+func (s *Store) Stats() shuffle.CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out shuffle.CacheStats
+	for _, w := range s.workers {
+		st := w.Stats()
+		out.Puts += st.Puts
+		out.Gets += st.Gets
+		out.Misses += st.Misses
+		out.SpillEvents += st.SpillEvents
+		out.SpillBytes += st.SpillBytes
+		out.LoadBytes += st.LoadBytes
+		out.Freed += st.Freed
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"swift/internal/core"
+)
+
+// TaskContext is the API a StageFn uses to read its inputs, emit shuffle
+// output and deliver sink results. All methods are safe for the single
+// task goroutine that owns the context.
+type TaskContext struct {
+	engine  *Engine
+	js      *jobState
+	ref     core.TaskRef
+	attempt int
+	machine int
+	abort   chan struct{}
+	sink    []Row // buffered sink output, committed on completion
+}
+
+// Stage returns the stage name; Index the task index within the stage.
+func (c *TaskContext) Stage() string { return c.ref.Stage }
+
+// Index returns the task's index within its stage.
+func (c *TaskContext) Index() int { return c.ref.Index }
+
+// Tasks returns the stage's task count.
+func (c *TaskContext) Tasks() int { return c.js.job.Stage(c.ref.Stage).Tasks }
+
+// ConsumerTasks returns the task count of the consumer stage of an
+// out-edge, i.e. the partition fan-out.
+func (c *TaskContext) ConsumerTasks(to string) int {
+	return c.js.job.Stage(to).Tasks
+}
+
+// Aborted reports whether this attempt has been cancelled (recovery or
+// injected failure).
+func (c *TaskContext) Aborted() bool {
+	select {
+	case <-c.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// TablePartition returns this task's partition of a registered table
+// (scan stages).
+func (c *TaskContext) TablePartition(name string) ([]Row, error) {
+	c.engine.mu.Lock()
+	t := c.engine.tables[name]
+	c.engine.mu.Unlock()
+	if t == nil {
+		return nil, &AppError{Msg: fmt.Sprintf("table %q does not exist", name)}
+	}
+	if c.ref.Index >= len(t.Partitions) {
+		return nil, nil
+	}
+	return t.Partitions[c.ref.Index], nil
+}
+
+// Input blocks until every producer task of the in-edge from `from` has
+// written this task's partition, then returns the concatenated rows in
+// producer-task order. It returns ErrInjected if the attempt is aborted
+// while waiting.
+func (c *TaskContext) Input(from string) ([]Row, error) {
+	runs, err := c.InputRuns(from)
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for _, r := range runs {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// InputRuns is Input preserving per-producer runs (a MergeSort consumer
+// k-way merges pre-sorted runs).
+func (c *TaskContext) InputRuns(from string) ([][]Row, error) {
+	producers := c.js.job.Stage(from).Tasks
+	runs := make([][]Row, producers)
+	for p := 0; p < producers; p++ {
+		key := SegmentKey(c.js.job.ID, from, c.ref.Stage, p, c.ref.Index)
+		rows, ok := c.engine.store.Get(key, c.Aborted)
+		if !ok {
+			return nil, ErrInjected
+		}
+		runs[p] = rows
+	}
+	return runs, nil
+}
+
+// EmitPartitioned writes this task's output for the edge to `to`, one row
+// slice per consumer task, into the local machine's Cache Worker.
+func (c *TaskContext) EmitPartitioned(to string, parts [][]Row) error {
+	n := c.ConsumerTasks(to)
+	if len(parts) != n {
+		return fmt.Errorf("engine: %s->%s: %d partitions for %d consumers", c.ref.Stage, to, len(parts), n)
+	}
+	for i, rows := range parts {
+		key := SegmentKey(c.js.job.ID, c.ref.Stage, to, c.ref.Index, i)
+		if err := c.engine.store.Put(c.js.job.ID, c.machine, key, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EmitByKey hash-partitions rows by the key columns across the consumer
+// stage's tasks and writes them out.
+func (c *TaskContext) EmitByKey(to string, rows []Row, keys []int) error {
+	n := c.ConsumerTasks(to)
+	parts := make([][]Row, n)
+	for _, r := range rows {
+		p := int(Hash(r, keys) % uint64(n))
+		parts[p] = append(parts[p], r)
+	}
+	return c.EmitPartitioned(to, parts)
+}
+
+// EmitByRange range-partitions key-sorted rows into contiguous consumer
+// partitions by sampling bounds — the Terasort layout where reduce i
+// receives keys below reduce i+1's.
+func (c *TaskContext) EmitByRange(to string, rows []Row, keys []int, bounds []Row) error {
+	n := c.ConsumerTasks(to)
+	if len(bounds) != n-1 {
+		return fmt.Errorf("engine: need %d bounds, got %d", n-1, len(bounds))
+	}
+	parts := make([][]Row, n)
+	for _, r := range rows {
+		p := sort.Search(len(bounds), func(i int) bool {
+			return CompareRows(r, bounds[i], keys) < 0
+		})
+		parts[p] = append(parts[p], r)
+	}
+	return c.EmitPartitioned(to, parts)
+}
+
+// Broadcast replicates rows to every consumer task (small build sides).
+func (c *TaskContext) Broadcast(to string, rows []Row) error {
+	n := c.ConsumerTasks(to)
+	parts := make([][]Row, n)
+	for i := range parts {
+		parts[i] = rows
+	}
+	return c.EmitPartitioned(to, parts)
+}
+
+// Sink buffers rows for the job's final result set (terminal stages). The
+// buffer is committed atomically when the attempt completes, giving
+// exactly-once sink semantics under failure recovery.
+func (c *TaskContext) Sink(rows []Row) {
+	c.sink = append(c.sink, rows...)
+}

@@ -1,0 +1,57 @@
+package exp
+
+import "testing"
+
+func TestAblationAdaptiveShuffle(t *testing.T) {
+	rows := AblationAdaptiveShuffle(cfg())
+	byName := map[string]float64{}
+	for _, r := range rows {
+		if r.MeanSec <= 0 {
+			t.Fatalf("%s: non-positive mean", r.Policy)
+		}
+		byName[r.Policy] = r.MeanSec
+	}
+	adaptive := byName["adaptive"]
+	worst := 0.0
+	best := 1e18
+	for _, p := range []string{"direct", "local", "remote"} {
+		if byName[p] > worst {
+			worst = byName[p]
+		}
+		if byName[p] < best {
+			best = byName[p]
+		}
+	}
+	// Adaptive must clearly beat the worst fixed policy and stay within
+	// 10% of the best fixed policy on the mixed workload.
+	if adaptive >= worst {
+		t.Errorf("adaptive %.2fs not better than worst fixed %.2fs", adaptive, worst)
+	}
+	if adaptive > best*1.10 {
+		t.Errorf("adaptive %.2fs more than 10%% behind best fixed %.2fs", adaptive, best)
+	}
+}
+
+func TestAblationPartition(t *testing.T) {
+	rows := AblationPartition(cfg())
+	byName := map[string]AblationPartitionRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	g, ps, wj := byName["graphlet"], byName["per-stage"], byName["whole-job"]
+	if g.MakespanSec <= 0 || ps.MakespanSec <= 0 || wj.MakespanSec <= 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Graphlets must beat whole-job gangs on makespan and idle.
+	if g.MakespanSec >= wj.MakespanSec {
+		t.Errorf("graphlet makespan %.0fs not below whole-job %.0fs", g.MakespanSec, wj.MakespanSec)
+	}
+	if g.MeanIdle >= wj.MeanIdle {
+		t.Errorf("graphlet idle %.3f not below whole-job %.3f", g.MeanIdle, wj.MeanIdle)
+	}
+	// Per-stage scheduling has near-zero idle (consumers start after
+	// producers) but must not beat graphlets by much on makespan.
+	if g.MakespanSec > ps.MakespanSec*1.25 {
+		t.Errorf("graphlet %.0fs much slower than per-stage %.0fs", g.MakespanSec, ps.MakespanSec)
+	}
+}

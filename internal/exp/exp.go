@@ -1,0 +1,77 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (Section V) on the simulated platform: one exported function per
+// experiment, each returning the same rows/series the paper reports. The
+// package is the single source of truth used by cmd/swiftbench, the
+// examples and the top-level benchmarks.
+//
+// Absolute seconds differ from the paper (the substrate is a calibrated
+// simulator, not Alibaba's clusters); the shapes — who wins, by what
+// factor, where the crossovers fall — are asserted by this package's tests
+// and recorded against the paper's numbers in EXPERIMENTS.md.
+package exp
+
+import (
+	"swift/internal/cluster"
+	"swift/internal/core"
+	"swift/internal/dag"
+	"swift/internal/sim"
+	"swift/internal/simrun"
+	"swift/internal/trace"
+)
+
+// Config scales the experiments. Reduced runs shrink workloads so the full
+// suite finishes in seconds (used by `go test -bench` and CI); the default
+// is the paper-scale configuration.
+type Config struct {
+	Reduced bool
+	Seed    int64
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config { return Config{Seed: 1} }
+
+// cluster100 is the paper's 100-node evaluation cluster. The reduced
+// variant stays above 2,000 executors — the largest job in the trace —
+// so whole-job gang scheduling (JetScope) can always eventually place
+// every job.
+func (c Config) cluster100() cluster.Config {
+	cfg := cluster.Paper100()
+	if c.Reduced {
+		cfg.Machines = 40
+	}
+	return cfg
+}
+
+// cluster2000 is the paper's 2,000-node cluster.
+func (c Config) cluster2000() cluster.Config {
+	cfg := cluster.Paper2000()
+	if c.Reduced {
+		cfg.Machines = 100
+	}
+	return cfg
+}
+
+func (c Config) traceJobs(full int) int {
+	if c.Reduced {
+		return full / 10
+	}
+	return full
+}
+
+// runTrace replays a trace on a fresh simulated deployment.
+func runTrace(tr *trace.Trace, ccfg cluster.Config, opts core.Options, seed int64) *simrun.Results {
+	r := simrun.New(simrun.Config{Cluster: ccfg, Options: opts, Seed: seed})
+	for _, j := range tr.Jobs {
+		r.SubmitAt(sim.FromSeconds(j.SubmitAt), j.Job)
+	}
+	return r.Run()
+}
+
+// runOne runs a single job on a fresh deployment and returns its duration
+// in seconds along with the full result (for phase inspection).
+func runOne(job *dag.Job, ccfg cluster.Config, opts core.Options, seed int64) (*simrun.JobResult, *simrun.Results) {
+	r := simrun.New(simrun.Config{Cluster: ccfg, Options: opts, Seed: seed})
+	r.SubmitAt(0, job)
+	res := r.Run()
+	return res.Jobs[job.ID], res
+}

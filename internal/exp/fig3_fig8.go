@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"swift/internal/baseline"
+	"swift/internal/metrics"
+	"swift/internal/trace"
+)
+
+// Fig3Row is one bar of Fig. 3: the average IdleRatio of one production
+// cluster when gang scheduling is adopted.
+type Fig3Row struct {
+	Cluster      string
+	IdleRatioPct float64 // four-quartile average, percent
+}
+
+// Fig3IdleRatio measures the IdleRatio of trace jobs under whole-job gang
+// scheduling on four cluster profiles, reproducing Fig. 3. The paper's
+// clusters differ in workload mix; here each profile replays a trace with a
+// different seed (and thus job mix). Paper values: 3.81%, 13.15%, 14.45%,
+// 14.92%.
+func Fig3IdleRatio(cfg Config) []Fig3Row {
+	jobs := cfg.traceJobs(500)
+	if jobs < 150 {
+		jobs = 150 // keep the per-cluster sample meaningful at reduced scale
+	}
+	var rows []Fig3Row
+	for i := 0; i < 4; i++ {
+		tr := trace.Generate(trace.Spec{
+			Jobs:          jobs,
+			Seed:          cfg.Seed + int64(i)*101,
+			ArrivalWindow: 120,
+		})
+		res := runTrace(tr, cfg.cluster100(), baseline.JetScope(), cfg.Seed+int64(i))
+		// Per-job mean task IdleRatio, then the four-quartile average
+		// across jobs (the paper reports per-cluster averages of job
+		// measurements).
+		var perJob []float64
+		for _, jr := range res.Jobs {
+			if !jr.Completed || len(jr.Samples) == 0 {
+				continue
+			}
+			var xs []float64
+			for _, s := range jr.Samples {
+				xs = append(xs, s.IdleRatio())
+			}
+			perJob = append(perJob, metrics.Mean(xs))
+		}
+		q := metrics.FourQuartiles(perJob)
+		rows = append(rows, Fig3Row{
+			Cluster:      string(rune('1' + i)),
+			IdleRatioPct: q.Mid() * 100,
+		})
+	}
+	return rows
+}
+
+// Fig8Stats summarises the generated production trace the way Fig. 8
+// characterises the real one.
+type Fig8Stats struct {
+	Jobs                int
+	MeanRuntimeSec      float64
+	FracRuntimeUnder120 float64
+	FracTasksUnder80    float64
+	FracStagesUnder4    float64
+	RuntimeQuartiles    metrics.Quartiles
+	TaskQuartiles       metrics.Quartiles
+}
+
+// Fig8TraceCharacteristics replays the 2,000-job trace on Swift and reports
+// the measured job-runtime and size distributions. Paper: average runtime
+// 30 s, >90% under 120 s, >80% with ≤80 tasks and ≤4 stages.
+func Fig8TraceCharacteristics(cfg Config) Fig8Stats {
+	tr := trace.Generate(trace.Spec{Jobs: cfg.traceJobs(2000), Seed: cfg.Seed, ArrivalWindow: 500})
+	res := runTrace(tr, cfg.cluster100(), baseline.Swift(), cfg.Seed)
+	var runtimes, tasks, stages []float64
+	for _, j := range tr.Jobs {
+		jr := res.Jobs[j.Job.ID]
+		if jr == nil || !jr.Completed {
+			continue
+		}
+		runtimes = append(runtimes, jr.Duration())
+		tasks = append(tasks, float64(j.Job.NumTasks()))
+		stages = append(stages, float64(j.Job.NumStages()))
+	}
+	return Fig8Stats{
+		Jobs:                len(runtimes),
+		MeanRuntimeSec:      metrics.Mean(runtimes),
+		FracRuntimeUnder120: metrics.FractionBelow(runtimes, 120),
+		FracTasksUnder80:    metrics.FractionBelow(tasks, 80),
+		FracStagesUnder4:    metrics.FractionBelow(stages, 4),
+		RuntimeQuartiles:    metrics.FourQuartiles(runtimes),
+		TaskQuartiles:       metrics.FourQuartiles(tasks),
+	}
+}

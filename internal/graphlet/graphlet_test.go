@@ -1,0 +1,325 @@
+package graphlet
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"swift/internal/dag"
+)
+
+// q9 builds the TPC-H Q9 DAG of Fig. 4: stages M1,M2,M3,J4 / M5,J6 /
+// M7,M8,R9,J10 / R11,R12 with MergeSort in J4, J6 and J10 making the edges
+// J4->J6, J6->J10 and J10->R11 barriers.
+func q9(t *testing.T) *dag.Job {
+	t.Helper()
+	ms := func() []dag.Operator {
+		return []dag.Operator{dag.Op(dag.OpShuffleRead), dag.Op(dag.OpMergeSort), dag.Op(dag.OpShuffleWrite)}
+	}
+	b := dag.NewBuilder("q9").
+		Stage("M1", 956, dag.Op(dag.OpTableScan), dag.Op(dag.OpShuffleWrite)).
+		Stage("M2", 220, dag.Op(dag.OpTableScan), dag.Op(dag.OpShuffleWrite)).
+		Stage("M3", 3, dag.Op(dag.OpTableScan), dag.Op(dag.OpShuffleWrite)).
+		StageOpt(&dag.Stage{Name: "J4", Tasks: 256, Operators: ms(), Idempotent: true}).
+		Stage("M5", 403, dag.Op(dag.OpTableScan), dag.Op(dag.OpShuffleWrite)).
+		StageOpt(&dag.Stage{Name: "J6", Tasks: 256, Operators: ms(), Idempotent: true}).
+		Stage("M7", 220, dag.Op(dag.OpTableScan), dag.Op(dag.OpShuffleWrite)).
+		Stage("M8", 20, dag.Op(dag.OpTableScan), dag.Op(dag.OpShuffleWrite)).
+		Stage("R9", 64, dag.Op(dag.OpShuffleRead), dag.Op(dag.OpHashJoin), dag.Op(dag.OpShuffleWrite)).
+		StageOpt(&dag.Stage{Name: "J10", Tasks: 128, Operators: ms(), Idempotent: true}).
+		Stage("R11", 32, dag.Op(dag.OpShuffleRead), dag.Op(dag.OpHashAggregate), dag.Op(dag.OpShuffleWrite)).
+		Stage("R12", 1, dag.Op(dag.OpShuffleRead), dag.Op(dag.OpAdhocSink)).
+		Pipeline("M1", "J4", 0).Pipeline("M2", "J4", 0).Pipeline("M3", "J4", 0).
+		Pipeline("M5", "J6", 0).
+		Pipeline("M7", "J10", 0).Pipeline("M8", "R9", 0).Pipeline("R9", "J10", 0).
+		Pipeline("R11", "R12", 0)
+	j := b.MustBuild()
+	// The barrier edges come from the producers' MergeSort via Classify.
+	for _, e := range []dag.Edge{{From: "J4", To: "J6"}, {From: "J6", To: "J10"}, {From: "J10", To: "R11"}} {
+		ec := e
+		ec.Op = dag.OpShuffleRead
+		if err := j.AddEdge(&ec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Classify()
+	return j
+}
+
+func TestPartitionQ9MatchesPaper(t *testing.T) {
+	gs, err := Partition(q9(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 4 {
+		t.Fatalf("got %d graphlets, want 4:\n%v", len(gs), gs)
+	}
+	want := [][]string{
+		{"M1", "M2", "M3", "J4"},
+		{"M5", "J6"},
+		{"M7", "M8", "R9", "J10"},
+		{"R11", "R12"},
+	}
+	for i, stages := range want {
+		got := append([]string(nil), gs[i].Stages...)
+		if !sameSet(got, stages) {
+			t.Errorf("graphlet %d = %v, want %v", i+1, got, stages)
+		}
+	}
+	triggers := []string{"J4", "J6", "J10", ""}
+	for i, w := range triggers {
+		if gs[i].Trigger != w {
+			t.Errorf("graphlet %d trigger = %q, want %q", i+1, gs[i].Trigger, w)
+		}
+	}
+	// Dependency structure: g2 on g1, g3 on g2, g4 on g3 (Fig. 4 order).
+	if !reflect.DeepEqual(gs[1].DependsOn, []int{0}) {
+		t.Errorf("g2 deps = %v", gs[1].DependsOn)
+	}
+	if !reflect.DeepEqual(gs[2].DependsOn, []int{1}) {
+		t.Errorf("g3 deps = %v", gs[2].DependsOn)
+	}
+	if !reflect.DeepEqual(gs[3].DependsOn, []int{2}) {
+		t.Errorf("g4 deps = %v", gs[3].DependsOn)
+	}
+	if gs[0].Tasks != 956+220+3+256 {
+		t.Errorf("g1 tasks = %d", gs[0].Tasks)
+	}
+}
+
+func TestSubmissionOrderQ9(t *testing.T) {
+	gs, err := Partition(q9(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := SubmissionOrder(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3}) {
+		t.Errorf("submission order = %v", order)
+	}
+}
+
+func TestPartitionSingleStage(t *testing.T) {
+	j := dag.NewBuilder("one").Stage("s", 7).MustBuild()
+	gs, err := Partition(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 || gs[0].Tasks != 7 || gs[0].Trigger != "" {
+		t.Errorf("got %v", gs)
+	}
+}
+
+func TestPartitionAllPipeline(t *testing.T) {
+	// A diamond of pipeline edges must collapse into one graphlet.
+	j := dag.NewBuilder("dia").
+		Stage("a", 1).Stage("b", 1).Stage("c", 1).Stage("d", 1).
+		Pipeline("a", "b", 0).Pipeline("a", "c", 0).
+		Pipeline("b", "d", 0).Pipeline("c", "d", 0).
+		MustBuild()
+	gs, err := Partition(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 || len(gs[0].Stages) != 4 {
+		t.Errorf("got %v", gs)
+	}
+}
+
+func TestPartitionAllBarrier(t *testing.T) {
+	// A chain of barrier edges yields one graphlet per stage.
+	j := dag.NewBuilder("chain").
+		Stage("a", 1).Stage("b", 1).Stage("c", 1).
+		Barrier("a", "b", 0).Barrier("b", "c", 0).
+		MustBuild()
+	gs, err := Partition(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 3 {
+		t.Fatalf("got %d graphlets, want 3", len(gs))
+	}
+	if gs[0].Trigger != "a" || gs[1].Trigger != "b" || gs[2].Trigger != "" {
+		t.Errorf("triggers = %q %q %q", gs[0].Trigger, gs[1].Trigger, gs[2].Trigger)
+	}
+}
+
+func TestPartitionDisconnected(t *testing.T) {
+	j := dag.NewBuilder("disc").
+		Stage("a", 2).Stage("b", 3).
+		MustBuild()
+	gs, err := Partition(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("got %d graphlets, want 2", len(gs))
+	}
+	if len(gs[0].DependsOn) != 0 || len(gs[1].DependsOn) != 0 {
+		t.Error("disconnected graphlets should have no dependencies")
+	}
+}
+
+func TestPartitionMixedFanIn(t *testing.T) {
+	// A consumer with one pipeline parent and one barrier parent joins the
+	// pipeline parent's graphlet and depends on the barrier parent's.
+	j := dag.NewBuilder("fanin").
+		Stage("p", 1).Stage("q", 1).Stage("c", 1).
+		Pipeline("p", "c", 0).Barrier("q", "c", 0).
+		MustBuild()
+	gs, err := Partition(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("got %d graphlets, want 2: %v", len(gs), gs)
+	}
+	gp := Find(gs, "p")
+	if gp == nil || !gp.Contains("c") {
+		t.Fatalf("p and c not co-located: %v", gs)
+	}
+	gq := Find(gs, "q")
+	if gq == nil || gq == gp {
+		t.Fatal("q should be alone")
+	}
+	if !reflect.DeepEqual(gp.DependsOn, []int{gq.Index}) {
+		t.Errorf("deps of {p,c} = %v, want [%d]", gp.DependsOn, gq.Index)
+	}
+}
+
+func TestFind(t *testing.T) {
+	gs, err := Partition(q9(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := Find(gs, "R9"); g == nil || g.Index != 2 {
+		t.Errorf("Find(R9) = %v", g)
+	}
+	if g := Find(gs, "nope"); g != nil {
+		t.Errorf("Find(nope) = %v", g)
+	}
+}
+
+func TestGraphletString(t *testing.T) {
+	gs, err := Partition(q9(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gs[0].String()
+	if s == "" || gs[0].Index != 0 {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// randomJob mirrors the generator in package dag's property tests.
+func randomJob(r *rand.Rand) *dag.Job {
+	n := 1 + r.Intn(14)
+	j := dag.NewJob("rand")
+	for i := 0; i < n; i++ {
+		if err := j.AddStage(&dag.Stage{Name: fmt.Sprintf("s%d", i), Tasks: 1 + r.Intn(40), Idempotent: true}); err != nil {
+			panic(err)
+		}
+	}
+	for to := 1; to < n; to++ {
+		for from := 0; from < to; from++ {
+			if r.Intn(3) != 0 {
+				continue
+			}
+			mode := dag.Pipeline
+			if r.Intn(2) == 0 {
+				mode = dag.Barrier
+			}
+			if err := j.AddEdge(&dag.Edge{From: fmt.Sprintf("s%d", from), To: fmt.Sprintf("s%d", to),
+				Op: dag.OpShuffleRead, Mode: mode}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return j
+}
+
+// TestPartitionProperty validates the core partition invariants over random
+// DAGs: exact cover, task totals preserved, graphlets equal the connected
+// components of the pipeline-edge graph (which is what Algorithm 2's
+// bidirectional pipeline expansion computes — note a barrier edge may then
+// legally sit *inside* a graphlet when its endpoints are also pipeline-
+// connected), and submission order valid.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		j := randomJob(rand.New(rand.NewSource(seed)))
+		gs, err := Partition(j)
+		if err != nil {
+			return false
+		}
+		owner := make(map[string]int)
+		total := 0
+		for _, g := range gs {
+			for _, s := range g.Stages {
+				if _, dup := owner[s]; dup {
+					return false // stage in two graphlets
+				}
+				owner[s] = g.Index
+			}
+			total += g.Tasks
+		}
+		if len(owner) != j.NumStages() || total != j.NumTasks() {
+			return false
+		}
+		// Union-find over pipeline edges: the reference partition.
+		parent := make(map[string]string, j.NumStages())
+		var find func(string) string
+		find = func(s string) string {
+			if parent[s] == s {
+				return s
+			}
+			parent[s] = find(parent[s])
+			return parent[s]
+		}
+		for _, s := range j.StageNames() {
+			parent[s] = s
+		}
+		for _, e := range j.Edges() {
+			if e.Mode == dag.Pipeline {
+				parent[find(e.From)] = find(e.To)
+			}
+		}
+		for _, e := range j.Edges() {
+			sameComponent := find(e.From) == find(e.To)
+			sameGraphlet := owner[e.From] == owner[e.To]
+			if e.Mode == dag.Pipeline && !sameGraphlet {
+				return false // pipeline edge must be internal
+			}
+			// The partition is a coarsening of pipeline components:
+			// mergeCyclicGroups may fuse components linked by
+			// mutually dependent barrier edges, but never splits one.
+			if sameComponent && !sameGraphlet {
+				return false
+			}
+		}
+		order, err := SubmissionOrder(gs)
+		return err == nil && len(order) == len(gs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[string]bool, len(a))
+	for _, s := range a {
+		m[s] = true
+	}
+	for _, s := range b {
+		if !m[s] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,234 @@
+// Package metrics provides the small statistical toolkit the evaluation
+// needs: sample quantiles computed with the Hyndman–Fan method the paper
+// cites as the "widely-used four quartile method" [26], summary statistics,
+// CDFs (Fig. 11), histograms (Fig. 8) and step time series (Fig. 10).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of xs using Hyndman & Fan's
+// definition 7 (linear interpolation of order statistics; the default of R
+// and the method behind standard quartile reporting). It returns NaN for an
+// empty sample and clamps p into [0,1].
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	h := (float64(len(s)) - 1) * p
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return s[lo]
+	}
+	return s[lo] + (h-float64(lo))*(s[hi]-s[lo])
+}
+
+// Quartiles holds the four-quartile summary of a sample.
+type Quartiles struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// FourQuartiles computes the quartile summary the paper reports cluster
+// averages with (Figs. 3 and 15).
+func FourQuartiles(xs []float64) Quartiles {
+	return Quartiles{
+		Min:    Quantile(xs, 0),
+		Q1:     Quantile(xs, 0.25),
+		Median: Quantile(xs, 0.5),
+		Q3:     Quantile(xs, 0.75),
+		Max:    Quantile(xs, 1),
+	}
+}
+
+// Mid returns the midhinge-style average of the quartile summary: the mean
+// of Q1, median and Q3, a robust location estimate for skewed samples.
+func (q Quartiles) Mid() float64 { return (q.Q1 + q.Median + q.Q3) / 3 }
+
+// String renders the summary compactly.
+func (q Quartiles) String() string {
+	return fmt.Sprintf("min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g",
+		q.Min, q.Q1, q.Median, q.Q3, q.Max)
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the total of the sample.
+func Sum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// GeoMean returns the geometric mean of a positive sample, or NaN if the
+// sample is empty or contains non-positive values. Speedup aggregation
+// across TPC-H queries uses it.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // cumulative fraction of the sample ≤ X
+}
+
+// CDF returns the empirical CDF of the sample as sorted points.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pts := make([]CDFPoint, len(s))
+	for i, x := range s {
+		pts[i] = CDFPoint{X: x, P: float64(i+1) / float64(len(s))}
+	}
+	return pts
+}
+
+// FractionBelow returns the fraction of the sample strictly less than or
+// equal to x.
+func FractionBelow(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, v := range xs {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Histogram counts samples into fixed-width bins covering [lo, hi); values
+// outside the range clamp into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("metrics: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// SeriesPoint is one sample of a step time series.
+type SeriesPoint struct {
+	T float64
+	V float64
+}
+
+// Series accumulates a piecewise-constant time series by deltas, e.g. the
+// number of running executors over time (Fig. 10).
+type Series struct {
+	deltas map[float64]float64
+}
+
+// NewSeries returns an empty series.
+func NewSeries() *Series { return &Series{deltas: make(map[float64]float64)} }
+
+// Delta records a change of v at time t.
+func (s *Series) Delta(t, v float64) { s.deltas[t] += v }
+
+// Points integrates the deltas into the running value sampled at every
+// change point, in time order.
+func (s *Series) Points() []SeriesPoint {
+	ts := make([]float64, 0, len(s.deltas))
+	for t := range s.deltas {
+		ts = append(ts, t)
+	}
+	sort.Float64s(ts)
+	out := make([]SeriesPoint, 0, len(ts))
+	run := 0.0
+	for _, t := range ts {
+		run += s.deltas[t]
+		out = append(out, SeriesPoint{T: t, V: run})
+	}
+	return out
+}
+
+// Sample returns the series value at regular intervals over [0, end],
+// carrying the last value forward; convenient for printing Fig. 10-style
+// rows.
+func (s *Series) Sample(end, step float64) []SeriesPoint {
+	pts := s.Points()
+	var out []SeriesPoint
+	i, cur := 0, 0.0
+	for t := 0.0; t <= end+1e-9; t += step {
+		for i < len(pts) && pts[i].T <= t {
+			cur = pts[i].V
+			i++
+		}
+		out = append(out, SeriesPoint{T: t, V: cur})
+	}
+	return out
+}
+
+// Max returns the maximum value the series ever reaches (0 for empty).
+func (s *Series) Max() float64 {
+	var m float64
+	for _, p := range s.Points() {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}

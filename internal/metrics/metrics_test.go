@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{1, 2, 3, 4}, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("even-sample median = %g, want 2.5", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty sample should give NaN")
+	}
+	// Out-of-range p clamps.
+	if got := Quantile(xs, -1); got != 1 {
+		t.Errorf("clamped low = %g", got)
+	}
+	if got := Quantile(xs, 2); got != 5 {
+		t.Errorf("clamped high = %g", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestFourQuartiles(t *testing.T) {
+	q := FourQuartiles([]float64{10, 20, 30, 40, 50})
+	if q.Min != 10 || q.Q1 != 20 || q.Median != 30 || q.Q3 != 40 || q.Max != 50 {
+		t.Errorf("quartiles = %+v", q)
+	}
+	if math.Abs(q.Mid()-30) > 1e-12 {
+		t.Errorf("Mid = %g", q.Mid())
+	}
+	if q.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMeanSumGeoMean(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %g", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if got := Sum([]float64{1.5, 2.5}); got != 4 {
+		t.Errorf("Sum = %g", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %g", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("GeoMean with negatives should be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean(nil) should be NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].X != 1 || math.Abs(pts[0].P-1.0/3) > 1e-12 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[2].X != 3 || pts[2].P != 1 {
+		t.Errorf("last point = %+v", pts[2])
+	}
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) should be nil")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := FractionBelow(xs, 2); got != 0.5 {
+		t.Errorf("FractionBelow(2) = %g", got)
+	}
+	if got := FractionBelow(xs, 0); got != 0 {
+		t.Errorf("FractionBelow(0) = %g", got)
+	}
+	if got := FractionBelow(xs, 10); got != 1 {
+		t.Errorf("FractionBelow(10) = %g", got)
+	}
+	if !math.IsNaN(FractionBelow(nil, 1)) {
+		t.Error("empty sample should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for _, x := range []float64{5, 15, 15, 95, -3, 250} {
+		h.Add(x)
+	}
+	if h.Total != 6 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	if h.Counts[0] != 2 { // 5 and clamped -3
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 2 {
+		t.Errorf("bin1 = %d", h.Counts[1])
+	}
+	if h.Counts[9] != 2 { // 95 and clamped 250
+		t.Errorf("bin9 = %d", h.Counts[9])
+	}
+	if got := h.BinCenter(0); got != 5 {
+		t.Errorf("BinCenter(0) = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid bounds did not panic")
+		}
+	}()
+	NewHistogram(10, 10, 5)
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries()
+	s.Delta(1, +5)
+	s.Delta(3, -2)
+	s.Delta(2, +1)
+	pts := s.Points()
+	want := []SeriesPoint{{1, 5}, {2, 6}, {3, 4}}
+	for i, w := range want {
+		if pts[i] != w {
+			t.Fatalf("Points()[%d] = %+v, want %+v", i, pts[i], w)
+		}
+	}
+	if got := s.Max(); got != 6 {
+		t.Errorf("Max = %g", got)
+	}
+	samp := s.Sample(4, 1)
+	wantV := []float64{0, 5, 6, 4, 4}
+	for i, w := range wantV {
+		if samp[i].V != w {
+			t.Fatalf("Sample[%d] = %+v, want V=%g", i, samp[i], w)
+		}
+	}
+}
+
+// TestQuantileProperty: quantiles are monotone in p and bounded by the
+// sample extremes for random samples.
+func TestQuantileProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0001; p += 0.05 {
+			q := Quantile(xs, p)
+			if q < prev-1e-9 || q < sorted[0]-1e-9 || q > sorted[n-1]+1e-9 {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCDFProperty: the CDF is monotone in both coordinates and ends at 1.
+func TestCDFProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 1000
+		}
+		pts := CDF(xs)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].P <= pts[i-1].P {
+				return false
+			}
+		}
+		return math.Abs(pts[len(pts)-1].P-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

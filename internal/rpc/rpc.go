@@ -1,0 +1,257 @@
+// Package rpc implements the small framed-gob protocol Swift's processes
+// speak: length-prefixed request/response messages over TCP, a method
+// registry on the server side, and client-side call/heartbeat helpers. The
+// engine's multi-process mode serves Cache Worker segments through it
+// (service.go); the admin/executor heartbeats of Section IV-A use Ping.
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrameSize bounds a single message (64 MiB), protecting both sides
+// from corrupt length prefixes.
+const MaxFrameSize = 64 << 20
+
+// frame layout: 4-byte big-endian length, then a gob-encoded envelope.
+type envelope struct {
+	ID     uint64
+	Method string
+	Err    string
+	Body   []byte
+}
+
+func writeFrame(w io.Writer, env *envelope) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return fmt.Errorf("rpc: encode: %w", err)
+	}
+	if buf.Len() > MaxFrameSize {
+		return fmt.Errorf("rpc: frame too large: %d bytes", buf.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func readFrame(r io.Reader) (*envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("rpc: decode: %w", err)
+	}
+	return &env, nil
+}
+
+// Handler serves one method: it receives the gob-encoded request body and
+// returns the gob-encoded response body.
+type Handler func(body []byte) ([]byte, error)
+
+// Server accepts connections and dispatches registered methods.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	connMu   sync.Mutex
+	conns    map[net.Conn]bool
+}
+
+// NewServer returns an empty server; register methods before Serve.
+func NewServer() *Server {
+	s := &Server{
+		handlers: make(map[string]Handler),
+		closed:   make(chan struct{}),
+		conns:    make(map[net.Conn]bool),
+	}
+	s.Register("ping", func([]byte) ([]byte, error) { return Encode([]byte("pong")) })
+	return s
+}
+
+// Register installs a method handler. Re-registering replaces.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	s.handlers[method] = h
+	s.mu.Unlock()
+}
+
+// Listen binds the address ("127.0.0.1:0" for an ephemeral port) and
+// starts serving in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	s.connMu.Lock()
+	s.conns[conn] = true
+	s.connMu.Unlock()
+	defer func() {
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
+	for {
+		env, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		s.mu.RLock()
+		h := s.handlers[env.Method]
+		s.mu.RUnlock()
+		resp := &envelope{ID: env.ID, Method: env.Method}
+		if h == nil {
+			resp.Err = fmt.Sprintf("rpc: unknown method %q", env.Method)
+		} else if body, herr := h(env.Body); herr != nil {
+			resp.Err = herr.Error()
+		} else {
+			resp.Body = body
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, severs live connections, and waits for the
+// handler goroutines to drain.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a single-connection RPC client. Calls are serialised; Swift's
+// executors keep one connection per peer (the connection-count arithmetic
+// of Section III-B).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	next uint64
+}
+
+// Dial connects to a server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Call invokes a method with a gob-encodable request, decoding the reply
+// into resp (a pointer) unless resp is nil.
+func (c *Client) Call(method string, req interface{}, resp interface{}) error {
+	var body bytes.Buffer
+	if req != nil {
+		if err := gob.NewEncoder(&body).Encode(req); err != nil {
+			return fmt.Errorf("rpc: encode request: %w", err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	env := &envelope{ID: c.next, Method: method, Body: body.Bytes()}
+	if err := writeFrame(c.conn, env); err != nil {
+		return err
+	}
+	reply, err := readFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if reply.ID != env.ID {
+		return fmt.Errorf("rpc: reply id %d for request %d", reply.ID, env.ID)
+	}
+	if reply.Err != "" {
+		return errors.New(reply.Err)
+	}
+	if resp != nil {
+		if err := gob.NewDecoder(bytes.NewReader(reply.Body)).Decode(resp); err != nil {
+			return fmt.Errorf("rpc: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// Ping round-trips a heartbeat and returns the latency.
+func (c *Client) Ping() (time.Duration, error) {
+	t0 := time.Now()
+	var out []byte
+	if err := c.Call("ping", []byte{}, &out); err != nil {
+		return 0, err
+	}
+	return time.Since(t0), nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Encode gob-encodes v (handler helper).
+func Encode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(v)
+	return buf.Bytes(), err
+}
+
+// Decode gob-decodes data into v (handler helper).
+func Decode(data []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

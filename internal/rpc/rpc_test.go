@@ -1,0 +1,175 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"swift/internal/engine"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := NewServer()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	s, addr := startServer(t)
+	s.Register("double", func(body []byte) ([]byte, error) {
+		var n int
+		if err := Decode(body, &n); err != nil {
+			return nil, err
+		}
+		return Encode(n * 2)
+	})
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out int
+	if err := c.Call("double", 21, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != 42 {
+		t.Errorf("out = %d", out)
+	}
+}
+
+func TestPing(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	lat, err := c.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 || lat > 2*time.Second {
+		t.Errorf("latency = %v", lat)
+	}
+}
+
+func TestUnknownMethodAndHandlerError(t *testing.T) {
+	s, addr := startServer(t)
+	s.Register("boom", func([]byte) ([]byte, error) { return nil, errors.New("kaput") })
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("nope", nil, nil); err == nil {
+		t.Error("unknown method succeeded")
+	}
+	err = c.Call("boom", nil, nil)
+	if err == nil || err.Error() != "kaput" {
+		t.Errorf("handler error = %v", err)
+	}
+	// Connection still usable after errors.
+	if _, err := c.Ping(); err != nil {
+		t.Errorf("ping after error: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, addr := startServer(t)
+	s.Register("echo", func(b []byte) ([]byte, error) { return b, nil })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr, time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 50; j++ {
+				var out string
+				want := fmt.Sprintf("msg-%d-%d", i, j)
+				if err := c.Call("echo", want, &out); err != nil || out != want {
+					t.Errorf("echo: %v %q", err, out)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	big := make([]byte, MaxFrameSize+1)
+	if err := c.Call("ping", big, nil); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestCacheWorkerService(t *testing.T) {
+	s, addr := startServer(t)
+	store := engine.NewStore(2, 0)
+	ServeCacheWorker(s, store)
+	cc, err := DialCache(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	// Miss before put.
+	if _, found, err := cc.Get("seg1"); err != nil || found {
+		t.Fatalf("premature hit: %v %v", found, err)
+	}
+	rows := []engine.Row{{int64(1), "a"}, {int64(2), "b"}}
+	if err := cc.Put(PutRequest{Job: "j", Machine: 0, Key: "seg1", Rows: rows}); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := cc.Get("seg1")
+	if err != nil || !found {
+		t.Fatalf("get: %v %v", found, err)
+	}
+	if len(got) != 2 || got[0][0] != int64(1) || got[1][1] != "b" {
+		t.Errorf("rows = %v", got)
+	}
+	// The segment landed in the local store too.
+	if local, ok := store.Get("seg1", nil); !ok || len(local) != 2 {
+		t.Error("segment not visible locally")
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s := NewServer()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call("ping", nil, nil); err == nil {
+		t.Error("call succeeded after server close")
+	}
+}

@@ -1,0 +1,88 @@
+package rpc
+
+import (
+	"time"
+
+	"swift/internal/engine"
+)
+
+// Cache Worker RPC service: exposes a machine's shuffle segments to remote
+// executors — the Remote Shuffle pull path of Section III-B when executors
+// and Cache Workers live in different processes.
+
+// PutRequest stores a segment.
+type PutRequest struct {
+	Job     string
+	Machine int
+	Key     string
+	Rows    []engine.Row
+}
+
+// GetRequest fetches a segment; Get does not block remotely — the puller
+// retries, exactly like a reader task polling its source Cache Worker.
+type GetRequest struct {
+	Key string
+}
+
+// GetResponse carries the segment if present.
+type GetResponse struct {
+	Found bool
+	Rows  []engine.Row
+}
+
+// ServeCacheWorker registers cache.put / cache.get handlers backed by the
+// given store.
+func ServeCacheWorker(s *Server, store *engine.Store) {
+	s.Register("cache.put", func(body []byte) ([]byte, error) {
+		var req PutRequest
+		if err := Decode(body, &req); err != nil {
+			return nil, err
+		}
+		if err := store.Put(req.Job, req.Machine, req.Key, req.Rows); err != nil {
+			return nil, err
+		}
+		return Encode(true)
+	})
+	s.Register("cache.get", func(body []byte) ([]byte, error) {
+		var req GetRequest
+		if err := Decode(body, &req); err != nil {
+			return nil, err
+		}
+		// Non-blocking probe: the wait aborts immediately when the
+		// segment is absent; the remote puller retries, like a reader
+		// task polling its source Cache Worker.
+		rows, ok := store.Get(req.Key, func() bool { return true })
+		return Encode(GetResponse{Found: ok, Rows: rows})
+	})
+}
+
+// CacheClient pulls shuffle segments from a remote Cache Worker.
+type CacheClient struct{ c *Client }
+
+// DialCache connects to a Cache Worker service.
+func DialCache(addr string) (*CacheClient, error) {
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &CacheClient{c: c}, nil
+}
+
+// Put stores a segment remotely.
+func (cc *CacheClient) Put(req PutRequest) error {
+	var ok bool
+	return cc.c.Call("cache.put", req, &ok)
+}
+
+// Get fetches a segment; found is false when the producer has not written
+// it yet.
+func (cc *CacheClient) Get(key string) (rows []engine.Row, found bool, err error) {
+	var resp GetResponse
+	if err := cc.c.Call("cache.get", GetRequest{Key: key}, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.Rows, resp.Found, nil
+}
+
+// Close shuts the underlying connection.
+func (cc *CacheClient) Close() error { return cc.c.Close() }

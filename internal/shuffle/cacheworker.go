@@ -1,0 +1,189 @@
+package shuffle
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// CacheWorker is the per-machine in-memory shuffle store of Section III-B.
+// Producer tasks write shuffle segments into it; consumer tasks (local or
+// remote) read them; segments are reference counted and freed once every
+// consumer has taken its share ("delete them to release memory after they
+// have been consumed by all successor tasks"). When memory runs short —
+// "only of the probability less than 1% in our production clusters" — the
+// least recently used segments are swapped to disk in large chunks and
+// transparently loaded back on access.
+//
+// The same structure backs both runtimes: the simulator stores sizes only,
+// the real engine stores payload bytes.
+type CacheWorker struct {
+	capacity int64
+	used     int64 // in-memory bytes (spilled segments excluded)
+	lru      *list.List
+	segs     map[string]*segment
+
+	stats CacheStats
+}
+
+type segment struct {
+	key     string
+	size    int64
+	data    [][]byte // optional payload (real engine)
+	refs    int      // remaining consumers
+	spilled bool
+	elem    *list.Element
+}
+
+// CacheStats counts the memory-manager activity a run produced.
+type CacheStats struct {
+	Puts        int
+	Gets        int
+	Misses      int
+	SpillEvents int
+	SpillBytes  int64 // bytes swapped out to disk
+	LoadBytes   int64 // spilled bytes loaded back on access
+	Freed       int   // segments released after full consumption
+	PeakUsed    int64
+}
+
+// NewCacheWorker returns a Cache Worker with the given memory capacity in
+// bytes. A non-positive capacity means unbounded (never spills).
+func NewCacheWorker(capacity int64) *CacheWorker {
+	return &CacheWorker{
+		capacity: capacity,
+		lru:      list.New(),
+		segs:     make(map[string]*segment),
+	}
+}
+
+// Capacity returns the configured memory capacity (0 = unbounded).
+func (w *CacheWorker) Capacity() int64 { return w.capacity }
+
+// Used returns the bytes currently held in memory.
+func (w *CacheWorker) Used() int64 { return w.used }
+
+// Stats returns a copy of the activity counters.
+func (w *CacheWorker) Stats() CacheStats { return w.stats }
+
+// Len returns the number of resident segments (in memory or spilled).
+func (w *CacheWorker) Len() int { return len(w.segs) }
+
+// Put stores a shuffle segment that refs consumers will read. Payload may
+// be nil when only accounting is needed. It returns the bytes spilled to
+// make room, so the caller can charge disk time. Re-putting an existing key
+// is an error: producers write each partition exactly once.
+func (w *CacheWorker) Put(key string, size int64, payload [][]byte, refs int) (spilled int64, err error) {
+	if _, dup := w.segs[key]; dup {
+		return 0, fmt.Errorf("shuffle: cache worker: duplicate segment %q", key)
+	}
+	if size < 0 {
+		return 0, fmt.Errorf("shuffle: cache worker: negative size for %q", key)
+	}
+	if refs <= 0 {
+		refs = 1
+	}
+	s := &segment{key: key, size: size, data: payload, refs: refs}
+	s.elem = w.lru.PushFront(s)
+	w.segs[key] = s
+	w.used += size
+	w.stats.Puts++
+	if w.used > w.stats.PeakUsed {
+		w.stats.PeakUsed = w.used
+	}
+	return w.evictTo(w.capacity), nil
+}
+
+// evictTo spills LRU segments until used ≤ limit (no-op when unbounded).
+func (w *CacheWorker) evictTo(limit int64) int64 {
+	if w.capacity <= 0 {
+		return 0
+	}
+	var spilled int64
+	for w.used > limit {
+		e := w.lru.Back()
+		if e == nil {
+			break
+		}
+		s := e.Value.(*segment)
+		w.lru.Remove(e)
+		s.elem = nil
+		if !s.spilled {
+			s.spilled = true
+			w.used -= s.size
+			spilled += s.size
+			w.stats.SpillEvents++
+			w.stats.SpillBytes += s.size
+		}
+	}
+	return spilled
+}
+
+// Get reads one consumer's view of a segment without consuming it. It
+// reports the payload, whether the segment had been spilled (the caller
+// charges a disk read and the segment returns to memory), and whether the
+// key exists at all.
+func (w *CacheWorker) Get(key string) (payload [][]byte, wasSpilled, ok bool) {
+	s, ok := w.segs[key]
+	if !ok {
+		w.stats.Misses++
+		return nil, false, false
+	}
+	w.stats.Gets++
+	wasSpilled = s.spilled
+	if s.spilled {
+		s.spilled = false
+		w.used += s.size
+		w.stats.LoadBytes += s.size
+		if w.used > w.stats.PeakUsed {
+			w.stats.PeakUsed = w.used
+		}
+	}
+	if s.elem != nil {
+		w.lru.MoveToFront(s.elem)
+	} else {
+		s.elem = w.lru.PushFront(s)
+	}
+	// Loading one segment back may push others out.
+	w.evictTo(w.capacity)
+	return s.data, wasSpilled, true
+}
+
+// Consume records that one consumer has finished with the segment; the
+// segment is freed when all consumers have. It returns whether the key
+// existed.
+func (w *CacheWorker) Consume(key string) bool {
+	s, ok := w.segs[key]
+	if !ok {
+		return false
+	}
+	s.refs--
+	if s.refs > 0 {
+		return true
+	}
+	if s.elem != nil {
+		w.lru.Remove(s.elem)
+	}
+	if !s.spilled {
+		w.used -= s.size
+	}
+	delete(w.segs, key)
+	w.stats.Freed++
+	return true
+}
+
+// Drop removes a segment unconditionally (failure recovery discards a
+// failed producer's partial output). It reports whether the key existed.
+func (w *CacheWorker) Drop(key string) bool {
+	s, ok := w.segs[key]
+	if !ok {
+		return false
+	}
+	if s.elem != nil {
+		w.lru.Remove(s.elem)
+	}
+	if !s.spilled {
+		w.used -= s.size
+	}
+	delete(w.segs, key)
+	return true
+}

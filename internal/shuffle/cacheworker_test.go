@@ -1,0 +1,178 @@
+package shuffle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheWorkerPutGetConsume(t *testing.T) {
+	w := NewCacheWorker(0) // unbounded
+	payload := [][]byte{[]byte("hello")}
+	if _, err := w.Put("a", 5, payload, 2); err != nil {
+		t.Fatal(err)
+	}
+	if w.Used() != 5 || w.Len() != 1 {
+		t.Errorf("used=%d len=%d", w.Used(), w.Len())
+	}
+	got, spilled, ok := w.Get("a")
+	if !ok || spilled || string(got[0][:]) != "hello" {
+		t.Errorf("Get = %v %v %v", got, spilled, ok)
+	}
+	if !w.Consume("a") {
+		t.Error("first consume failed")
+	}
+	if w.Len() != 1 {
+		t.Error("segment freed before all consumers done")
+	}
+	if !w.Consume("a") {
+		t.Error("second consume failed")
+	}
+	if w.Len() != 0 || w.Used() != 0 {
+		t.Errorf("segment not freed: len=%d used=%d", w.Len(), w.Used())
+	}
+	if w.Consume("a") {
+		t.Error("consume of missing key succeeded")
+	}
+	if w.Stats().Freed != 1 {
+		t.Errorf("freed = %d", w.Stats().Freed)
+	}
+}
+
+func TestCacheWorkerDuplicateAndErrors(t *testing.T) {
+	w := NewCacheWorker(100)
+	if _, err := w.Put("a", 10, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Put("a", 10, nil, 1); err == nil {
+		t.Error("duplicate put accepted")
+	}
+	if _, err := w.Put("b", -1, nil, 1); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, _, ok := w.Get("missing"); ok {
+		t.Error("missing key found")
+	}
+	if w.Stats().Misses != 1 {
+		t.Errorf("misses = %d", w.Stats().Misses)
+	}
+}
+
+func TestCacheWorkerLRUSpill(t *testing.T) {
+	w := NewCacheWorker(100)
+	mustPut := func(k string, size int64) int64 {
+		t.Helper()
+		sp, err := w.Put(k, size, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	mustPut("a", 40)
+	mustPut("b", 40)
+	if sp := mustPut("c", 40); sp != 40 {
+		t.Errorf("spilled %d, want 40 (oldest: a)", sp)
+	}
+	if w.Used() != 80 {
+		t.Errorf("used = %d", w.Used())
+	}
+	// "a" was LRU and spilled; reading it loads it back and may evict "b".
+	_, wasSpilled, ok := w.Get("a")
+	if !ok || !wasSpilled {
+		t.Errorf("Get(a) spilled=%v ok=%v", wasSpilled, ok)
+	}
+	st := w.Stats()
+	if st.SpillEvents < 1 || st.SpillBytes < 40 || st.LoadBytes != 40 {
+		t.Errorf("stats = %+v", st)
+	}
+	if w.Used() > 100 {
+		t.Errorf("over capacity after reload: %d", w.Used())
+	}
+}
+
+func TestCacheWorkerRecencyOrder(t *testing.T) {
+	w := NewCacheWorker(100)
+	w.Put("a", 40, nil, 1)
+	w.Put("b", 40, nil, 1)
+	w.Get("a") // make "b" the LRU
+	w.Put("c", 40, nil, 1)
+	if _, spilled, _ := w.Get("b"); !spilled {
+		t.Error("b should have spilled (was LRU)")
+	}
+}
+
+func TestCacheWorkerDrop(t *testing.T) {
+	w := NewCacheWorker(0)
+	w.Put("x", 7, nil, 3)
+	if !w.Drop("x") {
+		t.Error("drop failed")
+	}
+	if w.Drop("x") {
+		t.Error("double drop succeeded")
+	}
+	if w.Used() != 0 || w.Len() != 0 {
+		t.Error("drop leaked")
+	}
+}
+
+func TestCacheWorkerZeroRefsDefaultsToOne(t *testing.T) {
+	w := NewCacheWorker(0)
+	w.Put("x", 1, nil, 0)
+	if !w.Consume("x") || w.Len() != 0 {
+		t.Error("refs<=0 should behave as 1")
+	}
+}
+
+// TestCacheWorkerProperty: under random operations, memory accounting never
+// exceeds capacity and never goes negative.
+func TestCacheWorkerProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cap := int64(50 + r.Intn(200))
+		w := NewCacheWorker(cap)
+		live := make(map[string]int)
+		next := 0
+		for i := 0; i < 200; i++ {
+			switch r.Intn(3) {
+			case 0:
+				k := fmt.Sprintf("s%d", next)
+				next++
+				refs := 1 + r.Intn(3)
+				if _, err := w.Put(k, int64(r.Intn(60)), nil, refs); err != nil {
+					return false
+				}
+				live[k] = refs
+			case 1:
+				for k := range live {
+					w.Get(k)
+					break
+				}
+			case 2:
+				for k := range live {
+					if !w.Consume(k) {
+						return false
+					}
+					live[k]--
+					if live[k] == 0 {
+						delete(live, k)
+					}
+					break
+				}
+			}
+			if w.Used() < 0 || w.Used() > cap+60 {
+				// Put may momentarily exceed before evictTo runs;
+				// after Put returns, usage must be within capacity
+				// unless a single segment exceeds it.
+				return false
+			}
+			if w.Len() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

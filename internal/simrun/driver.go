@@ -1,0 +1,268 @@
+package simrun
+
+import (
+	"swift/internal/cluster"
+	"swift/internal/core"
+	"swift/internal/dag"
+	"swift/internal/sim"
+)
+
+// handleActions drains the controller and interprets each action under the
+// cost model. It must be called after every controller event.
+func (r *Runner) handleActions() {
+	for _, a := range r.ctrl.Drain() {
+		switch a := a.(type) {
+		case core.ActStartTask:
+			r.startTask(a)
+		case core.ActAbortTask:
+			r.abortTask(a)
+		case core.ActResend:
+			if jr := r.jobs[a.To.Job]; jr != nil {
+				jr.res.Resends++
+			}
+		case core.ActJobCompleted:
+			jr := r.jobs[a.Job]
+			jr.res.Completed = true
+			jr.res.Finish = r.eng.Now()
+		case core.ActJobFailed:
+			jr := r.jobs[a.Job]
+			jr.res.Failed = true
+			jr.res.Finish = r.eng.Now()
+		case core.ActJobRestarted:
+			jr := r.jobs[a.Job]
+			jr.res.Restarts++
+			// All progress is discarded: stage completions and
+			// first-start marks reset.
+			jr.doneAt = make(map[string]sim.Time)
+			jr.firstStart = make(map[string]sim.Time)
+		case core.ActMachineReadOnly:
+			// Allocation-side effect only; nothing to simulate.
+		}
+	}
+}
+
+// startTask begins simulating one task attempt: charge launch cost, park on
+// incomplete producer stages, and schedule completion once inputs are ready.
+func (r *Runner) startTask(a core.ActStartTask) {
+	jr := r.jobs[a.Task.Job]
+	now := r.eng.Now()
+	if _, seen := jr.firstStart[a.Task.Stage]; !seen {
+		jr.firstStart[a.Task.Stage] = now
+	}
+	rt := &runningTask{act: a, started: now, launch: r.launchCost(jr, a), unmet: make(map[string]bool)}
+	r.tasks[a.Task] = rt
+	r.series.Delta(now.Seconds(), +1)
+	for _, e := range jr.inEdges[a.Task.Stage] {
+		if !r.ctrl.StageComplete(jr.job.ID, e.From) {
+			rt.unmet[e.From] = true
+			r.parked[parkKey(jr.job.ID, e.From)] = append(r.parked[parkKey(jr.job.ID, e.From)], a.Task)
+		}
+	}
+	if len(rt.unmet) == 0 {
+		r.scheduleFinish(jr, rt)
+	}
+}
+
+func parkKey(job, stage string) string { return job + "\x00" + stage }
+
+// launchCost returns the task-launching phase duration: Swift delivers a
+// cached plan to a pre-launched executor; cold-launch systems (Spark)
+// download packages and start an executor once per (stage, executor).
+func (r *Runner) launchCost(jr *jobRun, a core.ActStartTask) float64 {
+	m := r.cl.Model()
+	launch := m.SwiftPlanDelivery + m.TaskDispatch
+	if r.cfg.Options.ColdLaunch {
+		per := jr.launched[a.Task.Stage]
+		if per == nil {
+			per = make(map[cluster.ExecutorID]bool)
+			jr.launched[a.Task.Stage] = per
+		}
+		if !per[a.Executor] {
+			per[a.Executor] = true
+			launch += m.ColdLaunch
+		}
+	}
+	return launch
+}
+
+// abortTask cancels a simulated task attempt (stale completions are
+// filtered by attempt number).
+func (r *Runner) abortTask(a core.ActAbortTask) {
+	rt, ok := r.tasks[a.Task]
+	if !ok || rt.act.Attempt != a.Attempt {
+		return
+	}
+	delete(r.tasks, a.Task)
+	r.series.Delta(r.eng.Now().Seconds(), -1)
+	// Parked references clean themselves up lazily at unpark time.
+}
+
+// scheduleFinish computes the task's completion time now that its inputs
+// are (or are about to be) available.
+func (r *Runner) scheduleFinish(jr *jobRun, rt *runningTask) {
+	now := r.eng.Now()
+	c := jr.costs[rt.act.Task.Stage]
+	jitter := 1 + r.cfg.ProcessJitter*(2*r.eng.Rand().Float64()-1)
+	process := c.process * jitter
+	read := c.scan + c.read
+	write := c.write
+
+	effStart := rt.started + sim.FromSeconds(rt.launch)
+	if now > effStart {
+		effStart = now
+	}
+	finishAt := effStart + sim.FromSeconds(read+process+write)
+	dataArrive := r.dataArrive(jr, rt)
+	attempt := rt.act.Attempt
+	ref := rt.act.Task
+
+	r.eng.At(finishAt, func() {
+		cur, ok := r.tasks[ref]
+		if !ok || cur.act.Attempt != attempt {
+			return // aborted meanwhile
+		}
+		delete(r.tasks, ref)
+		r.series.Delta(r.eng.Now().Seconds(), -1)
+		jr.res.Samples = append(jr.res.Samples, TaskSample{
+			Ref:        ref,
+			Start:      cur.started,
+			DataArrive: dataArrive,
+			Finish:     r.eng.Now(),
+			Attempt:    attempt,
+		})
+		r.recordPhases(jr, ref.Stage, cur.launch, read, process, write)
+		r.ctrl.TaskFinished(ref, attempt)
+		r.handleActions()
+		r.onStageProgress(jr, ref.Stage)
+	})
+}
+
+// dataArrive estimates when the task's input data became available: for
+// pipeline edges the producer starts streaming shortly after it launches;
+// for barrier edges the data is complete only when the producer stage
+// finishes.
+func (r *Runner) dataArrive(jr *jobRun, rt *runningTask) sim.Time {
+	arrive := rt.started
+	const streamDelay = 100 * sim.Millisecond
+	for _, e := range jr.inEdges[rt.act.Task.Stage] {
+		var t sim.Time
+		if e.Mode == dag.Pipeline {
+			fs, ok := jr.firstStart[e.From]
+			if !ok {
+				fs = r.eng.Now()
+			}
+			t = fs + streamDelay
+		} else {
+			d, ok := jr.doneAt[e.From]
+			if !ok {
+				d = r.eng.Now()
+			}
+			t = d
+		}
+		if t > arrive {
+			arrive = t
+		}
+	}
+	return arrive
+}
+
+func (r *Runner) recordPhases(jr *jobRun, stage string, launch, read, process, write float64) {
+	p := jr.res.Phases[stage]
+	if p == nil {
+		p = &StagePhases{}
+		jr.res.Phases[stage] = p
+	}
+	if launch > p.Launch {
+		p.Launch = launch
+	}
+	if read > p.ShuffleRead {
+		p.ShuffleRead = read
+	}
+	if process > p.Process {
+		p.Process = process
+	}
+	if write > p.ShuffleWrite {
+		p.ShuffleWrite = write
+	}
+}
+
+// onStageProgress checks whether a stage just completed and unparks the
+// tasks waiting on it.
+func (r *Runner) onStageProgress(jr *jobRun, stage string) {
+	if !r.ctrl.StageComplete(jr.job.ID, stage) {
+		return
+	}
+	jr.doneAt[stage] = r.eng.Now()
+	key := parkKey(jr.job.ID, stage)
+	waiters := r.parked[key]
+	delete(r.parked, key)
+	for _, ref := range waiters {
+		rt, ok := r.tasks[ref]
+		if !ok || !rt.unmet[stage] {
+			continue // aborted or already rescheduled
+		}
+		delete(rt.unmet, stage)
+		if len(rt.unmet) == 0 {
+			r.scheduleFinish(jr, rt)
+		}
+	}
+}
+
+// InjectTaskFailureAt injects a failure into a task of the named stage at
+// the given virtual time, modeling the paper's Fig. 14 experiment. If a
+// task of the stage is running, it crashes (detected after the executor
+// error-report delay); if the stage already finished, the failure destroys
+// a completed task's buffered output instead (detected via heartbeat).
+func (r *Runner) InjectTaskFailureAt(at sim.Time, job, stage string, kind core.FailureKind) {
+	r.eng.At(at, func() {
+		jr := r.jobs[job]
+		if jr == nil {
+			return
+		}
+		st := jr.job.Stage(stage)
+		if st == nil {
+			return
+		}
+		for i := 0; i < st.Tasks; i++ {
+			ref := core.TaskRef{Job: job, Stage: stage, Index: i}
+			if _, attempt, ok := r.ctrl.RunningTask(ref); ok {
+				delay := sim.FromSeconds(core.TaskErrorReportDelay.Seconds())
+				r.eng.After(delay, func() {
+					if rt, live := r.tasks[ref]; live && rt.act.Attempt == attempt {
+						delete(r.tasks, ref)
+						r.series.Delta(r.eng.Now().Seconds(), -1)
+					}
+					r.ctrl.TaskFailed(ref, attempt, kind)
+					r.handleActions()
+				})
+				return
+			}
+		}
+		// No running task: lose the first completed task's output.
+		ref := core.TaskRef{Job: job, Stage: stage, Index: 0}
+		delay := sim.FromSeconds(core.SelfReportDelay.Seconds())
+		r.eng.After(delay, func() {
+			r.ctrl.TaskOutputLost(ref)
+			r.handleActions()
+		})
+	})
+}
+
+// InjectMachineFailureAt crashes a machine at the given time; detection
+// happens one heartbeat interval later (Section IV-A).
+func (r *Runner) InjectMachineFailureAt(at sim.Time, id cluster.MachineID) {
+	r.eng.At(at, func() {
+		delay := sim.FromSeconds(core.MachineFailureDetectionDelay(r.cl.NumMachines()).Seconds())
+		r.eng.After(delay, func() {
+			r.ctrl.MachineFailed(id)
+			r.handleActions()
+		})
+	})
+}
+
+// Run executes the simulation to quiescence and returns the results.
+func (r *Runner) Run() *Results {
+	r.results.Makespan = r.eng.Run()
+	r.results.ExecSeries = r.series
+	return r.results
+}

@@ -1,0 +1,237 @@
+// Package simrun binds the Swift controller (package core) to the
+// discrete-event cluster simulator (packages sim and cluster): it
+// interprets controller actions under the calibrated cost model, feeds
+// completion and failure events back, and records the measurements the
+// paper's evaluation reports — job latencies, per-task idle samples
+// (IdleRatio, Fig. 3), per-stage phase breakdowns (Fig. 9b) and the
+// running-executor time series (Fig. 10).
+package simrun
+
+import (
+	"swift/internal/cluster"
+	"swift/internal/core"
+	"swift/internal/dag"
+	"swift/internal/metrics"
+	"swift/internal/shuffle"
+	"swift/internal/sim"
+)
+
+// Config assembles a simulated Swift (or baseline) deployment.
+type Config struct {
+	Cluster cluster.Config
+	Options core.Options
+	Seed    int64
+	// ProcessJitter is the ± fraction applied to per-task processing
+	// time (default 0.05).
+	ProcessJitter float64
+}
+
+// TaskSample is the per-task timing record behind IdleRatio.
+type TaskSample struct {
+	Ref        core.TaskRef
+	Start      sim.Time // plan arrival at the executor
+	DataArrive sim.Time // input data availability
+	Finish     sim.Time
+	Attempt    int
+}
+
+// IdleRatio is (T_data_arrive − T_task_start) / (T_task_finish −
+// T_task_start), clamped to [0, 1].
+func (s TaskSample) IdleRatio() float64 {
+	total := (s.Finish - s.Start).Seconds()
+	if total <= 0 {
+		return 0
+	}
+	idle := (s.DataArrive - s.Start).Seconds()
+	if idle < 0 {
+		idle = 0
+	}
+	r := idle / total
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// StagePhases is the Fig. 9b decomposition for a stage's critical task.
+type StagePhases struct {
+	Launch       float64
+	ShuffleRead  float64 // table scanning for scan stages
+	Process      float64
+	ShuffleWrite float64 // adhoc sinking for sink stages
+}
+
+// JobResult summarises one job's run.
+type JobResult struct {
+	ID        string
+	Submit    sim.Time
+	Finish    sim.Time
+	Completed bool
+	Failed    bool
+	Restarts  int
+	Resends   int
+	Samples   []TaskSample
+	Phases    map[string]*StagePhases
+}
+
+// Duration returns the job's end-to-end latency in seconds.
+func (j *JobResult) Duration() float64 { return (j.Finish - j.Submit).Seconds() }
+
+// Results aggregates a whole simulation run.
+type Results struct {
+	Jobs       map[string]*JobResult
+	ExecSeries *metrics.Series // running executors over time
+	Makespan   sim.Time
+}
+
+// JobDurations returns the latencies of completed jobs in seconds.
+func (r *Results) JobDurations() []float64 {
+	var out []float64
+	for _, j := range r.Jobs {
+		if j.Completed {
+			out = append(out, j.Duration())
+		}
+	}
+	return out
+}
+
+// stageCost holds the precomputed per-task cost components of one stage.
+type stageCost struct {
+	scan    float64
+	read    float64
+	write   float64
+	process float64
+}
+
+type jobRun struct {
+	job        *dag.Job
+	res        *JobResult
+	costs      map[string]*stageCost
+	costsReady bool
+	doneAt     map[string]sim.Time // stage completion times
+	firstStart map[string]sim.Time
+	launched   map[string]map[cluster.ExecutorID]bool // cold-launch memo
+	inEdges    map[string][]*dag.Edge                 // cached per-stage in-edges
+}
+
+type runningTask struct {
+	act     core.ActStartTask
+	started sim.Time
+	launch  float64
+	unmet   map[string]bool // producer stages not yet complete
+}
+
+// Runner executes jobs on the simulated cluster.
+type Runner struct {
+	cfg     Config
+	eng     *sim.Engine
+	cl      *cluster.Cluster
+	ctrl    *core.Controller
+	jobs    map[string]*jobRun
+	tasks   map[core.TaskRef]*runningTask
+	parked  map[string][]core.TaskRef // producer stage -> waiting tasks
+	series  *metrics.Series
+	results *Results
+}
+
+// New builds a runner. The zero Config is invalid; fill Cluster at least.
+func New(cfg Config) *Runner {
+	if cfg.ProcessJitter <= 0 {
+		cfg.ProcessJitter = 0.05
+	}
+	cl := cluster.New(cfg.Cluster)
+	return &Runner{
+		cfg:     cfg,
+		eng:     sim.NewEngine(cfg.Seed),
+		cl:      cl,
+		ctrl:    core.NewController(cl, cfg.Options),
+		jobs:    make(map[string]*jobRun),
+		tasks:   make(map[core.TaskRef]*runningTask),
+		parked:  make(map[string][]core.TaskRef),
+		series:  metrics.NewSeries(),
+		results: &Results{Jobs: make(map[string]*JobResult)},
+	}
+}
+
+// Engine exposes the simulation engine (for custom event injection).
+func (r *Runner) Engine() *sim.Engine { return r.eng }
+
+// Controller exposes the Swift Admin under simulation.
+func (r *Runner) Controller() *core.Controller { return r.ctrl }
+
+// Cluster exposes the simulated cluster.
+func (r *Runner) Cluster() *cluster.Cluster { return r.cl }
+
+// SubmitAt schedules a job submission at the given virtual time.
+func (r *Runner) SubmitAt(at sim.Time, job *dag.Job) {
+	r.eng.At(at, func() {
+		jr := &jobRun{
+			job: job,
+			res: &JobResult{
+				ID:     job.ID,
+				Submit: r.eng.Now(),
+				Phases: make(map[string]*StagePhases),
+			},
+			costs:      r.precompute(job),
+			doneAt:     make(map[string]sim.Time),
+			firstStart: make(map[string]sim.Time),
+			launched:   make(map[string]map[cluster.ExecutorID]bool),
+			inEdges:    make(map[string][]*dag.Edge, job.NumStages()),
+		}
+		for _, name := range job.StageNames() {
+			jr.inEdges[name] = job.In(name)
+		}
+		r.jobs[job.ID] = jr
+		r.results.Jobs[job.ID] = jr.res
+		if err := r.ctrl.SubmitJob(job); err != nil {
+			jr.res.Failed = true
+			jr.res.Finish = r.eng.Now()
+			return
+		}
+		r.edgeCosts(jr)
+		r.handleActions()
+	})
+}
+
+// precompute derives the scan and processing cost components of every
+// stage. Shuffle read/write components depend on the edge modes the
+// controller selects at admission, so edgeCosts fills them in right after
+// SubmitJob succeeds.
+func (r *Runner) precompute(job *dag.Job) map[string]*stageCost {
+	model := r.cl.Model()
+	costs := make(map[string]*stageCost, job.NumStages())
+	for _, s := range job.Stages() {
+		costs[s.Name] = &stageCost{
+			scan:    model.ScanTime(s.Cost.ScanBytes, s.Tasks),
+			process: s.Cost.ProcessSecondsPerTask,
+		}
+	}
+	return costs
+}
+
+// edgeCosts fills the read/write components of a job's stage costs once the
+// controller knows the edge modes (i.e., after SubmitJob).
+func (r *Runner) edgeCosts(jr *jobRun) {
+	if jr.costsReady {
+		return
+	}
+	jr.costsReady = true
+	model := r.cl.Model()
+	est := func(tasks int) int { return model.Spread(tasks, r.cl.NumMachines()) }
+	for _, e := range jr.job.Edges() {
+		mode := r.ctrl.EdgeMode(jr.job.ID, e.From, e.To)
+		in := shuffle.CostInput{
+			M:                jr.job.Stage(e.From).Tasks,
+			N:                jr.job.Stage(e.To).Tasks,
+			ProducerMachines: est(jr.job.Stage(e.From).Tasks),
+			ConsumerMachines: est(jr.job.Stage(e.To).Tasks),
+			Bytes:            e.Bytes,
+			ClusterMachines:  r.cl.NumMachines(),
+			ActiveConns:      0,
+			Model:            model,
+		}
+		b := shuffle.Cost(mode, in)
+		jr.costs[e.From].write += b.Write()
+		jr.costs[e.To].read += b.Read()
+	}
+}

@@ -1,0 +1,93 @@
+// Package sqlparse implements the front end for the Swift programming
+// language of Section II-A: a SQL dialect (Fig. 1 shows TPC-H Q9 in it).
+// The lexer/parser cover the subset the paper exhibits — select lists with
+// expressions and aliases, FROM with sub-selects, JOIN ... ON chains,
+// WHERE, GROUP BY, ORDER BY ... DESC and LIMIT — and the planner lowers
+// the AST to the dag.Job model the schedulers consume, applying the same
+// physical conventions as Fig. 4 (scan stages per table, join stages with
+// global-sort operators, aggregate/sort/sink tail).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , ; . = < > * + - / %
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "join": true, "on": true, "where": true,
+	"group": true, "by": true, "order": true, "limit": true, "as": true,
+	"and": true, "or": true, "desc": true, "asc": true, "like": true,
+	"not": true, "in": true, "inner": true, "left": true, "outer": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens; identifiers are lowercased except
+// string literals.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, src[i : j+1], i})
+			i = j + 1
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := strings.ToLower(src[i:j])
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind, word, i})
+			i = j
+		case strings.ContainsRune("(),;.=<>*+-/%!", rune(c)):
+			toks = append(toks, token{tokPunct, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}

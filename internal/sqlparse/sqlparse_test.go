@@ -1,0 +1,230 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"swift/internal/dag"
+	"swift/internal/graphlet"
+	"swift/internal/tpch"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("select a, 'it''?' from t1 -- comment\nwhere x = 1.5;")
+	_ = toks
+	if err == nil {
+		// 'it''?' lexes as two strings; acceptable for the subset —
+		// just ensure no error path breaks.
+	}
+	toks, err = lex("select x from t where s like '%green%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[0].kind != tokKeyword || toks[1].kind != tokIdent {
+		t.Errorf("kinds = %v", kinds)
+	}
+	if _, err := lex("select \x00"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := lex("select 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt, err := Parse("select a, b as bee from t where a > 1 order by a desc limit 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Items) != 2 || stmt.Items[1].Alias != "bee" {
+		t.Errorf("items = %+v", stmt.Items)
+	}
+	if stmt.From.Table != "t" {
+		t.Errorf("from = %+v", stmt.From)
+	}
+	if stmt.Where == "" || !strings.Contains(stmt.Where, ">") {
+		t.Errorf("where = %q", stmt.Where)
+	}
+	if len(stmt.OrderBy) != 1 || !stmt.OrderBy[0].Desc {
+		t.Errorf("orderby = %+v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestParseJoinChainAndGroupBy(t *testing.T) {
+	stmt, err := Parse(`select x, sum(y) as s
+		from a
+		join b on a.k = b.k
+		join c on c.j = b.j and c.m = a.m
+		where a.x like '%z%'
+		group by x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Joins) != 2 {
+		t.Fatalf("joins = %+v", stmt.Joins)
+	}
+	if !strings.Contains(stmt.Joins[1].On, "and") {
+		t.Errorf("second ON lost conjunct: %q", stmt.Joins[1].On)
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0] != "x" {
+		t.Errorf("group by = %v", stmt.GroupBy)
+	}
+}
+
+func TestParseQ9FromPaper(t *testing.T) {
+	stmt, err := Parse(tpch.Q9SwiftSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.From.Sub == nil {
+		t.Fatal("Q9 FROM sub-select not detected")
+	}
+	inner := stmt.From.Sub
+	if inner.From.Table != "tpch_supplier" {
+		t.Errorf("inner from = %+v", inner.From)
+	}
+	if len(inner.Joins) != 5 {
+		t.Errorf("inner joins = %d, want 5", len(inner.Joins))
+	}
+	if !strings.Contains(inner.Where, "like") {
+		t.Errorf("inner where = %q", inner.Where)
+	}
+	if len(stmt.GroupBy) != 2 || len(stmt.OrderBy) != 2 || stmt.Limit != 999999 {
+		t.Errorf("tail clauses: group=%v order=%v limit=%d", stmt.GroupBy, stmt.OrderBy, stmt.Limit)
+	}
+	if !stmt.OrderBy[1].Desc {
+		t.Error("o_year should be desc")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"update t set x = 1",
+		"select from t",
+		"select a from",
+		"select a from t join b",
+		"select a from t limit x",
+		"select a from t; garbage",
+		"select a from (select b from c",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestPlanQ9ProducesGraphletStructure(t *testing.T) {
+	job, err := ParseAndPlan("q9", tpch.Q9SwiftSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Six base tables -> six scan stages.
+	scans := 0
+	for _, s := range job.Stages() {
+		for _, op := range s.Operators {
+			if op.Kind == dag.OpTableScan {
+				scans++
+			}
+		}
+	}
+	if scans != 6 {
+		t.Errorf("scan stages = %d, want 6", scans)
+	}
+	// The lineitem scan inherits the published 956-task parallelism.
+	found := false
+	for _, s := range job.Stages() {
+		for _, op := range s.Operators {
+			if op.Kind == dag.OpTableScan && op.Expr == "tpch_lineitem" && s.Tasks == 956 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("lineitem scan not planned at 956 tasks")
+	}
+	// Sort-merge joins cut the plan into multiple graphlets, as in Fig. 4.
+	gs, err := graphlet.Partition(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) < 3 {
+		t.Errorf("graphlets = %d, want several (Fig. 4 gives 4)", len(gs))
+	}
+	if _, err := graphlet.SubmissionOrder(gs); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one sink with LIMIT folded in.
+	sinks := job.Sinks()
+	if len(sinks) != 1 {
+		t.Fatalf("sinks = %v", sinks)
+	}
+	hasLimit := false
+	for _, op := range job.Stage(sinks[0]).Operators {
+		if op.Kind == dag.OpLimit {
+			hasLimit = true
+		}
+	}
+	if !hasLimit {
+		t.Error("LIMIT not folded into sink")
+	}
+}
+
+func TestPlanSimpleAggregate(t *testing.T) {
+	job, err := ParseAndPlan("q", "select k, sum(v) from tpch_orders group by k order by k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scan -> aggregate -> sort -> sink.
+	if job.NumStages() != 4 {
+		t.Errorf("stages = %d: %s", job.NumStages(), job)
+	}
+	// StreamedAggregate is global-sort class: its out-edge is a barrier.
+	barriers := 0
+	for _, e := range job.Edges() {
+		if e.Mode == dag.Barrier {
+			barriers++
+		}
+	}
+	if barriers < 2 {
+		t.Errorf("barriers = %d, want agg and sort stages to cut", barriers)
+	}
+	if job.Stage("M1").Tasks != tpch.ScanTasks("orders") {
+		t.Errorf("scan tasks = %d", job.Stage("M1").Tasks)
+	}
+}
+
+func TestPlanOptionsOverride(t *testing.T) {
+	stmt, err := Parse("select a from mytable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultPlanOptions()
+	opts.ScanTasks = map[string]int{"mytable": 13}
+	job, err := Plan("j", stmt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Stage("M1").Tasks != 13 {
+		t.Errorf("tasks = %d, want 13", job.Stage("M1").Tasks)
+	}
+	// Unknown table uses the default.
+	job2, err := ParseAndPlan("j2", "select a from unknown_table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job2.Stage("M1").Tasks != DefaultPlanOptions().DefaultScanTasks {
+		t.Errorf("default tasks = %d", job2.Stage("M1").Tasks)
+	}
+}

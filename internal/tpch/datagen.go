@@ -1,0 +1,120 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"swift/internal/engine"
+)
+
+// TPC-H-lite: a seeded, dbgen-like generator for the three tables the
+// runnable query suite needs, sized by a miniature scale factor (sf = 1.0
+// ≈ 60k lineitems). Dates are ISO strings, so lexicographic comparison is
+// chronological. The generated distributions follow the TPC-H spec's
+// shapes (1–7 lineitems per order, uniform discounts 0–10%, etc.) closely
+// enough for the queries' selectivities to be realistic.
+
+// LiteSchemas gives the column layout of each generated table.
+var LiteSchemas = map[string]engine.Schema{
+	"lineitem": {"l_orderkey", "l_partkey", "l_suppkey", "l_quantity",
+		"l_extendedprice", "l_discount", "l_tax", "l_returnflag",
+		"l_linestatus", "l_shipdate"},
+	"orders":   {"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_shippriority"},
+	"customer": {"c_custkey", "c_name", "c_mktsegment"},
+}
+
+var mktSegments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+var returnFlags = []string{"R", "A", "N"}
+var lineStatuses = []string{"O", "F"}
+
+func liteDate(r *rand.Rand) string {
+	year := 1992 + r.Intn(7)
+	month := 1 + r.Intn(12)
+	day := 1 + r.Intn(28)
+	return fmt.Sprintf("%04d-%02d-%02d", year, month, day)
+}
+
+// Lite holds a generated TPC-H-lite database.
+type Lite struct {
+	Customer *engine.Table
+	Orders   *engine.Table
+	Lineitem *engine.Table
+}
+
+// Tables lists the generated tables for engine registration.
+func (l *Lite) Tables() []*engine.Table {
+	return []*engine.Table{l.Customer, l.Orders, l.Lineitem}
+}
+
+// GenerateLite builds the database at the given miniature scale factor
+// with the given seed; parts is the partition count (scan parallelism) for
+// each table.
+func GenerateLite(sf float64, seed int64, parts int) *Lite {
+	if sf <= 0 {
+		sf = 0.1
+	}
+	if parts < 1 {
+		parts = 4
+	}
+	r := rand.New(rand.NewSource(seed))
+	customers := int(1500 * sf)
+	if customers < 10 {
+		customers = 10
+	}
+	orders := customers * 10
+
+	custRows := make([]engine.Row, customers)
+	for i := range custRows {
+		custRows[i] = engine.Row{
+			int64(i + 1),
+			fmt.Sprintf("Customer#%06d", i+1),
+			mktSegments[r.Intn(len(mktSegments))],
+		}
+	}
+
+	orderRows := make([]engine.Row, orders)
+	var lineRows []engine.Row
+	for i := range orderRows {
+		okey := int64(i + 1)
+		lines := 1 + r.Intn(7)
+		var total float64
+		date := liteDate(r)
+		for ln := 0; ln < lines; ln++ {
+			qty := float64(1 + r.Intn(50))
+			price := 900.0 + 100*float64(r.Intn(1000))/10
+			discount := float64(r.Intn(11)) / 100
+			tax := float64(r.Intn(9)) / 100
+			total += price * (1 - discount)
+			lineRows = append(lineRows, engine.Row{
+				okey,
+				int64(1 + r.Intn(2000)),
+				int64(1 + r.Intn(100)),
+				qty,
+				price,
+				discount,
+				tax,
+				returnFlags[r.Intn(len(returnFlags))],
+				lineStatuses[r.Intn(len(lineStatuses))],
+				liteDate(r),
+			})
+		}
+		status := "O"
+		if r.Intn(2) == 0 {
+			status = "F"
+		}
+		orderRows[i] = engine.Row{
+			okey,
+			int64(1 + r.Intn(customers)),
+			status,
+			total,
+			date,
+			int64(0),
+		}
+	}
+
+	return &Lite{
+		Customer: engine.NewTable("customer", LiteSchemas["customer"], custRows, parts),
+		Orders:   engine.NewTable("orders", LiteSchemas["orders"], orderRows, parts),
+		Lineitem: engine.NewTable("lineitem", LiteSchemas["lineitem"], lineRows, parts),
+	}
+}

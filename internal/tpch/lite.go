@@ -1,0 +1,334 @@
+package tpch
+
+import (
+	"swift/internal/dag"
+	"swift/internal/engine"
+)
+
+// Runnable TPC-H-lite queries: physical plans that execute for real on the
+// engine against a GenerateLite database. Three queries cover the suite's
+// operator classes — Q1 (scan + streamed aggregation), Q6 (filter + global
+// sum) and Q3 (3-way join + group-by + top-k ordering). Each returns the
+// job DAG and the stage bodies; reference implementations for verification
+// live beside them (LiteQ*Reference).
+
+// liteCols caches frequently used column indexes.
+var (
+	liCols = LiteSchemas["lineitem"]
+	orCols = LiteSchemas["orders"]
+	cuCols = LiteSchemas["customer"]
+)
+
+// LiteQ1 is the pricing-summary query: per (returnflag, linestatus), sum
+// of quantity, sum of extended price, sum of discounted price and row
+// count over lineitems shipped up to the cutoff date.
+func LiteQ1(scanTasks, aggTasks int, cutoff string) (*dag.Job, engine.Plans) {
+	job := dag.NewBuilder("lite-q1").
+		Stage("scan", scanTasks, dag.Op(dag.OpTableScan), dag.Op(dag.OpShuffleWrite)).
+		StageOpt(&dag.Stage{Name: "agg", Tasks: aggTasks, Idempotent: true,
+			Operators: []dag.Operator{dag.Op(dag.OpShuffleRead), dag.Op(dag.OpStreamedAggregate), dag.Op(dag.OpAdhocSink)}}).
+		Edge("scan", "agg", dag.OpStreamedAggregate, 1<<20).
+		MustBuild()
+
+	flag := liCols.MustCol("l_returnflag")
+	status := liCols.MustCol("l_linestatus")
+	ship := liCols.MustCol("l_shipdate")
+	qty := liCols.MustCol("l_quantity")
+	price := liCols.MustCol("l_extendedprice")
+	disc := liCols.MustCol("l_discount")
+
+	plans := engine.Plans{
+		"scan": func(ctx *engine.TaskContext) error {
+			part, err := ctx.TablePartition("lineitem")
+			if err != nil {
+				return err
+			}
+			var out []engine.Row
+			for _, r := range part {
+				if r[ship].(string) > cutoff {
+					continue
+				}
+				out = append(out, engine.Row{
+					r[flag], r[status], r[qty], r[price],
+					r[price].(float64) * (1 - r[disc].(float64)),
+				})
+			}
+			return ctx.EmitByKey("agg", out, []int{0, 1})
+		},
+		"agg": func(ctx *engine.TaskContext) error {
+			rows, err := ctx.Input("scan")
+			if err != nil {
+				return err
+			}
+			ctx.Sink(engine.HashAggregate(rows, []int{0, 1}, []engine.Agg{
+				{Kind: engine.AggSum, Col: 2},
+				{Kind: engine.AggSum, Col: 3},
+				{Kind: engine.AggSum, Col: 4},
+				{Kind: engine.AggCount, Col: 0},
+			}))
+			return nil
+		},
+	}
+	return job, plans
+}
+
+// LiteQ1Reference computes Q1 directly over the table.
+func LiteQ1Reference(l *Lite, cutoff string) map[[2]string][4]float64 {
+	flag := liCols.MustCol("l_returnflag")
+	status := liCols.MustCol("l_linestatus")
+	ship := liCols.MustCol("l_shipdate")
+	qty := liCols.MustCol("l_quantity")
+	price := liCols.MustCol("l_extendedprice")
+	disc := liCols.MustCol("l_discount")
+	out := map[[2]string][4]float64{}
+	for _, part := range l.Lineitem.Partitions {
+		for _, r := range part {
+			if r[ship].(string) > cutoff {
+				continue
+			}
+			k := [2]string{r[flag].(string), r[status].(string)}
+			acc := out[k]
+			acc[0] += r[qty].(float64)
+			acc[1] += r[price].(float64)
+			acc[2] += r[price].(float64) * (1 - r[disc].(float64))
+			acc[3]++
+			out[k] = acc
+		}
+	}
+	return out
+}
+
+// LiteQ6 is the forecasting-revenue query: sum(extendedprice × discount)
+// over lineitems in a date range with discount and quantity bands.
+func LiteQ6(scanTasks int, lo, hi string) (*dag.Job, engine.Plans) {
+	job := dag.NewBuilder("lite-q6").
+		Stage("scan", scanTasks, dag.Op(dag.OpTableScan), dag.Op(dag.OpFilter), dag.Op(dag.OpShuffleWrite)).
+		Stage("sum", 1, dag.Op(dag.OpShuffleRead), dag.Op(dag.OpHashAggregate), dag.Op(dag.OpAdhocSink)).
+		Pipeline("scan", "sum", 1<<20).
+		MustBuild()
+	ship := liCols.MustCol("l_shipdate")
+	qty := liCols.MustCol("l_quantity")
+	price := liCols.MustCol("l_extendedprice")
+	disc := liCols.MustCol("l_discount")
+	plans := engine.Plans{
+		"scan": func(ctx *engine.TaskContext) error {
+			part, err := ctx.TablePartition("lineitem")
+			if err != nil {
+				return err
+			}
+			var rev float64
+			for _, r := range part {
+				d := r[disc].(float64)
+				if s := r[ship].(string); s < lo || s >= hi {
+					continue
+				}
+				if d < 0.05 || d > 0.07 || r[qty].(float64) >= 24 {
+					continue
+				}
+				rev += r[price].(float64) * d
+			}
+			return ctx.EmitPartitioned("sum", [][]engine.Row{{{rev}}})
+		},
+		"sum": func(ctx *engine.TaskContext) error {
+			rows, err := ctx.Input("scan")
+			if err != nil {
+				return err
+			}
+			var total float64
+			for _, r := range rows {
+				total += r[0].(float64)
+			}
+			ctx.Sink([]engine.Row{{total}})
+			return nil
+		},
+	}
+	return job, plans
+}
+
+// LiteQ6Reference computes Q6 directly.
+func LiteQ6Reference(l *Lite, lo, hi string) float64 {
+	ship := liCols.MustCol("l_shipdate")
+	qty := liCols.MustCol("l_quantity")
+	price := liCols.MustCol("l_extendedprice")
+	disc := liCols.MustCol("l_discount")
+	var rev float64
+	for _, part := range l.Lineitem.Partitions {
+		for _, r := range part {
+			d := r[disc].(float64)
+			if s := r[ship].(string); s < lo || s >= hi {
+				continue
+			}
+			if d < 0.05 || d > 0.07 || r[qty].(float64) >= 24 {
+				continue
+			}
+			rev += r[price].(float64) * d
+		}
+	}
+	return rev
+}
+
+// LiteQ3 is the shipping-priority query: customers in a market segment
+// joined to their orders placed before a date, revenue aggregated per
+// order, top-k by revenue.
+func LiteQ3(scanTasks, joinTasks, topK int, segment, date string) (*dag.Job, engine.Plans) {
+	job := dag.NewBuilder("lite-q3").
+		Stage("cust", scanTasks, dag.Op(dag.OpTableScan), dag.Op(dag.OpFilter), dag.Op(dag.OpShuffleWrite)).
+		Stage("ord", scanTasks, dag.Op(dag.OpTableScan), dag.Op(dag.OpFilter), dag.Op(dag.OpShuffleWrite)).
+		Stage("line", scanTasks, dag.Op(dag.OpTableScan), dag.Op(dag.OpShuffleWrite)).
+		Stage("join", joinTasks, dag.Op(dag.OpShuffleRead), dag.Op(dag.OpHashJoin), dag.Op(dag.OpHashAggregate), dag.Op(dag.OpShuffleWrite)).
+		StageOpt(&dag.Stage{Name: "top", Tasks: 1, Idempotent: true,
+			Operators: []dag.Operator{dag.Op(dag.OpShuffleRead), dag.Op(dag.OpSortBy), dag.Op(dag.OpLimit), dag.Op(dag.OpAdhocSink)}}).
+		Pipeline("cust", "join", 1<<20).
+		Pipeline("ord", "join", 1<<20).
+		Pipeline("line", "join", 1<<20).
+		Edge("join", "top", dag.OpSortBy, 1<<20).
+		MustBuild()
+
+	cKey := cuCols.MustCol("c_custkey")
+	cSeg := cuCols.MustCol("c_mktsegment")
+	oKey := orCols.MustCol("o_orderkey")
+	oCust := orCols.MustCol("o_custkey")
+	oDate := orCols.MustCol("o_orderdate")
+	lKey := liCols.MustCol("l_orderkey")
+	lPrice := liCols.MustCol("l_extendedprice")
+	lDisc := liCols.MustCol("l_discount")
+
+	plans := engine.Plans{
+		"cust": func(ctx *engine.TaskContext) error {
+			part, err := ctx.TablePartition("customer")
+			if err != nil {
+				return err
+			}
+			var out []engine.Row
+			for _, r := range part {
+				if r[cSeg].(string) == segment {
+					out = append(out, engine.Row{r[cKey]})
+				}
+			}
+			// Customers partition by custkey; orders carry custkey too,
+			// but the join key downstream is orderkey, so broadcast the
+			// (small, filtered) customer set instead.
+			return ctx.Broadcast("join", out)
+		},
+		"ord": func(ctx *engine.TaskContext) error {
+			part, err := ctx.TablePartition("orders")
+			if err != nil {
+				return err
+			}
+			var out []engine.Row
+			for _, r := range part {
+				if r[oDate].(string) < date {
+					out = append(out, engine.Row{r[oKey], r[oCust], r[oDate]})
+				}
+			}
+			return ctx.EmitByKey("join", out, []int{0})
+		},
+		"line": func(ctx *engine.TaskContext) error {
+			part, err := ctx.TablePartition("lineitem")
+			if err != nil {
+				return err
+			}
+			out := make([]engine.Row, 0, len(part))
+			for _, r := range part {
+				out = append(out, engine.Row{r[lKey], r[lPrice].(float64) * (1 - r[lDisc].(float64))})
+			}
+			return ctx.EmitByKey("join", out, []int{0})
+		},
+		"join": func(ctx *engine.TaskContext) error {
+			custs, err := ctx.Input("cust")
+			if err != nil {
+				return err
+			}
+			orders, err := ctx.Input("ord")
+			if err != nil {
+				return err
+			}
+			lines, err := ctx.Input("line")
+			if err != nil {
+				return err
+			}
+			inSeg := map[int64]bool{}
+			for _, c := range custs {
+				inSeg[c[0].(int64)] = true
+			}
+			// orders filtered to the segment, keyed by orderkey.
+			keep := map[int64]string{}
+			for _, o := range orders {
+				if inSeg[o[1].(int64)] {
+					keep[o[0].(int64)] = o[2].(string)
+				}
+			}
+			rev := map[int64]float64{}
+			for _, l := range lines {
+				k := l[0].(int64)
+				if _, ok := keep[k]; ok {
+					rev[k] += l[1].(float64)
+				}
+			}
+			var out []engine.Row
+			for k, v := range rev {
+				out = append(out, engine.Row{k, v, keep[k]})
+			}
+			engine.SortRows(out, []int{0}) // deterministic order
+			return ctx.EmitPartitioned("top", [][]engine.Row{out})
+		},
+		"top": func(ctx *engine.TaskContext) error {
+			rows, err := ctx.Input("join")
+			if err != nil {
+				return err
+			}
+			// Order by revenue desc: negate for the ascending TopK.
+			keyed := make([]engine.Row, len(rows))
+			for i, r := range rows {
+				keyed[i] = engine.Row{-r[1].(float64), r[0], r[2]}
+			}
+			top := engine.TopK(keyed, []int{0}, topK)
+			out := make([]engine.Row, len(top))
+			for i, r := range top {
+				out[i] = engine.Row{r[1], -r[0].(float64), r[2]}
+			}
+			ctx.Sink(out)
+			return nil
+		},
+	}
+	return job, plans
+}
+
+// LiteQ3Reference computes Q3 directly, returning orderkey → revenue for
+// the qualifying orders (the caller takes the top-k).
+func LiteQ3Reference(l *Lite, segment, date string) map[int64]float64 {
+	cKey := cuCols.MustCol("c_custkey")
+	cSeg := cuCols.MustCol("c_mktsegment")
+	oKey := orCols.MustCol("o_orderkey")
+	oCust := orCols.MustCol("o_custkey")
+	oDate := orCols.MustCol("o_orderdate")
+	lKey := liCols.MustCol("l_orderkey")
+	lPrice := liCols.MustCol("l_extendedprice")
+	lDisc := liCols.MustCol("l_discount")
+
+	inSeg := map[int64]bool{}
+	for _, part := range l.Customer.Partitions {
+		for _, r := range part {
+			if r[cSeg].(string) == segment {
+				inSeg[r[cKey].(int64)] = true
+			}
+		}
+	}
+	keep := map[int64]bool{}
+	for _, part := range l.Orders.Partitions {
+		for _, r := range part {
+			if r[oDate].(string) < date && inSeg[r[oCust].(int64)] {
+				keep[r[oKey].(int64)] = true
+			}
+		}
+	}
+	rev := map[int64]float64{}
+	for _, part := range l.Lineitem.Partitions {
+		for _, r := range part {
+			if k := r[lKey].(int64); keep[k] {
+				rev[k] += r[lPrice].(float64) * (1 - r[lDisc].(float64))
+			}
+		}
+	}
+	return rev
+}

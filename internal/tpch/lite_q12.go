@@ -1,0 +1,130 @@
+package tpch
+
+import (
+	"swift/internal/dag"
+	"swift/internal/engine"
+)
+
+// LiteQ12 is the shipping-modes-style query: join orders to lineitems
+// shipped inside a date window and count, per order status, how many
+// qualifying orders are high-priority (total price above the threshold)
+// versus low-priority — TPC-H Q12's conditional-aggregation shape over a
+// co-partitioned join.
+func LiteQ12(scanTasks, joinTasks int, lo, hi string, priceCut float64) (*dag.Job, engine.Plans) {
+	job := dag.NewBuilder("lite-q12").
+		Stage("ord", scanTasks, dag.Op(dag.OpTableScan), dag.Op(dag.OpShuffleWrite)).
+		Stage("line", scanTasks, dag.Op(dag.OpTableScan), dag.Op(dag.OpFilter), dag.Op(dag.OpShuffleWrite)).
+		Stage("join", joinTasks, dag.Op(dag.OpShuffleRead), dag.Op(dag.OpHashJoin), dag.Op(dag.OpShuffleWrite)).
+		StageOpt(&dag.Stage{Name: "agg", Tasks: 1, Idempotent: true,
+			Operators: []dag.Operator{dag.Op(dag.OpShuffleRead), dag.Op(dag.OpStreamedAggregate), dag.Op(dag.OpAdhocSink)}}).
+		Pipeline("ord", "join", 1<<20).
+		Pipeline("line", "join", 1<<20).
+		Edge("join", "agg", dag.OpStreamedAggregate, 1<<20).
+		MustBuild()
+
+	oKey := orCols.MustCol("o_orderkey")
+	oStatus := orCols.MustCol("o_orderstatus")
+	oTotal := orCols.MustCol("o_totalprice")
+	lKey := liCols.MustCol("l_orderkey")
+	lShip := liCols.MustCol("l_shipdate")
+
+	plans := engine.Plans{
+		"ord": func(ctx *engine.TaskContext) error {
+			part, err := ctx.TablePartition("orders")
+			if err != nil {
+				return err
+			}
+			out := make([]engine.Row, 0, len(part))
+			for _, r := range part {
+				out = append(out, engine.Row{r[oKey], r[oStatus], r[oTotal]})
+			}
+			return ctx.EmitByKey("join", out, []int{0})
+		},
+		"line": func(ctx *engine.TaskContext) error {
+			part, err := ctx.TablePartition("lineitem")
+			if err != nil {
+				return err
+			}
+			var out []engine.Row
+			for _, r := range part {
+				if s := r[lShip].(string); s >= lo && s < hi {
+					out = append(out, engine.Row{r[lKey]})
+				}
+			}
+			return ctx.EmitByKey("join", out, []int{0})
+		},
+		"join": func(ctx *engine.TaskContext) error {
+			orders, err := ctx.Input("ord")
+			if err != nil {
+				return err
+			}
+			lines, err := ctx.Input("line")
+			if err != nil {
+				return err
+			}
+			// Distinct qualifying order keys in this partition.
+			qual := map[int64]bool{}
+			for _, l := range lines {
+				qual[l[0].(int64)] = true
+			}
+			var out []engine.Row
+			for _, o := range orders {
+				if !qual[o[0].(int64)] {
+					continue
+				}
+				high, low := int64(0), int64(1)
+				if o[2].(float64) > priceCut {
+					high, low = 1, 0
+				}
+				out = append(out, engine.Row{o[1], high, low})
+			}
+			return ctx.EmitPartitioned("agg", [][]engine.Row{out})
+		},
+		"agg": func(ctx *engine.TaskContext) error {
+			rows, err := ctx.Input("join")
+			if err != nil {
+				return err
+			}
+			ctx.Sink(engine.HashAggregate(rows, []int{0}, []engine.Agg{
+				{Kind: engine.AggSum, Col: 1},
+				{Kind: engine.AggSum, Col: 2},
+			}))
+			return nil
+		},
+	}
+	return job, plans
+}
+
+// LiteQ12Reference computes Q12 directly: status → (high, low) counts.
+func LiteQ12Reference(l *Lite, lo, hi string, priceCut float64) map[string][2]int64 {
+	oKey := orCols.MustCol("o_orderkey")
+	oStatus := orCols.MustCol("o_orderstatus")
+	oTotal := orCols.MustCol("o_totalprice")
+	lKey := liCols.MustCol("l_orderkey")
+	lShip := liCols.MustCol("l_shipdate")
+
+	qual := map[int64]bool{}
+	for _, part := range l.Lineitem.Partitions {
+		for _, r := range part {
+			if s := r[lShip].(string); s >= lo && s < hi {
+				qual[r[lKey].(int64)] = true
+			}
+		}
+	}
+	out := map[string][2]int64{}
+	for _, part := range l.Orders.Partitions {
+		for _, r := range part {
+			if !qual[r[oKey].(int64)] {
+				continue
+			}
+			acc := out[r[oStatus].(string)]
+			if r[oTotal].(float64) > priceCut {
+				acc[0]++
+			} else {
+				acc[1]++
+			}
+			out[r[oStatus].(string)] = acc
+		}
+	}
+	return out
+}

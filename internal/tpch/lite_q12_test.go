@@ -1,0 +1,60 @@
+package tpch
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestLiteQ12MatchesReference(t *testing.T) {
+	e, l := liteEngine(t, 0.3, 23, 4)
+	lo, hi := "1994-01-01", "1995-01-01"
+	// Split at the median order total so both priority classes are
+	// populated regardless of generator parameters.
+	var totals []float64
+	col := orCols.MustCol("o_totalprice")
+	for _, part := range l.Orders.Partitions {
+		for _, r := range part {
+			totals = append(totals, r[col].(float64))
+		}
+	}
+	sort.Float64s(totals)
+	priceCut := totals[len(totals)/2]
+	job, plans := LiteQ12(4, 3, lo, hi, priceCut)
+	rows, err := e.Run(job, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LiteQ12Reference(l, lo, hi, priceCut)
+	if len(rows) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(rows), len(want))
+	}
+	var totalHigh, totalLow int64
+	for _, r := range rows {
+		status := r[0].(string)
+		w, ok := want[status]
+		if !ok {
+			t.Fatalf("unexpected status %q", status)
+		}
+		if r[1].(int64) != w[0] || r[2].(int64) != w[1] {
+			t.Errorf("status %q = (%d,%d), want (%d,%d)", status, r[1], r[2], w[0], w[1])
+		}
+		totalHigh += r[1].(int64)
+		totalLow += r[2].(int64)
+	}
+	if totalHigh == 0 || totalLow == 0 {
+		t.Error("degenerate split — price cut not discriminating")
+	}
+}
+
+func TestLiteQ12PartitionsIntoTwoGraphlets(t *testing.T) {
+	// The join stage streams (pipeline in-edges) while the aggregate is
+	// fed over a barrier: scans+join form one graphlet, agg another.
+	job, _ := LiteQ12(4, 3, "1994-01-01", "1995-01-01", 1)
+	gs := mustPartition(t, job)
+	if len(gs) != 2 {
+		t.Fatalf("graphlets = %d, want 2", len(gs))
+	}
+	if !gs[0].Contains("join") || !gs[1].Contains("agg") {
+		t.Errorf("graphlet membership wrong: %v", gs)
+	}
+}

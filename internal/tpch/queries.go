@@ -1,0 +1,322 @@
+package tpch
+
+// Plan shapes for the TPC-H queries other than the two with published
+// structure (Q9, Q13). Each plan scans its base tables in M-stages
+// (parallelism = compressed size / 200 MB, possibly reduced by pushed-down
+// predicates), joins/aggregates in J/R-stages, and ends in an order-by sort
+// feeding a single-task adhoc sink — the operator repertoire of Fig. 4(b).
+
+// scan builds a table-scan stage spec; frac scales the bytes actually read
+// after column pruning and predicate pushdown.
+func scan(name, table string, frac, proc float64) stageSpec {
+	gb := TableGB[table] * frac
+	tasks := int(gb * 1024 / 200)
+	if tasks < 1 {
+		tasks = 1
+	}
+	return stageSpec{name: name, tasks: tasks, scanGB: gb, proc: proc}
+}
+
+func join(name string, tasks int, proc float64) stageSpec {
+	return stageSpec{name: name, tasks: tasks, proc: proc}
+}
+
+func sortStage(name string, tasks int, proc float64) stageSpec {
+	return stageSpec{name: name, tasks: tasks, proc: proc, sort: true}
+}
+
+func sink(name string) stageSpec {
+	return stageSpec{name: name, tasks: 1, proc: 0.5, sink: true}
+}
+
+var genericSpecs = map[int]querySpec{
+	// Q1: pricing summary report — lineitem scan, group-by, order-by.
+	1: {
+		stages: []stageSpec{
+			scan("M1", "lineitem", 0.7, 5.0),
+			join("R2", 64, 2.0),
+			sortStage("R3", 8, 1.0),
+			sink("R4"),
+		},
+		edges: []edgeSpec{{"M1", "R2", 4}, {"R2", "R3", 0.05}, {"R3", "R4", 0.01}},
+	},
+	// Q2: minimum cost supplier — 5-way join over small tables.
+	2: {
+		stages: []stageSpec{
+			scan("M1", "partsupp", 1.0, 2.0),
+			scan("M2", "part", 0.3, 1.0),
+			scan("M3", "supplier", 1.0, 1.0),
+			sortStage("J4", 96, 3.0),
+			join("R5", 24, 1.5),
+			sortStage("R6", 4, 0.8),
+			sink("R7"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J4", 20}, {"M2", "J4", 1}, {"M3", "J4", 1},
+			{"J4", "R5", 3}, {"R5", "R6", 0.2}, {"R6", "R7", 0.01},
+		},
+	},
+	// Q3: shipping priority — customer⋈orders⋈lineitem, top-k by revenue.
+	3: {
+		stages: []stageSpec{
+			scan("M1", "customer", 1.0, 1.5),
+			scan("M2", "orders", 0.5, 2.0),
+			scan("M3", "lineitem", 0.55, 4.0),
+			sortStage("J4", 128, 4.0),
+			sortStage("R5", 16, 1.5),
+			sink("R6"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J4", 2}, {"M2", "J4", 8}, {"M3", "J4", 30},
+			{"J4", "R5", 1}, {"R5", "R6", 0.01},
+		},
+	},
+	// Q4: order priority checking — orders semi-join lineitem.
+	4: {
+		stages: []stageSpec{
+			scan("M1", "orders", 0.4, 2.0),
+			scan("M2", "lineitem", 0.5, 3.0),
+			sortStage("J3", 96, 3.0),
+			sortStage("R4", 4, 0.8),
+			sink("R5"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J3", 6}, {"M2", "J3", 18},
+			{"J3", "R4", 0.1}, {"R4", "R5", 0.01},
+		},
+	},
+	// Q5: local supplier volume — 6-way join and group-by.
+	5: {
+		stages: []stageSpec{
+			scan("M1", "customer", 1.0, 1.5),
+			scan("M2", "orders", 0.3, 2.0),
+			scan("M3", "lineitem", 0.6, 4.5),
+			scan("M4", "supplier", 1.0, 1.0),
+			sortStage("J5", 160, 5.0),
+			join("R6", 16, 1.5),
+			sortStage("R7", 2, 0.5),
+			sink("R8"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J5", 2}, {"M2", "J5", 5}, {"M3", "J5", 35}, {"M4", "J5", 0.5},
+			{"J5", "R6", 2}, {"R6", "R7", 0.05}, {"R7", "R8", 0.01},
+		},
+	},
+	// Q6: forecasting revenue change — single-table filter + sum.
+	6: {
+		stages: []stageSpec{
+			scan("M1", "lineitem", 0.35, 2.5),
+			join("R2", 16, 0.8),
+			sink("R3"),
+		},
+		edges: []edgeSpec{{"M1", "R2", 0.3}, {"R2", "R3", 0.001}},
+	},
+	// Q7: volume shipping — nation-pair join with year extraction.
+	7: {
+		stages: []stageSpec{
+			scan("M1", "supplier", 1.0, 1.0),
+			scan("M2", "lineitem", 0.6, 4.5),
+			scan("M3", "orders", 0.8, 2.2),
+			scan("M4", "customer", 1.0, 1.5),
+			sortStage("J5", 192, 5.0),
+			sortStage("J6", 96, 3.0),
+			join("R7", 8, 1.0),
+			sink("R8"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J5", 0.5}, {"M2", "J5", 38},
+			{"M3", "J6", 12}, {"M4", "J6", 3}, {"J5", "J6", 20},
+			{"J6", "R7", 0.5}, {"R7", "R8", 0.01},
+		},
+	},
+	// Q8: national market share — widest join tree in the suite.
+	8: {
+		stages: []stageSpec{
+			scan("M1", "part", 0.1, 1.0),
+			scan("M2", "lineitem", 0.55, 4.5),
+			scan("M3", "supplier", 1.0, 1.0),
+			scan("M4", "orders", 0.6, 2.2),
+			scan("M5", "customer", 1.0, 1.5),
+			sortStage("J6", 160, 4.5),
+			sortStage("J7", 128, 3.5),
+			join("R8", 8, 1.0),
+			sortStage("R9", 2, 0.5),
+			sink("R10"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J6", 0.4}, {"M2", "J6", 32}, {"M3", "J6", 0.5},
+			{"M4", "J7", 9}, {"M5", "J7", 3}, {"J6", "J7", 12},
+			{"J7", "R8", 0.5}, {"R8", "R9", 0.02}, {"R9", "R10", 0.01},
+		},
+	},
+	// Q10: returned item reporting — join + top-20 aggregation.
+	10: {
+		stages: []stageSpec{
+			scan("M1", "customer", 1.0, 1.5),
+			scan("M2", "orders", 0.12, 1.8),
+			scan("M3", "lineitem", 0.25, 3.0),
+			sortStage("J4", 128, 3.5),
+			sortStage("R5", 16, 1.2),
+			sink("R6"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J4", 3}, {"M2", "J4", 3}, {"M3", "J4", 12},
+			{"J4", "R5", 2}, {"R5", "R6", 0.01},
+		},
+	},
+	// Q11: important stock identification — partsupp aggregation.
+	11: {
+		stages: []stageSpec{
+			scan("M1", "partsupp", 1.0, 2.0),
+			scan("M2", "supplier", 1.0, 1.0),
+			join("J3", 96, 2.5),
+			sortStage("R4", 8, 1.0),
+			sink("R5"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J3", 16}, {"M2", "J3", 0.5},
+			{"J3", "R4", 1}, {"R4", "R5", 0.05},
+		},
+	},
+	// Q12: shipping modes — orders⋈lineitem with mode filter.
+	12: {
+		stages: []stageSpec{
+			scan("M1", "orders", 1.0, 2.2),
+			scan("M2", "lineitem", 0.3, 3.0),
+			sortStage("J3", 96, 3.0),
+			join("R4", 4, 0.8),
+			sink("R5"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J3", 10}, {"M2", "J3", 8},
+			{"J3", "R4", 0.1}, {"R4", "R5", 0.01},
+		},
+	},
+	// Q14: promotion effect — part⋈lineitem, single aggregate.
+	14: {
+		stages: []stageSpec{
+			scan("M1", "part", 1.0, 1.2),
+			scan("M2", "lineitem", 0.25, 3.0),
+			join("J3", 96, 2.5),
+			sink("R4"),
+		},
+		edges: []edgeSpec{{"M1", "J3", 4}, {"M2", "J3", 10}, {"J3", "R4", 0.001}},
+	},
+	// Q15: top supplier — revenue view + join on max.
+	15: {
+		stages: []stageSpec{
+			scan("M1", "lineitem", 0.3, 3.0),
+			join("R2", 64, 2.0),
+			scan("M3", "supplier", 1.0, 1.0),
+			sortStage("J4", 32, 1.5),
+			sink("R5"),
+		},
+		edges: []edgeSpec{
+			{"M1", "R2", 8}, {"R2", "J4", 1}, {"M3", "J4", 0.5},
+			{"J4", "R5", 0.01},
+		},
+	},
+	// Q16: parts/supplier relationship — distinct counting.
+	16: {
+		stages: []stageSpec{
+			scan("M1", "partsupp", 1.0, 2.0),
+			scan("M2", "part", 0.9, 1.2),
+			sortStage("J3", 96, 3.0),
+			sortStage("R4", 8, 1.0),
+			sink("R5"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J3", 14}, {"M2", "J3", 3},
+			{"J3", "R4", 1}, {"R4", "R5", 0.05},
+		},
+	},
+	// Q17: small-quantity-order revenue — correlated subquery on part.
+	17: {
+		stages: []stageSpec{
+			scan("M1", "lineitem", 1.0, 5.5),
+			scan("M2", "part", 0.05, 1.0),
+			sortStage("J3", 192, 5.0),
+			join("R4", 8, 1.0),
+			sink("R5"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J3", 55}, {"M2", "J3", 0.3},
+			{"J3", "R4", 0.2}, {"R4", "R5", 0.001},
+		},
+	},
+	// Q18: large volume customer — lineitem self-aggregation + 3-way join.
+	18: {
+		stages: []stageSpec{
+			scan("M1", "lineitem", 0.9, 5.0),
+			sortStage("R2", 192, 4.0),
+			scan("M3", "orders", 1.0, 2.2),
+			scan("M4", "customer", 1.0, 1.5),
+			sortStage("J5", 128, 4.0),
+			sortStage("R6", 8, 1.0),
+			sink("R7"),
+		},
+		edges: []edgeSpec{
+			{"M1", "R2", 45}, {"R2", "J5", 5},
+			{"M3", "J5", 12}, {"M4", "J5", 3},
+			{"J5", "R6", 0.5}, {"R6", "R7", 0.01},
+		},
+	},
+	// Q19: discounted revenue — part⋈lineitem with disjunctive predicate.
+	19: {
+		stages: []stageSpec{
+			scan("M1", "lineitem", 0.5, 4.0),
+			scan("M2", "part", 0.8, 1.2),
+			join("J3", 128, 3.0),
+			sink("R4"),
+		},
+		edges: []edgeSpec{{"M1", "J3", 20}, {"M2", "J3", 2}, {"J3", "R4", 0.001}},
+	},
+	// Q20: potential part promotion — nested semi-joins.
+	20: {
+		stages: []stageSpec{
+			scan("M1", "lineitem", 0.35, 3.2),
+			join("R2", 96, 2.0),
+			scan("M3", "partsupp", 0.8, 1.8),
+			scan("M4", "supplier", 1.0, 1.0),
+			sortStage("J5", 64, 2.5),
+			sortStage("R6", 4, 0.8),
+			sink("R7"),
+		},
+		edges: []edgeSpec{
+			{"M1", "R2", 9}, {"R2", "J5", 2},
+			{"M3", "J5", 10}, {"M4", "J5", 0.5},
+			{"J5", "R6", 0.1}, {"R6", "R7", 0.01},
+		},
+	},
+	// Q21: suppliers who kept orders waiting — heaviest multi-join.
+	21: {
+		stages: []stageSpec{
+			scan("M1", "supplier", 1.0, 1.0),
+			scan("M2", "lineitem", 1.0, 5.5),
+			scan("M3", "orders", 0.5, 2.2),
+			sortStage("J4", 256, 6.0),
+			sortStage("J5", 128, 4.0),
+			sortStage("R6", 8, 1.0),
+			sink("R7"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J4", 0.5}, {"M2", "J4", 58},
+			{"M3", "J5", 8}, {"J4", "J5", 25},
+			{"J5", "R6", 0.3}, {"R6", "R7", 0.01},
+		},
+	},
+	// Q22: global sales opportunity — customer anti-join.
+	22: {
+		stages: []stageSpec{
+			scan("M1", "customer", 1.0, 1.8),
+			scan("M2", "orders", 1.0, 2.2),
+			sortStage("J3", 64, 2.5),
+			sortStage("R4", 4, 0.8),
+			sink("R5"),
+		},
+		edges: []edgeSpec{
+			{"M1", "J3", 2}, {"M2", "J3", 8},
+			{"J3", "R4", 0.1}, {"R4", "R5", 0.01},
+		},
+	},
+}

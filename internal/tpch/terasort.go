@@ -1,0 +1,74 @@
+package tpch
+
+import (
+	"fmt"
+
+	"swift/internal/dag"
+)
+
+// Terasort returns the Table I Terasort job with m map tasks and n reduce
+// tasks; each map task processes 200 MB, so the total sorted volume is
+// m × 200 MB. The reduce side performs the global sort, so the map→reduce
+// edge is a barrier and the job forms two graphlets — whose shuffle edge
+// size m×n drives the adaptive mode selection (250² = 62,500 → Remote;
+// 1500² = 2,250,000 → Local).
+func Terasort(m, n int) *dag.Job {
+	if m <= 0 || n <= 0 {
+		panic("tpch: terasort sizes must be positive")
+	}
+	total := int64(m) * 200 * MB
+	j := dag.NewJob(fmt.Sprintf("terasort-%dx%d", m, n))
+	mapStage := &dag.Stage{
+		Name:  "map",
+		Tasks: m,
+		Operators: []dag.Operator{
+			dag.Op(dag.OpTableScan), dag.Op(dag.OpMergeSort), dag.Op(dag.OpShuffleWrite),
+		},
+		Idempotent: true,
+		Cost: dag.Cost{
+			ScanBytes:             total,
+			ProcessSecondsPerTask: 6.0, // partition + local sort of 200 MB
+		},
+	}
+	reduceStage := &dag.Stage{
+		Name:  "reduce",
+		Tasks: n,
+		Operators: []dag.Operator{
+			dag.Op(dag.OpShuffleRead), dag.Op(dag.OpMergeSort), dag.Op(dag.OpAdhocSink),
+		},
+		Idempotent: true,
+		Cost: dag.Cost{
+			ProcessSecondsPerTask: 6.0 * float64(m) / float64(n), // merge of its partition
+			OutputBytes:           total,
+		},
+	}
+	if err := j.AddStage(mapStage); err != nil {
+		panic("tpch: " + err.Error())
+	}
+	if err := j.AddStage(reduceStage); err != nil {
+		panic("tpch: " + err.Error())
+	}
+	if err := j.AddEdge(&dag.Edge{From: "map", To: "reduce", Op: dag.OpShuffleRead, Bytes: total}); err != nil {
+		panic("tpch: " + err.Error())
+	}
+	j.Classify()
+	return j
+}
+
+// Q9SwiftSQL is the Fig. 1 source text of Q9 in the Swift language, used by
+// the SQL front end and the swiftsql tool.
+const Q9SwiftSQL = `select nation, o_year, sum(amount) as sum_profit
+from (
+  select n_name as nation, substr(o_orderdate, 1, 4) as o_year,
+    l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity as amount
+  from tpch_supplier s
+  join tpch_lineitem l on s.s_suppkey = l.l_suppkey
+  join tpch_partsupp ps on ps.ps_suppkey = l.l_suppkey and ps.ps_partkey = l.l_partkey
+  join tpch_part p on p.p_partkey = l.l_partkey
+  join tpch_orders o on o.o_orderkey = l.l_orderkey
+  join tpch_nation n on s.s_nationkey = n.n_nationkey
+  where p_name like '%green%'
+)
+group by nation, o_year
+order by nation, o_year desc
+limit 999999;`

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"swift/internal/dag"
+)
+
+// Trace serialization: one JSON object per line, so production traces can
+// be exported, inspected and replayed byte-identically across machines
+// (`swifttrace -out trace.jsonl`, `swiftbench` replays).
+
+type jsonStage struct {
+	Name       string  `json:"name"`
+	Tasks      int     `json:"tasks"`
+	Idempotent bool    `json:"idempotent"`
+	Sort       bool    `json:"sort,omitempty"`
+	Scan       bool    `json:"scan,omitempty"`
+	Sink       bool    `json:"sink,omitempty"`
+	ScanBytes  int64   `json:"scan_bytes,omitempty"`
+	ProcSec    float64 `json:"proc_sec"`
+}
+
+type jsonEdge struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Barrier bool   `json:"barrier"`
+	Bytes   int64  `json:"bytes"`
+}
+
+type jsonJob struct {
+	ID       string      `json:"id"`
+	SubmitAt float64     `json:"submit_at"`
+	Stages   []jsonStage `json:"stages"`
+	Edges    []jsonEdge  `json:"edges"`
+}
+
+// Write serialises the trace as JSON lines.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, j := range t.Jobs {
+		jj := jsonJob{ID: j.Job.ID, SubmitAt: j.SubmitAt}
+		for _, s := range j.Job.Stages() {
+			js := jsonStage{
+				Name: s.Name, Tasks: s.Tasks, Idempotent: s.Idempotent,
+				ScanBytes: s.Cost.ScanBytes, ProcSec: s.Cost.ProcessSecondsPerTask,
+			}
+			for _, op := range s.Operators {
+				switch op.Kind {
+				case dag.OpMergeSort:
+					js.Sort = true
+				case dag.OpTableScan:
+					js.Scan = true
+				case dag.OpAdhocSink:
+					js.Sink = true
+				}
+			}
+			jj.Stages = append(jj.Stages, js)
+		}
+		for _, e := range j.Job.Edges() {
+			jj.Edges = append(jj.Edges, jsonEdge{
+				From: e.From, To: e.To, Barrier: e.Mode == dag.Barrier, Bytes: e.Bytes,
+			})
+		}
+		if err := enc.Encode(&jj); err != nil {
+			return fmt.Errorf("trace: encode %s: %w", j.Job.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON-lines trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	dec := json.NewDecoder(r)
+	for {
+		var jj jsonJob
+		if err := dec.Decode(&jj); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		job := dag.NewJob(jj.ID)
+		for _, s := range jj.Stages {
+			var ops []dag.Operator
+			if s.Scan {
+				ops = append(ops, dag.Op(dag.OpTableScan))
+			} else {
+				ops = append(ops, dag.Op(dag.OpShuffleRead))
+			}
+			if s.Sort {
+				ops = append(ops, dag.Op(dag.OpMergeSort))
+			}
+			if s.Sink {
+				ops = append(ops, dag.Op(dag.OpAdhocSink))
+			} else {
+				ops = append(ops, dag.Op(dag.OpShuffleWrite))
+			}
+			st := &dag.Stage{
+				Name: s.Name, Tasks: s.Tasks, Operators: ops, Idempotent: s.Idempotent,
+				Cost: dag.Cost{ScanBytes: s.ScanBytes, ProcessSecondsPerTask: s.ProcSec},
+			}
+			if err := job.AddStage(st); err != nil {
+				return nil, fmt.Errorf("trace: job %s: %w", jj.ID, err)
+			}
+		}
+		for _, e := range jj.Edges {
+			mode := dag.Pipeline
+			if e.Barrier {
+				mode = dag.Barrier
+			}
+			de := &dag.Edge{From: e.From, To: e.To, Op: dag.OpShuffleRead, Mode: mode, Bytes: e.Bytes}
+			if err := job.AddEdge(de); err != nil {
+				return nil, fmt.Errorf("trace: job %s: %w", jj.ID, err)
+			}
+		}
+		if err := job.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: job %s: %w", jj.ID, err)
+		}
+		t.Jobs = append(t.Jobs, Job{Job: job, SubmitAt: jj.SubmitAt})
+	}
+	return t, nil
+}

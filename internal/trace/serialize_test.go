@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := Generate(Spec{Jobs: 60, Seed: 9, ArrivalWindow: 50})
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != len(orig.Jobs) {
+		t.Fatalf("jobs = %d, want %d", len(got.Jobs), len(orig.Jobs))
+	}
+	for i := range got.Jobs {
+		a, b := orig.Jobs[i], got.Jobs[i]
+		if a.SubmitAt != b.SubmitAt || a.Job.ID != b.Job.ID {
+			t.Fatalf("job %d header mismatch", i)
+		}
+		if a.Job.NumStages() != b.Job.NumStages() || a.Job.NumTasks() != b.Job.NumTasks() {
+			t.Fatalf("job %d shape mismatch", i)
+		}
+		ae, be := a.Job.Edges(), b.Job.Edges()
+		if len(ae) != len(be) {
+			t.Fatalf("job %d edges mismatch", i)
+		}
+		for k := range ae {
+			if ae[k].Mode != be[k].Mode || ae[k].Bytes != be[k].Bytes || ae[k].From != be[k].From {
+				t.Fatalf("job %d edge %d mismatch: %+v vs %+v", i, k, ae[k], be[k])
+			}
+		}
+		for _, name := range a.Job.StageNames() {
+			sa, sb := a.Job.Stage(name), b.Job.Stage(name)
+			if sb == nil || sa.Tasks != sb.Tasks || sa.Idempotent != sb.Idempotent {
+				t.Fatalf("job %d stage %s mismatch", i, name)
+			}
+			if sa.Cost.ProcessSecondsPerTask != sb.Cost.ProcessSecondsPerTask ||
+				sa.Cost.ScanBytes != sb.Cost.ScanBytes {
+				t.Fatalf("job %d stage %s cost mismatch", i, name)
+			}
+		}
+	}
+	// A second write produces identical bytes.
+	var buf2 bytes.Buffer
+	if err := got.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := orig.Write(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Error("round-trip bytes differ")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("{bad json")); err == nil {
+		t.Error("bad json accepted")
+	}
+	// Edge referencing an unknown stage.
+	line := `{"id":"x","submit_at":0,"stages":[{"name":"a","tasks":1,"proc_sec":1}],"edges":[{"from":"a","to":"zzz","bytes":1}]}`
+	if _, err := Read(strings.NewReader(line)); err == nil {
+		t.Error("dangling edge accepted")
+	}
+	// Empty input is an empty trace.
+	tr, err := Read(strings.NewReader(""))
+	if err != nil || len(tr.Jobs) != 0 {
+		t.Errorf("empty input: %v %v", tr, err)
+	}
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"swift/internal/dag"
+	"swift/internal/graphlet"
+	"swift/internal/metrics"
+)
+
+func TestGenerateMatchesFig8Characteristics(t *testing.T) {
+	tr := Generate(Spec{Jobs: 2000, Seed: 42, ArrivalWindow: 200})
+	if len(tr.Jobs) != 2000 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+	var tasks, stages []float64
+	for _, j := range tr.Jobs {
+		tasks = append(tasks, float64(j.Job.NumTasks()))
+		stages = append(stages, float64(j.Job.NumStages()))
+		if j.SubmitAt < 0 || j.SubmitAt > 200 {
+			t.Fatalf("arrival out of window: %f", j.SubmitAt)
+		}
+		if err := j.Job.Validate(); err != nil {
+			t.Fatalf("invalid job: %v", err)
+		}
+	}
+	// Fig. 8(b): >80% of jobs have ≤80 tasks and ≤4 stages.
+	if got := metrics.FractionBelow(tasks, 80); got < 0.8 {
+		t.Errorf("fraction with ≤80 tasks = %.3f, want ≥0.8", got)
+	}
+	if got := metrics.FractionBelow(stages, 4); got < 0.8 {
+		t.Errorf("fraction with ≤4 stages = %.3f, want ≥0.8", got)
+	}
+	// Intended runtimes: mean ≈30s, >90% under 120s. The intended
+	// runtime of a job is the sum of its per-stage critical processing.
+	var runtimes []float64
+	for _, j := range tr.Jobs {
+		total := 0.0
+		for _, s := range j.Job.Stages() {
+			total += s.Cost.ProcessSecondsPerTask
+		}
+		runtimes = append(runtimes, total)
+	}
+	mean := metrics.Mean(runtimes)
+	if mean < 15 || mean > 50 {
+		t.Errorf("mean intended runtime = %.1fs, want ≈30s", mean)
+	}
+	if got := metrics.FractionBelow(runtimes, 120); got < 0.9 {
+		t.Errorf("fraction under 120s = %.3f, want ≥0.9", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Spec{Jobs: 50, Seed: 7, ArrivalWindow: 100})
+	b := Generate(Spec{Jobs: 50, Seed: 7, ArrivalWindow: 100})
+	for i := range a.Jobs {
+		if a.Jobs[i].SubmitAt != b.Jobs[i].SubmitAt {
+			t.Fatal("arrivals differ")
+		}
+		if a.Jobs[i].Job.String() != b.Jobs[i].Job.String() {
+			t.Fatal("jobs differ")
+		}
+	}
+	c := Generate(Spec{Jobs: 50, Seed: 8, ArrivalWindow: 100})
+	same := true
+	for i := range a.Jobs {
+		if a.Jobs[i].Job.String() != c.Jobs[i].Job.String() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratedJobsPartitionable(t *testing.T) {
+	tr := Generate(Spec{Jobs: 200, Seed: 3})
+	for _, j := range tr.Jobs {
+		gs, err := graphlet.Partition(j.Job)
+		if err != nil {
+			t.Fatalf("%s: %v", j.Job.ID, err)
+		}
+		if _, err := graphlet.SubmissionOrder(gs); err != nil {
+			t.Fatalf("%s: %v", j.Job.ID, err)
+		}
+	}
+}
+
+func TestScaleMultipliesTasks(t *testing.T) {
+	small := Generate(Spec{Jobs: 300, Seed: 5, Scale: 1})
+	big := Generate(Spec{Jobs: 300, Seed: 5, Scale: 8})
+	sum := func(tr *Trace) int {
+		n := 0
+		for _, j := range tr.Jobs {
+			n += j.Job.NumTasks()
+		}
+		return n
+	}
+	if s, b := sum(small), sum(big); b < 4*s {
+		t.Errorf("scale 8 gave %d tasks vs %d at scale 1", b, s)
+	}
+}
+
+func TestFailureTimeDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var xs []float64
+	for i := 0; i < 5000; i++ {
+		xs = append(xs, FailureTime(r))
+	}
+	within30 := metrics.FractionBelow(xs, 30)
+	within200 := metrics.FractionBelow(xs, 200)
+	if within30 < 0.4 || within30 > 0.6 {
+		t.Errorf("P(<30s) = %.3f, want ≈0.5", within30)
+	}
+	if within200 < 0.85 || within200 > 0.95 {
+		t.Errorf("P(<200s) = %.3f, want ≈0.9", within200)
+	}
+}
+
+func TestShuffleCategoryJob(t *testing.T) {
+	j := ShuffleCategoryJob("m", 200, 200, 100<<20, 2)
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := j.Edges()[0]
+	if j.ShuffleEdgeSize(e) != 40000 {
+		t.Errorf("edge size = %d", j.ShuffleEdgeSize(e))
+	}
+	if e.Mode != dag.Barrier {
+		t.Error("category job shuffle should be a barrier (sorted)")
+	}
+	if e.Bytes != 200*100<<20 {
+		t.Errorf("bytes = %d", e.Bytes)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero jobs did not panic")
+		}
+	}()
+	Generate(Spec{Jobs: 0})
+}
