@@ -10,7 +10,9 @@ package engine
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"slices"
+	"strings"
 )
 
 // Value is one field of a row. The engine operates on untyped values the
@@ -114,51 +116,162 @@ func CompareRows(a, b Row, keys []int) int {
 	return 0
 }
 
-// SortRows sorts rows in place by the key columns (stable).
+// SortRows sorts rows in place by the key columns (stable). Single-key
+// sorts over a kind-homogeneous column take a typed fast path that skips
+// the per-comparison type switch of Compare.
 func SortRows(rows []Row, keys []int) {
-	sort.SliceStable(rows, func(i, j int) bool {
-		return CompareRows(rows[i], rows[j], keys) < 0
-	})
+	if len(keys) == 1 && sortSingleKey(rows, keys[0]) {
+		return
+	}
+	slices.SortStableFunc(rows, func(a, b Row) int { return CompareRows(a, b, keys) })
 }
 
-// Hash computes a partition-stable hash of the key columns.
-func Hash(r Row, keys []int) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(bs []byte) {
-		for _, b := range bs {
-			h ^= uint64(b)
-			h *= prime64
-		}
+// sortSingleKey dispatches to a typed comparator when every value in the
+// key column shares one concrete kind, reporting whether it sorted.
+func sortSingleKey(rows []Row, k int) bool {
+	if len(rows) < 2 {
+		return true
 	}
+	switch rows[0][k].(type) {
+	case int64:
+		for _, r := range rows {
+			if _, ok := r[k].(int64); !ok {
+				return false
+			}
+		}
+		slices.SortStableFunc(rows, func(a, b Row) int {
+			av, bv := a[k].(int64), b[k].(int64)
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			}
+			return 0
+		})
+	case string:
+		for _, r := range rows {
+			if _, ok := r[k].(string); !ok {
+				return false
+			}
+		}
+		slices.SortStableFunc(rows, func(a, b Row) int {
+			return strings.Compare(a[k].(string), b[k].(string))
+		})
+	case float64:
+		for _, r := range rows {
+			if _, ok := r[k].(float64); !ok {
+				return false
+			}
+		}
+		slices.SortStableFunc(rows, func(a, b Row) int {
+			return cmpFloat(a[k].(float64), b[k].(float64))
+		})
+	default:
+		return false
+	}
+	return true
+}
+
+// FNV-1a parameters and per-kind tags. Tags keep values of different kinds
+// from trivially colliding; int64 and float64 share the number tag because
+// Compare treats them as one numeric domain.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+
+	tagNumber = 0x4e
+	tagString = 0x53
+	tagBool   = 0x42
+	tagOther  = 0x3f
+)
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func hashUint64(h, u uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (u & 0xff)) * fnvPrime64
+		u >>= 8
+	}
+	return h
+}
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// Hash computes a partition-stable hash of the key columns without
+// allocating for int64, float64, string or bool values. Numeric values are
+// normalized before hashing: a float64 that is exactly an integer hashes
+// identically to the equal int64, so mixed-kind keys that Compare as equal
+// land in the same EmitByKey partition and HashJoin/HashAggregate bucket.
+func Hash(r Row, keys []int) uint64 {
+	h := uint64(fnvOffset64)
 	for _, k := range keys {
 		switch v := r[k].(type) {
 		case int64:
-			var buf [8]byte
-			u := uint64(v)
-			for i := 0; i < 8; i++ {
-				buf[i] = byte(u >> (8 * i))
-			}
-			mix(buf[:])
+			h = hashByte(h, tagNumber)
+			h = hashUint64(h, uint64(v))
 		case float64:
-			mix([]byte(fmt.Sprintf("%g", v)))
-		case string:
-			mix([]byte(v))
-		case bool:
-			if v {
-				mix([]byte{1})
+			h = hashByte(h, tagNumber)
+			// Integral floats in int64 range hash as that integer; the
+			// bounds are exact float64 values (±2^63), and NaN/±Inf fail
+			// the Trunc test into the raw-bits path.
+			if v == math.Trunc(v) && v >= -9223372036854775808 && v < 9223372036854775808 {
+				h = hashUint64(h, uint64(int64(v)))
 			} else {
-				mix([]byte{0})
+				h = hashUint64(h, math.Float64bits(v))
+			}
+		case string:
+			h = hashByte(h, tagString)
+			h = hashString(h, v)
+		case bool:
+			h = hashByte(h, tagBool)
+			if v {
+				h = hashByte(h, 1)
+			} else {
+				h = hashByte(h, 0)
 			}
 		default:
-			mix([]byte(fmt.Sprintf("%v", v)))
+			h = hashByte(h, tagOther)
+			h = hashString(h, fmt.Sprintf("%v", v))
 		}
-		h ^= prime64 // column separator
+		h ^= fnvPrime64 // column separator
 	}
 	return h
+}
+
+// rowArena carves output rows from shared value blocks, replacing the
+// one-allocation-per-row cost of operators that materialise concatenated
+// or aggregated rows. Carved rows have len == cap, so appending to one
+// copies out instead of clobbering its arena neighbour. Arenas are
+// single-goroutine and never reuse carved space.
+type rowArena struct{ buf []Value }
+
+const arenaBlockValues = 4096
+
+func (a *rowArena) alloc(n int) Row {
+	if n > len(a.buf) {
+		size := arenaBlockValues
+		if n > size {
+			size = n
+		}
+		a.buf = make([]Value, size)
+	}
+	r := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	return r
+}
+
+// concat carves a ++ b as one row.
+func (a *rowArena) concat(x, y Row) Row {
+	out := a.alloc(len(x) + len(y))
+	copy(out, x)
+	copy(out[len(x):], y)
+	return out
 }
 
 // Table is a named, partitioned dataset registered with the engine;

@@ -208,6 +208,70 @@ func TestJoinJobEndToEnd(t *testing.T) {
 	}
 }
 
+// TestEmitByKeyMixedNumericJoin is the regression test for numeric key
+// normalization in Hash: an int64 key column shuffled through EmitByKey
+// must co-locate with the equal float64 keys of the other side, or the
+// distributed join silently drops matches (the pre-rewrite Hash formatted
+// floats via fmt and partitioned int64(3) away from float64(3)).
+func TestEmitByKeyMixedNumericJoin(t *testing.T) {
+	e := New(DefaultConfig())
+	defer e.Close()
+	const keys = 60
+	var ints, floats []Row
+	for i := 0; i < keys; i++ {
+		ints = append(ints, Row{int64(i), fmt.Sprintf("int-%d", i)})
+		floats = append(floats, Row{float64(i), fmt.Sprintf("float-%d", i)})
+	}
+	e.RegisterTable(NewTable("ints", Schema{"k", "tag"}, ints, 3))
+	e.RegisterTable(NewTable("floats", Schema{"k", "tag"}, floats, 3))
+
+	job := dag.NewBuilder("mixed-join").
+		Stage("a", 3, dag.Op(dag.OpTableScan), dag.Op(dag.OpShuffleWrite)).
+		Stage("b", 3, dag.Op(dag.OpTableScan), dag.Op(dag.OpShuffleWrite)).
+		Stage("j", 5, dag.Op(dag.OpShuffleRead), dag.Op(dag.OpHashJoin), dag.Op(dag.OpAdhocSink)).
+		Pipeline("a", "j", 1<<20).
+		Pipeline("b", "j", 1<<20).
+		MustBuild()
+	scan := func(table, to string) StageFn {
+		return func(ctx *TaskContext) error {
+			rows, err := ctx.TablePartition(table)
+			if err != nil {
+				return err
+			}
+			return ctx.EmitByKey(to, rows, []int{0})
+		}
+	}
+	plans := Plans{
+		"a": scan("ints", "j"),
+		"b": scan("floats", "j"),
+		"j": func(ctx *TaskContext) error {
+			left, err := ctx.Input("a")
+			if err != nil {
+				return err
+			}
+			right, err := ctx.Input("b")
+			if err != nil {
+				return err
+			}
+			ctx.Sink(Drain(NewHashJoin(right, []int{0}, NewSliceIter(left), []int{0})))
+			return nil
+		},
+	}
+	rows, err := e.Run(job, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every int64 key must find its float64 twin despite the kind split.
+	if len(rows) != keys {
+		t.Fatalf("mixed-kind join produced %d rows, want %d", len(rows), keys)
+	}
+	for _, r := range rows {
+		if Compare(r[0], r[2]) != 0 {
+			t.Fatalf("joined unequal keys: %v", r)
+		}
+	}
+}
+
 func TestRecoveryPreservesExactResults(t *testing.T) {
 	e := New(DefaultConfig())
 	defer e.Close()

@@ -1,6 +1,6 @@
 package engine
 
-import "sort"
+import "slices"
 
 // Iter is the engine's row stream: Next returns the next row and whether
 // one was produced. Operators compose Iters the volcano way.
@@ -94,22 +94,40 @@ func (l *Limit) Next() (Row, bool) {
 
 // HashJoin joins a build side (fully materialised) against a probe stream
 // on equal keys, emitting probe-row ++ build-row concatenations (inner
-// join).
+// join). Buckets are probed in place with a cursor — no per-probe-row
+// bucket copy — and output rows are carved from an arena.
 type HashJoin struct {
 	probe     Iter
 	probeKeys []int
 	table     map[uint64][]Row
 	buildKeys []int
-	// pending are matches of the current probe row not yet emitted.
-	pending []Row
+	// bucket/cursor walk the current probe row's candidate bucket.
+	bucket  []Row
+	cursor  int
 	current Row
+	arena   rowArena
 }
 
-// NewHashJoin builds the hash table from build rows.
+// NewHashJoin builds the hash table from build rows in two passes: count
+// per hash, then carve exact-size buckets out of one backing slice, so the
+// build side costs O(distinct keys) allocations instead of O(rows).
 func NewHashJoin(build []Row, buildKeys []int, probe Iter, probeKeys []int) *HashJoin {
-	t := make(map[uint64][]Row)
-	for _, r := range build {
+	hashes := make([]uint64, len(build))
+	counts := make(map[uint64]int32, len(build))
+	for i, r := range build {
 		h := Hash(r, buildKeys)
+		hashes[i] = h
+		counts[h]++
+	}
+	backing := make([]Row, len(build))
+	t := make(map[uint64][]Row, len(counts))
+	off := int32(0)
+	for h, c := range counts {
+		t[h] = backing[off:off : off+c]
+		off += c
+	}
+	for i, r := range build {
+		h := hashes[i]
 		t[h] = append(t[h], r)
 	}
 	return &HashJoin{probe: probe, probeKeys: probeKeys, table: t, buildKeys: buildKeys}
@@ -118,14 +136,11 @@ func NewHashJoin(build []Row, buildKeys []int, probe Iter, probeKeys []int) *Has
 // Next implements Iter.
 func (j *HashJoin) Next() (Row, bool) {
 	for {
-		for len(j.pending) > 0 {
-			b := j.pending[0]
-			j.pending = j.pending[1:]
+		for j.cursor < len(j.bucket) {
+			b := j.bucket[j.cursor]
+			j.cursor++
 			if keysEqual(j.current, j.probeKeys, b, j.buildKeys) {
-				out := make(Row, 0, len(j.current)+len(b))
-				out = append(out, j.current...)
-				out = append(out, b...)
-				return out, true
+				return j.arena.concat(j.current, b), true
 			}
 		}
 		r, ok := j.probe.Next()
@@ -133,7 +148,8 @@ func (j *HashJoin) Next() (Row, bool) {
 			return nil, false
 		}
 		j.current = r
-		j.pending = append([]Row(nil), j.table[Hash(r, j.probeKeys)]...)
+		j.bucket = j.table[Hash(r, j.probeKeys)]
+		j.cursor = 0
 	}
 }
 
@@ -155,6 +171,7 @@ type MergeJoin struct {
 	li, ri              int
 	pendLeft, pendRight []Row
 	pi, pj              int
+	arena               rowArena
 }
 
 // NewMergeJoin creates a merge join over sorted inputs.
@@ -173,10 +190,7 @@ func (m *MergeJoin) Next() (Row, bool) {
 				m.pj = 0
 				m.pi++
 			}
-			out := make(Row, 0, len(l)+len(r))
-			out = append(out, l...)
-			out = append(out, r...)
-			return out, true
+			return m.arena.concat(l, r), true
 		}
 		if m.li >= len(m.left) || m.ri >= len(m.right) {
 			return nil, false
@@ -230,51 +244,142 @@ const (
 	AggMax
 )
 
+// groupKeyEqual reports whether a stored group key tuple equals r's key
+// columns (key[i] corresponds to r[keys[i]]).
+func groupKeyEqual(key, r Row, keys []int) bool {
+	for i, k := range keys {
+		if Compare(key[i], r[k]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// accCell is one (group, aggregate) accumulator. Sum/Count state is held
+// unboxed so folding a numeric stream does not re-box a Value per row;
+// boxing happens once per group at emit time.
+type accCell struct {
+	i    int64   // integer sum / count
+	f    float64 // float sum once the stream turns float
+	v    Value   // current Min/Max winner (already boxed by the input row)
+	isF  bool
+	seen bool
+}
+
+func (c *accCell) fold(kind AggKind, v Value) {
+	switch kind {
+	case AggCount:
+		c.i++
+	case AggSum:
+		switch x := v.(type) {
+		case int64:
+			if c.isF {
+				c.f += float64(x)
+			} else {
+				c.i += x
+			}
+		case float64:
+			if !c.isF {
+				c.isF = true
+				c.f = float64(c.i)
+			}
+			c.f += x
+		default:
+			panic("engine: sum over non-numeric values")
+		}
+	case AggMin:
+		if !c.seen || Compare(v, c.v) < 0 {
+			c.v = v
+		}
+	case AggMax:
+		if !c.seen || Compare(v, c.v) > 0 {
+			c.v = v
+		}
+	}
+	c.seen = true
+}
+
+// value boxes the accumulator result. Count of an empty stream is 0, like
+// the previous implementation's nil-accumulator substitution.
+func (c *accCell) value(kind AggKind) Value {
+	switch kind {
+	case AggCount:
+		return c.i
+	case AggSum:
+		if !c.seen {
+			return nil
+		}
+		if c.isF {
+			return c.f
+		}
+		return c.i
+	}
+	return c.v
+}
+
 // HashAggregate groups rows by key columns and computes the aggregates,
 // emitting key values followed by aggregate values. Output order is
-// deterministic (sorted by key).
+// deterministic (sorted by key). Groups live in a flat table — key tuples
+// carved from an arena, accumulators in one contiguous slice, hash
+// collisions chained through an index slice — so the cost is O(groups)
+// allocations, not O(rows).
 func HashAggregate(rows []Row, keys []int, aggs []Agg) []Row {
-	type group struct {
-		key  Row
-		accs []Value
-	}
-	groups := make(map[uint64][]*group)
-	find := func(r Row) *group {
-		h := Hash(r, keys)
-		for _, g := range groups[h] {
-			if keysEqual(g.key, identity(len(keys)), r, keys) {
-				return g
-			}
-		}
-		key := make(Row, len(keys))
-		for i, k := range keys {
-			key[i] = r[k]
-		}
-		g := &group{key: key, accs: make([]Value, len(aggs))}
-		groups[h] = append(groups[h], g)
-		return g
-	}
+	nk, na := len(keys), len(aggs)
+	var arena rowArena
+	head := make(map[uint64]int32, 64) // hash -> first group id
+	var (
+		groupKeys []Row
+		accs      []accCell // group g's accumulators at accs[g*na : (g+1)*na]
+		next      []int32   // collision chain: next group id with same hash, -1 ends
+	)
 	for _, r := range rows {
-		g := find(r)
-		for i, a := range aggs {
-			g.accs[i] = fold(a.Kind, g.accs[i], r[a.Col])
-		}
-	}
-	var out []Row
-	for _, gs := range groups {
-		for _, g := range gs {
-			row := make(Row, 0, len(g.key)+len(g.accs))
-			row = append(row, g.key...)
-			for i, a := range g.accs {
-				if a == nil && aggs[i].Kind == AggCount {
-					a = int64(0)
+		h := Hash(r, keys)
+		first, seen := head[h]
+		gid := int32(-1)
+		if seen {
+			for g := first; g >= 0; g = next[g] {
+				if groupKeyEqual(groupKeys[g], r, keys) {
+					gid = g
+					break
 				}
-				row = append(row, a)
 			}
-			out = append(out, row)
+		}
+		if gid < 0 {
+			key := arena.alloc(nk)
+			for i, k := range keys {
+				key[i] = r[k]
+			}
+			gid = int32(len(groupKeys))
+			groupKeys = append(groupKeys, key)
+			for i := 0; i < na; i++ {
+				accs = append(accs, accCell{})
+			}
+			if seen {
+				next = append(next, first)
+			} else {
+				next = append(next, -1)
+			}
+			head[h] = gid
+		}
+		base := int(gid) * na
+		for i, a := range aggs {
+			accs[base+i].fold(a.Kind, r[a.Col])
 		}
 	}
-	SortRows(out, identity(len(keys)))
+	if len(groupKeys) == 0 {
+		return nil
+	}
+	out := make([]Row, len(groupKeys))
+	for g, key := range groupKeys {
+		row := arena.alloc(nk + na)
+		copy(row, key)
+		base := g * na
+		for i, a := range aggs {
+			row[nk+i] = accs[base+i].value(a.Kind)
+		}
+		out[g] = row
+	}
+	SortRows(out, identity(nk))
 	return out
 }
 
@@ -286,71 +391,24 @@ func identity(n int) []int {
 	return out
 }
 
-func fold(kind AggKind, acc Value, v Value) Value {
-	switch kind {
-	case AggCount:
-		if acc == nil {
-			return int64(1)
-		}
-		return acc.(int64) + 1
-	case AggSum:
-		if acc == nil {
-			return toFloatOrInt(v)
-		}
-		return addValues(acc, v)
-	case AggMin:
-		if acc == nil || Compare(v, acc) < 0 {
-			return v
-		}
-		return acc
-	case AggMax:
-		if acc == nil || Compare(v, acc) > 0 {
-			return v
-		}
-		return acc
-	}
-	return acc
-}
-
-func toFloatOrInt(v Value) Value { return v }
-
-func addValues(a, b Value) Value {
-	switch av := a.(type) {
-	case int64:
-		switch bv := b.(type) {
-		case int64:
-			return av + bv
-		case float64:
-			return float64(av) + bv
-		}
-	case float64:
-		switch bv := b.(type) {
-		case int64:
-			return av + float64(bv)
-		case float64:
-			return av + bv
-		}
-	}
-	panic("engine: sum over non-numeric values")
-}
-
 // StreamedAggregate aggregates key-sorted input in one pass (the paper's
 // sort-aggregate operator): rows must arrive sorted by the key columns.
+// The current group's key columns are compared in place and accumulators
+// are unboxed cells, so steady-state rows cost zero allocations.
 func StreamedAggregate(in Iter, keys []int, aggs []Agg) []Row {
 	var out []Row
+	var arena rowArena
 	var curKey Row
-	var accs []Value
+	started := false
+	accs := make([]accCell, len(aggs))
 	flush := func() {
-		if curKey == nil {
+		if !started {
 			return
 		}
-		row := make(Row, 0, len(curKey)+len(accs))
-		row = append(row, curKey...)
-		for i, a := range accs {
-			if a == nil && aggs[i].Kind == AggCount {
-				a = int64(0)
-			}
-			row = append(row, a)
+		row := arena.alloc(len(curKey) + len(accs))
+		copy(row, curKey)
+		for i, a := range aggs {
+			row[len(curKey)+i] = accs[i].value(a.Kind)
 		}
 		out = append(out, row)
 	}
@@ -359,17 +417,19 @@ func StreamedAggregate(in Iter, keys []int, aggs []Agg) []Row {
 		if !ok {
 			break
 		}
-		key := make(Row, len(keys))
-		for i, k := range keys {
-			key[i] = r[k]
-		}
-		if curKey == nil || CompareRows(key, curKey, identity(len(keys))) != 0 {
+		if !started || !groupKeyEqual(curKey, r, keys) {
 			flush()
-			curKey = key
-			accs = make([]Value, len(aggs))
+			started = true
+			curKey = arena.alloc(len(keys))
+			for i, k := range keys {
+				curKey[i] = r[k]
+			}
+			for i := range accs {
+				accs[i] = accCell{}
+			}
 		}
 		for i, a := range aggs {
-			accs[i] = fold(a.Kind, accs[i], r[a.Col])
+			accs[i].fold(a.Kind, r[a.Col])
 		}
 	}
 	flush()
@@ -377,37 +437,162 @@ func StreamedAggregate(in Iter, keys []int, aggs []Agg) []Row {
 }
 
 // MergeSortedRuns k-way merges pre-sorted runs into one sorted slice (the
-// MergeSort operator of a reduce task over sorted map outputs).
+// MergeSort operator of a reduce task over sorted map outputs). Small fan-
+// ins use a linear scan; larger ones a cursor heap, keeping the merge
+// O(total·log runs). Ties pop from the earliest run, matching the stable
+// order a single sort of the concatenation would produce.
 func MergeSortedRuns(runs [][]Row, keys []int) []Row {
 	total := 0
 	for _, r := range runs {
 		total += len(r)
 	}
 	out := make([]Row, 0, total)
-	idx := make([]int, len(runs))
-	for len(out) < total {
-		best := -1
-		for i, r := range runs {
-			if idx[i] >= len(r) {
-				continue
+	if len(runs) <= 4 {
+		idx := make([]int, len(runs))
+		for len(out) < total {
+			best := -1
+			for i, r := range runs {
+				if idx[i] >= len(r) {
+					continue
+				}
+				if best < 0 || CompareRows(r[idx[i]], runs[best][idx[best]], keys) < 0 {
+					best = i
+				}
 			}
-			if best < 0 || CompareRows(r[idx[i]], runs[best][idx[best]], keys) < 0 {
-				best = i
-			}
+			out = append(out, runs[best][idx[best]])
+			idx[best]++
 		}
-		out = append(out, runs[best][idx[best]])
-		idx[best]++
+		return out
+	}
+
+	type cursor struct{ run, pos int }
+	before := func(a, b cursor) bool {
+		if c := CompareRows(runs[a.run][a.pos], runs[b.run][b.pos], keys); c != 0 {
+			return c < 0
+		}
+		return a.run < b.run
+	}
+	h := make([]cursor, 0, len(runs))
+	var siftDown func(i int)
+	siftDown = func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				return
+			}
+			m := l
+			if r := l + 1; r < len(h) && before(h[r], h[l]) {
+				m = r
+			}
+			if !before(h[m], h[i]) {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i, r := range runs {
+		if len(r) > 0 {
+			h = append(h, cursor{run: i})
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(h) > 0 {
+		c := h[0]
+		out = append(out, runs[c.run][c.pos])
+		c.pos++
+		if c.pos < len(runs[c.run]) {
+			h[0] = c
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(0)
 	}
 	return out
 }
 
 // TopK keeps the k smallest rows under the key ordering (order by +
-// limit).
+// limit), stable: ties resolve to the earlier input row.
 func TopK(rows []Row, keys []int, k int) []Row {
-	cp := append([]Row(nil), rows...)
-	sort.SliceStable(cp, func(i, j int) bool { return CompareRows(cp[i], cp[j], keys) < 0 })
-	if k < len(cp) {
-		cp = cp[:k]
+	return topKBy(rows, k, func(a, b Row) int { return CompareRows(a, b, keys) })
+}
+
+// TopKDesc keeps the k largest rows under the key ordering (order by ...
+// desc + limit), stable like TopK.
+func TopKDesc(rows []Row, keys []int, k int) []Row {
+	return topKBy(rows, k, func(a, b Row) int { return -CompareRows(a, b, keys) })
+}
+
+// topKBy selects the k first rows of the cmp ordering with a bounded
+// max-heap — O(n log k) instead of copy + full sort — whose root is the
+// worst row currently kept.
+func topKBy(rows []Row, k int, cmp func(a, b Row) int) []Row {
+	if k <= 0 {
+		return nil
 	}
-	return cp
+	if k >= len(rows) {
+		out := append([]Row(nil), rows...)
+		slices.SortStableFunc(out, cmp)
+		return out
+	}
+	type item struct {
+		row Row
+		idx int // input position: the tie-break that keeps the result stable
+	}
+	after := func(a, b item) bool {
+		if c := cmp(a.row, b.row); c != 0 {
+			return c > 0
+		}
+		return a.idx > b.idx
+	}
+	h := make([]item, 0, k)
+	siftDown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				return
+			}
+			m := l
+			if r := l + 1; r < len(h) && after(h[r], h[l]) {
+				m = r
+			}
+			if !after(h[m], h[i]) {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i, r := range rows {
+		it := item{row: r, idx: i}
+		if len(h) < k {
+			h = append(h, it)
+			// Sift up.
+			for j := len(h) - 1; j > 0; {
+				p := (j - 1) / 2
+				if !after(h[j], h[p]) {
+					break
+				}
+				h[j], h[p] = h[p], h[j]
+				j = p
+			}
+		} else if after(h[0], it) {
+			h[0] = it
+			siftDown(0)
+		}
+	}
+	slices.SortFunc(h, func(a, b item) int {
+		if c := cmp(a.row, b.row); c != 0 {
+			return c
+		}
+		return a.idx - b.idx
+	})
+	out := make([]Row, len(h))
+	for i, it := range h {
+		out[i] = it.row
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -222,6 +223,195 @@ func TestMergeSortedRuns(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
+	}
+}
+
+// mixedKey returns a random numeric key whose kind (int64 vs integral
+// float64) is itself random — exercising the Hash normalization and the
+// Compare-based equality used by joins and aggregates.
+func mixedKey(r *rand.Rand, domain int) Value {
+	k := r.Intn(domain)
+	if r.Intn(2) == 0 {
+		return int64(k)
+	}
+	return float64(k)
+}
+
+// TestHashJoinMixedNumericKeys: an int64 build column joined against a
+// float64 probe column must match wherever Compare says the keys are
+// equal (the Hash normalization regression).
+func TestHashJoinMixedNumericKeys(t *testing.T) {
+	build := []Row{{int64(1), "b1"}, {int64(2), "b2"}, {int64(3), "b3"}}
+	probe := []Row{{float64(2), "p2"}, {float64(3), "p3"}, {float64(9), "p9"}}
+	got := Drain(NewHashJoin(build, []int{0}, NewSliceIter(probe), []int{0}))
+	if len(got) != 2 {
+		t.Fatalf("join found %d matches, want 2: %v", len(got), got)
+	}
+	for _, r := range got {
+		if Compare(r[0], r[2]) != 0 {
+			t.Errorf("mismatched keys in %v", r)
+		}
+	}
+}
+
+// TestMergeJoinMatchesHashJoinMixedKinds cross-validates the joins when
+// numeric key kinds are mixed within the same column.
+func TestMergeJoinMatchesHashJoinMixedKinds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gen := func(n int) []Row {
+			rows := make([]Row, n)
+			for i := range rows {
+				rows[i] = Row{mixedKey(r, 6), int64(i)}
+			}
+			return rows
+		}
+		left, right := gen(r.Intn(30)), gen(r.Intn(30))
+		SortRows(left, []int{0})
+		SortRows(right, []int{0})
+		mj := Drain(NewMergeJoin(left, []int{0}, right, []int{0}))
+		hj := Drain(NewHashJoin(right, []int{0}, NewSliceIter(left), []int{0}))
+		return len(mj) == len(hj) && reflect.DeepEqual(canonRows(mj), canonRows(hj))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// canonRows renders rows order-insensitively with numerics normalized, so
+// int64(3) and float64(3) — equal under Compare — canonicalize alike.
+func canonRows(rs []Row) []string {
+	out := make([]string, len(rs))
+	for i, row := range rs {
+		s := ""
+		for _, v := range row {
+			switch x := v.(type) {
+			case int64:
+				s += fmt.Sprintf("n%g|", float64(x))
+			case float64:
+				s += fmt.Sprintf("n%g|", x)
+			default:
+				s += fmt.Sprintf("v%v|", x)
+			}
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestHashAggregateMatchesStreamedMultiKey: the flat-table hash aggregate
+// and the one-pass streamed aggregate must agree on random multi-key,
+// mixed-kind row sets (after sorting the input for the streamed one).
+func TestHashAggregateMatchesStreamedMultiKey(t *testing.T) {
+	aggs := []Agg{{AggSum, 2}, {AggCount, 2}, {AggMin, 2}, {AggMax, 2}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(120)
+		rows := make([]Row, n)
+		for i := range rows {
+			rows[i] = Row{int64(r.Intn(4)), string(rune('a' + r.Intn(3))), float64(r.Intn(10))}
+		}
+		hashed := HashAggregate(rows, []int{0, 1}, aggs)
+		sorted := append([]Row(nil), rows...)
+		SortRows(sorted, []int{0, 1})
+		streamed := StreamedAggregate(NewSliceIter(sorted), []int{0, 1}, aggs)
+		return reflect.DeepEqual(hashed, streamed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashAggregateMixedKindKeys: rows whose group key arrives sometimes
+// as int64 and sometimes as float64 must land in one group.
+func TestHashAggregateMixedKindKeys(t *testing.T) {
+	rows := []Row{
+		{int64(7), int64(1)},
+		{float64(7), int64(10)},
+		{int64(8), int64(100)},
+	}
+	got := HashAggregate(rows, []int{0}, []Agg{{AggSum, 1}, {AggCount, 1}})
+	if len(got) != 2 {
+		t.Fatalf("groups = %d, want 2: %v", len(got), got)
+	}
+	if got[0][1] != int64(11) || got[0][2] != int64(2) {
+		t.Errorf("mixed-kind group folded to %v", got[0])
+	}
+}
+
+func TestMergeSortedRunsManyRuns(t *testing.T) {
+	// More than four runs exercises the cursor-heap path.
+	r := rand.New(rand.NewSource(9))
+	var runs [][]Row
+	var all []Row
+	for i := 0; i < 12; i++ {
+		n := r.Intn(40)
+		run := make([]Row, n)
+		for j := range run {
+			run[j] = Row{int64(r.Intn(50))}
+		}
+		SortRows(run, []int{0})
+		runs = append(runs, run)
+		all = append(all, run...)
+	}
+	merged := MergeSortedRuns(runs, []int{0})
+	SortRows(all, []int{0})
+	if len(merged) != len(all) {
+		t.Fatalf("merged %d rows, want %d", len(merged), len(all))
+	}
+	for i := range merged {
+		if Compare(merged[i][0], all[i][0]) != 0 {
+			t.Fatalf("order diverges at %d: %v vs %v", i, merged[i], all[i])
+		}
+	}
+}
+
+// TestTopKMatchesSortOracle: the bounded heap must reproduce the
+// copy+stable-sort+truncate oracle exactly, including tie stability.
+func TestTopKMatchesSortOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(80)
+		rows := make([]Row, n)
+		for i := range rows {
+			// Small key domain forces ties; second column is the input
+			// position, which the oracle's stability preserves.
+			rows[i] = Row{int64(r.Intn(8)), int64(i)}
+		}
+		k := r.Intn(20)
+		oracle := append([]Row(nil), rows...)
+		sort.SliceStable(oracle, func(i, j int) bool { return CompareRows(oracle[i], oracle[j], []int{0}) < 0 })
+		if k < len(oracle) {
+			oracle = oracle[:k]
+		}
+		got := TopK(rows, []int{0}, k)
+		if len(got) != len(oracle) {
+			return false
+		}
+		for i := range got {
+			if got[i][0] != oracle[i][0] || got[i][1] != oracle[i][1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKDesc(t *testing.T) {
+	rows := []Row{intRow(5), intRow(1), intRow(9), intRow(7)}
+	got := TopKDesc(rows, []int{0}, 2)
+	if len(got) != 2 || got[0][0] != int64(9) || got[1][0] != int64(7) {
+		t.Errorf("got %v", got)
+	}
+	// Stability on ties: the earlier input row ranks first.
+	tied := []Row{{int64(3), "first"}, {int64(3), "second"}, {int64(1), "low"}}
+	got = TopKDesc(tied, []int{0}, 2)
+	if got[0][1] != "first" || got[1][1] != "second" {
+		t.Errorf("tie order: %v", got)
 	}
 }
 

@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"fmt"
+	"strconv"
 	"sync"
 
 	"swift/internal/shuffle"
@@ -44,9 +44,20 @@ func NewStore(machines int, capacity int64) *Store {
 }
 
 // SegmentKey names one shuffle partition: the rows produced by task
-// `producer` of edge from->to destined for consumer task `part`.
+// `producer` of edge from->to destined for consumer task `part`. Built by
+// appending rather than fmt — every shuffle read and write forms one.
 func SegmentKey(job, from, to string, producer, part int) string {
-	return fmt.Sprintf("%s|%s>%s|%d|%d", job, from, to, producer, part)
+	b := make([]byte, 0, len(job)+len(from)+len(to)+24)
+	b = append(b, job...)
+	b = append(b, '|')
+	b = append(b, from...)
+	b = append(b, '>')
+	b = append(b, to...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(producer), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(part), 10)
+	return string(b)
 }
 
 // Put stores a segment on the given machine's Cache Worker, replacing any
@@ -60,8 +71,9 @@ func (s *Store) Put(job string, machine int, key string, rows []Row) error {
 		s.jobKeys[job] = append(s.jobKeys[job], key)
 	}
 	w := s.workers[machine%len(s.workers)]
-	payload := make([][]byte, 0) // sizes tracked; rows carried out of band
-	if _, err := w.Put(key, int64(len(rows)*16+1), payload, 1<<30); err != nil {
+	// Sizes are tracked by the Cache Worker; rows ride out of band, so no
+	// payload bytes are materialised.
+	if _, err := w.Put(key, int64(len(rows)*16+1), nil, 1<<30); err != nil {
 		return err
 	}
 	s.home[key] = machine % len(s.workers)

@@ -112,13 +112,44 @@ func (c *TaskContext) EmitPartitioned(to string, parts [][]Row) error {
 // EmitByKey hash-partitions rows by the key columns across the consumer
 // stage's tasks and writes them out.
 func (c *TaskContext) EmitByKey(to string, rows []Row, keys []int) error {
-	n := c.ConsumerTasks(to)
-	parts := make([][]Row, n)
-	for _, r := range rows {
-		p := int(Hash(r, keys) % uint64(n))
+	return c.EmitPartitioned(to, PartitionByKey(rows, keys, c.ConsumerTasks(to)))
+}
+
+// PartitionByKey hash-partitions rows into n buckets by the key columns —
+// the shuffle-write kernel behind EmitByKey. It runs two passes (count,
+// then place into exact-size buckets carved from one backing slice), so a
+// whole shuffle write costs a constant number of allocations instead of
+// O(n·log rows) append growth. Partitions may alias the input slice;
+// callers must not mutate rows afterwards.
+func PartitionByKey(rows []Row, keys []int, n int) [][]Row {
+	if n <= 1 {
+		return [][]Row{rows}
+	}
+	pidx := make([]uint32, len(rows))
+	counts := make([]int, n)
+	for i, r := range rows {
+		p := uint32(Hash(r, keys) % uint64(n))
+		pidx[i] = p
+		counts[p]++
+	}
+	return scatter(rows, pidx, counts)
+}
+
+// scatter places rows into exact-size partitions (partition of row i is
+// pidx[i], sized by counts) carved from one backing slice.
+func scatter(rows []Row, pidx []uint32, counts []int) [][]Row {
+	backing := make([]Row, len(rows))
+	parts := make([][]Row, len(counts))
+	off := 0
+	for p, c := range counts {
+		parts[p] = backing[off:off : off+c]
+		off += c
+	}
+	for i, r := range rows {
+		p := pidx[i]
 		parts[p] = append(parts[p], r)
 	}
-	return c.EmitPartitioned(to, parts)
+	return parts
 }
 
 // EmitByRange range-partitions key-sorted rows into contiguous consumer
@@ -129,14 +160,26 @@ func (c *TaskContext) EmitByRange(to string, rows []Row, keys []int, bounds []Ro
 	if len(bounds) != n-1 {
 		return fmt.Errorf("engine: need %d bounds, got %d", n-1, len(bounds))
 	}
-	parts := make([][]Row, n)
-	for _, r := range rows {
-		p := sort.Search(len(bounds), func(i int) bool {
-			return CompareRows(r, bounds[i], keys) < 0
-		})
-		parts[p] = append(parts[p], r)
+	return c.EmitPartitioned(to, PartitionByRange(rows, keys, bounds))
+}
+
+// PartitionByRange splits rows into len(bounds)+1 contiguous partitions:
+// partition i holds rows below bounds[i] (and the last holds the rest).
+// Two-pass like PartitionByKey; partitions may alias the input slice.
+func PartitionByRange(rows []Row, keys []int, bounds []Row) [][]Row {
+	if len(bounds) == 0 {
+		return [][]Row{rows}
 	}
-	return c.EmitPartitioned(to, parts)
+	pidx := make([]uint32, len(rows))
+	counts := make([]int, len(bounds)+1)
+	for i, r := range rows {
+		p := uint32(sort.Search(len(bounds), func(i int) bool {
+			return CompareRows(r, bounds[i], keys) < 0
+		}))
+		pidx[i] = p
+		counts[p]++
+	}
+	return scatter(rows, pidx, counts)
 }
 
 // Broadcast replicates rows to every consumer task (small build sides).

@@ -39,6 +39,7 @@ func Window(rows []Row, spec WindowSpec) []Row {
 	keys := append(append([]int(nil), spec.PartitionBy...), spec.OrderBy...)
 	SortRows(sorted, keys)
 
+	var arena rowArena
 	out := make([]Row, 0, len(sorted))
 	var (
 		partStart int
@@ -77,9 +78,9 @@ func Window(rows []Row, spec WindowSpec) []Row {
 			v = running
 		}
 		_ = partStart
-		nr := make(Row, 0, len(r)+1)
-		nr = append(nr, r...)
-		nr = append(nr, v)
+		nr := arena.alloc(len(r) + 1)
+		copy(nr, r)
+		nr[len(r)] = v
 		out = append(out, nr)
 	}
 	return out

@@ -190,10 +190,19 @@ func (p *planner) planSelect(stmt *SelectStmt) (string, int, error) {
 			exprs = append(exprs, e)
 		}
 		sortTasks := clamp(curTasks/4, 1, 16)
-		srt := p.stage("R", sortTasks,
+		sortOps := []dag.Operator{
 			dag.Op(dag.OpShuffleRead),
 			dag.Operator{Kind: dag.OpSortBy, Expr: strings.Join(exprs, ", ")},
-			dag.Op(dag.OpShuffleWrite))
+		}
+		if stmt.Limit >= 0 {
+			// Limit pushdown: with ORDER BY + LIMIT each sort task only
+			// needs its local top-N (engine.TopK's bounded heap), so the
+			// sink reads N×tasks rows instead of the full sort output. The
+			// sink keeps its own LIMIT for the global cut.
+			sortOps = append(sortOps, dag.Operator{Kind: dag.OpLimit, Expr: fmt.Sprintf("limit %d", stmt.Limit)})
+		}
+		sortOps = append(sortOps, dag.Op(dag.OpShuffleWrite))
+		srt := p.stage("R", sortTasks, sortOps...)
 		p.edge(cur, srt, curTasks)
 		cur, curTasks = srt, sortTasks
 	}

@@ -228,3 +228,48 @@ func TestPlanOptionsOverride(t *testing.T) {
 		t.Errorf("default tasks = %d", job2.Stage("M1").Tasks)
 	}
 }
+
+func TestPlanLimitPushdownIntoSort(t *testing.T) {
+	job, err := ParseAndPlan("q", "select a from tpch_orders order by a limit 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sort stage carries the pushed-down limit (per-task top-k) in
+	// addition to the sink's global one.
+	sortHasLimit := false
+	for _, s := range job.Stages() {
+		isSort := false
+		for _, op := range s.Operators {
+			if op.Kind == dag.OpSortBy {
+				isSort = true
+			}
+		}
+		if !isSort {
+			continue
+		}
+		for _, op := range s.Operators {
+			if op.Kind == dag.OpLimit {
+				if op.Expr != "limit 5" {
+					t.Errorf("pushed limit expr = %q", op.Expr)
+				}
+				sortHasLimit = true
+			}
+		}
+	}
+	if !sortHasLimit {
+		t.Error("LIMIT not pushed into the ORDER BY stage")
+	}
+	// Without ORDER BY there is no sort stage to push into; the plan must
+	// still build with the sink limit only.
+	job2, err := ParseAndPlan("q2", "select a from tpch_orders limit 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range job2.Stages() {
+		for _, op := range s.Operators {
+			if op.Kind == dag.OpSortBy {
+				t.Error("unexpected sort stage without ORDER BY")
+			}
+		}
+	}
+}

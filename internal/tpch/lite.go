@@ -277,17 +277,9 @@ func LiteQ3(scanTasks, joinTasks, topK int, segment, date string) (*dag.Job, eng
 			if err != nil {
 				return err
 			}
-			// Order by revenue desc: negate for the ascending TopK.
-			keyed := make([]engine.Row, len(rows))
-			for i, r := range rows {
-				keyed[i] = engine.Row{-r[1].(float64), r[0], r[2]}
-			}
-			top := engine.TopK(keyed, []int{0}, topK)
-			out := make([]engine.Row, len(top))
-			for i, r := range top {
-				out[i] = engine.Row{r[1], -r[0].(float64), r[2]}
-			}
-			ctx.Sink(out)
+			// Order by revenue desc via the bounded heap — no negate-and-
+			// copy round-trip through an ascending sort.
+			ctx.Sink(engine.TopKDesc(rows, []int{1}, topK))
 			return nil
 		},
 	}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Data-plane health check: vet, race-test the engine, run the engine
+# microbenchmarks and record them as BENCH_engine.json at the repo root.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 1s; e.g. "100x" for a quick run)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-1s}"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./internal/engine/..."
+go test -race ./internal/engine/...
+
+echo "== go test -bench . ./internal/engine/ (benchtime=$BENCHTIME)"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" ./internal/engine/ | tee "$RAW"
+
+# Parse the standard bench output lines:
+#   BenchmarkName-8   1234   5678 ns/op   90 B/op   12 allocs/op
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, $2, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+}
+END { print "\n]" }
+' "$RAW" > BENCH_engine.json
+
+echo "== wrote BENCH_engine.json ($(grep -c '"name"' BENCH_engine.json) entries)"
