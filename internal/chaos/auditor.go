@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"fmt"
+
+	"swift/internal/cluster"
+	"swift/internal/core"
+	"swift/internal/metrics"
+	"swift/internal/sim"
+)
+
+// maxViolations caps how many violations one run records; a broken
+// invariant tends to repeat on every subsequent event.
+const maxViolations = 64
+
+// Auditor observes every controller action and event boundary of a chaos
+// run. Action-stream checks (attempt monotonicity, placement legality,
+// post-terminal activity) live here; deep state checks are delegated to
+// the controller's own CheckInvariants at every event boundary. The
+// auditor also folds each action into an FNV-1a trace hash, the
+// determinism witness: two runs of the same seed must produce identical
+// hashes.
+type Auditor struct {
+	ctrl        *core.Controller
+	cl          *cluster.Cluster
+	lastAttempt map[core.TaskRef]int
+	terminal    map[string]string // job -> "completed" | "failed"
+	violations  []string
+	actions     *metrics.Counter
+	hash        uint64
+	checkEvery  int // run CheckInvariants every Nth event boundary (≥1)
+	eventCount  int64
+}
+
+// NewAuditor attaches an auditor to a controller/cluster pair. checkEvery
+// thins the (O(cluster) cost) full-state invariant sweep to every Nth event
+// boundary; 1 checks every event.
+func NewAuditor(ctrl *core.Controller, cl *cluster.Cluster, checkEvery int) *Auditor {
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	return &Auditor{
+		ctrl:        ctrl,
+		cl:          cl,
+		lastAttempt: make(map[core.TaskRef]int),
+		terminal:    make(map[string]string),
+		actions:     metrics.NewCounter(),
+		hash:        fnv1aOffset,
+		checkEvery:  checkEvery,
+	}
+}
+
+const (
+	fnv1aOffset = 14695981039346656037
+	fnv1aPrime  = 1099511628211
+)
+
+func (a *Auditor) fold(s string) {
+	h := a.hash
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnv1aPrime
+	}
+	a.hash = h
+}
+
+// Fold mixes an out-of-band record (e.g. an applied fault) into the trace
+// hash so the injected schedule is part of the determinism witness.
+func (a *Auditor) Fold(s string) { a.fold(s) }
+
+// TraceHash returns the accumulated event-trace hash.
+func (a *Auditor) TraceHash() uint64 { return a.hash }
+
+// Actions returns per-action-type counts.
+func (a *Auditor) Actions() *metrics.Counter { return a.actions }
+
+// Violations returns everything the audit caught, in detection order.
+func (a *Auditor) Violations() []string { return a.violations }
+
+func (a *Auditor) violate(now sim.Time, format string, args ...interface{}) {
+	if len(a.violations) >= maxViolations {
+		return
+	}
+	a.violations = append(a.violations, fmt.Sprintf("[%s] ", now)+fmt.Sprintf(format, args...))
+}
+
+// OnAction is the action hook: it validates and hashes one controller
+// action as the driver interprets it.
+func (a *Auditor) OnAction(now sim.Time, act core.Action) {
+	a.fold(fmt.Sprintf("%d|%T|%+v\n", now, act, act))
+	a.actions.Add(fmt.Sprintf("%T", act), 1)
+	switch act := act.(type) {
+	case core.ActStartTask:
+		if last, seen := a.lastAttempt[act.Task]; seen && act.Attempt <= last {
+			a.violate(now, "attempt not monotonic: %s started with attempt %d after %d", act.Task, act.Attempt, last)
+		}
+		a.lastAttempt[act.Task] = act.Attempt
+		switch a.cl.Machine(a.cl.MachineOf(act.Executor)).Health {
+		case cluster.ReadOnly:
+			a.violate(now, "task %s launched on read-only machine %d", act.Task, a.cl.MachineOf(act.Executor))
+		case cluster.Failed:
+			a.violate(now, "task %s launched on failed machine %d", act.Task, a.cl.MachineOf(act.Executor))
+		}
+		if state, dead := a.terminal[act.Task.Job]; dead {
+			a.violate(now, "task %s launched after its job %s", act.Task, state)
+		}
+	case core.ActJobCompleted:
+		if prev, dead := a.terminal[act.Job]; dead {
+			a.violate(now, "job %s completed after already %s", act.Job, prev)
+		}
+		a.terminal[act.Job] = "completed"
+	case core.ActJobFailed:
+		if prev, dead := a.terminal[act.Job]; dead {
+			a.violate(now, "job %s failed after already %s", act.Job, prev)
+		}
+		a.terminal[act.Job] = "failed"
+	}
+}
+
+// AfterEvent is the event-boundary hook: the controller has processed one
+// event and drained its actions, so every state invariant must hold.
+func (a *Auditor) AfterEvent(now sim.Time) {
+	a.eventCount++
+	if a.eventCount%int64(a.checkEvery) != 0 {
+		return
+	}
+	a.CheckNow(now)
+}
+
+// CheckNow runs the full state-invariant sweep immediately (the soak calls
+// it once more at the horizon regardless of thinning).
+func (a *Auditor) CheckNow(now sim.Time) {
+	for _, msg := range a.ctrl.CheckInvariants() {
+		a.violate(now, "%s", msg)
+	}
+}

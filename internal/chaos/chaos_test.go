@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"flag"
+	"math/rand"
+	"testing"
+
+	"swift/internal/sim"
+)
+
+// -chaos.seeds raises the soak breadth: CI runs 8, the acceptance sweep
+// runs 64+. Each seed is an independent schedule over ≥20 concurrent jobs.
+var chaosSeeds = flag.Int("chaos.seeds", 4, "number of fixed-seed chaos schedules to soak")
+
+func TestGenerateScheduleDeterministicAndComplete(t *testing.T) {
+	p := DefaultProfile()
+	gen := func() []Fault {
+		return GenerateSchedule(rand.New(rand.NewSource(42)), p, 120*sim.Second, 20, 80)
+	}
+	a, b := gen(), gen()
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Every fault kind appears, times are sorted and inside the window.
+	seen := make(map[FaultKind]bool)
+	for i, f := range a {
+		seen[f.Kind] = true
+		if f.At < 0 || f.At >= 120*sim.Second {
+			t.Fatalf("fault %d outside window: %v", i, f.At)
+		}
+		if i > 0 && f.At < a[i-1].At {
+			t.Fatalf("schedule unsorted at %d", i)
+		}
+	}
+	for k := FaultKind(0); k < numFaultKinds; k++ {
+		if !seen[k] {
+			t.Errorf("default profile never generated %v over 120s", k)
+		}
+	}
+}
+
+// TestSoak is the chaos gate: -chaos.seeds independent schedules, each with
+// 20 concurrent trace jobs and every fault kind active, must finish with
+// zero invariant violations and every job done-or-failed by the horizon.
+func TestSoak(t *testing.T) {
+	for seed := int64(0); seed < int64(*chaosSeeds); seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			res := Run(Config{Seed: seed})
+			t.Log(res)
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if res.Unfinished > 0 {
+				t.Errorf("%d jobs unfinished at horizon", res.Unfinished)
+			}
+			if !res.Quiesced {
+				t.Error("simulation did not quiesce within the step budget")
+			}
+			if res.Injected.Total() == 0 {
+				t.Error("no faults injected")
+			}
+		})
+	}
+}
+
+// TestSoakDeterminism re-runs one seed and requires a byte-identical event
+// trace (hash) and identical outcome counts.
+func TestSoakDeterminism(t *testing.T) {
+	a := Run(Config{Seed: 7})
+	b := Run(Config{Seed: 7})
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("trace hash differs across runs of the same seed: %016x vs %016x", a.TraceHash, b.TraceHash)
+	}
+	if a.Completed != b.Completed || a.Failed != b.Failed || a.Makespan != b.Makespan {
+		t.Fatalf("outcome differs: %v vs %v", a, b)
+	}
+	if a.Injected.String() != b.Injected.String() {
+		t.Fatalf("fault tallies differ: [%s] vs [%s]", a.Injected, b.Injected)
+	}
+	c := Run(Config{Seed: 8})
+	if c.TraceHash == a.TraceHash {
+		t.Error("different seeds produced the same trace hash")
+	}
+}

@@ -1,0 +1,296 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"swift/internal/cluster"
+	"swift/internal/core"
+	"swift/internal/metrics"
+	"swift/internal/sim"
+	"swift/internal/simrun"
+	"swift/internal/trace"
+)
+
+// Config parameterises one chaos soak: a trace-generated workload run on a
+// simulated cluster under a seeded fault schedule with full auditing. The
+// zero value of any field takes the default noted on it.
+type Config struct {
+	Seed int64
+	// Jobs is the number of trace-generated concurrent jobs (default 20).
+	Jobs int
+	// Machines and ExecutorsPerMachine size the cluster (default 20×4).
+	Machines            int
+	ExecutorsPerMachine int
+	// ArrivalWindow spreads job submissions (default 60 s).
+	ArrivalWindow sim.Duration
+	// FaultWindow bounds fault injection times (default 90 s).
+	FaultWindow sim.Duration
+	// Horizon is the bounded-termination deadline: every job must be done
+	// or failed by then (default 3600 s — the trace's heavy-tail jobs can
+	// legitimately need over half an hour of virtual time when a fault
+	// storm hits them early).
+	Horizon sim.Time
+	// MaxSteps bounds total simulation events, turning livelock into a
+	// reported violation (default 5,000,000).
+	MaxSteps int64
+	// CheckEvery thins the full-state invariant sweep to every Nth event
+	// (default 1 = every event).
+	CheckEvery int
+	// Profile overrides the fault mix (default DefaultProfile).
+	Profile *Profile
+	// Options overrides the controller configuration (default
+	// core.DefaultOptions).
+	Options *core.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Jobs <= 0 {
+		c.Jobs = 20
+	}
+	if c.Machines <= 0 {
+		c.Machines = 20
+	}
+	if c.ExecutorsPerMachine <= 0 {
+		c.ExecutorsPerMachine = 4
+	}
+	if c.ArrivalWindow <= 0 {
+		c.ArrivalWindow = 60 * sim.Second
+	}
+	if c.FaultWindow <= 0 {
+		c.FaultWindow = 90 * sim.Second
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 3600 * sim.Second
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 5_000_000
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 1
+	}
+	if c.Profile == nil {
+		p := DefaultProfile()
+		c.Profile = &p
+	}
+	if c.Options == nil {
+		o := core.DefaultOptions()
+		c.Options = &o
+	}
+	return c
+}
+
+// Result summarises one soak.
+type Result struct {
+	Seed       int64
+	Jobs       int
+	Violations []string
+	// TraceHash is the FNV-1a hash over every controller action and every
+	// applied fault, with timestamps: the determinism witness.
+	TraceHash uint64
+	Completed int
+	Failed    int
+	// Unfinished jobs at the horizon are also reported as violations.
+	Unfinished int
+	// Injected and Skipped tally faults by kind; a fault is skipped when
+	// its target does not apply (no running task, machine already down).
+	Injected *metrics.Counter
+	Skipped  *metrics.Counter
+	Restarts int
+	Resends  int
+	Makespan sim.Time
+	// LastFinish is when the final job reached done/failed — the
+	// recovery-cost makespan (Makespan itself is clamped to the horizon).
+	LastFinish sim.Time
+	// MeanLatency is the mean end-to-end latency of completed jobs, in
+	// seconds.
+	MeanLatency float64
+	Quiesced    bool
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("seed=%d jobs=%d done=%d failed=%d unfinished=%d violations=%d hash=%016x faults[%s] restarts=%d resends=%d last-finish=%.0fs mean-latency=%.1fs",
+		r.Seed, r.Jobs, r.Completed, r.Failed, r.Unfinished, len(r.Violations), r.TraceHash, r.Injected, r.Restarts, r.Resends, r.LastFinish.Seconds(), r.MeanLatency)
+}
+
+// Run executes one fully deterministic chaos soak: generate the workload
+// and fault schedule from the seed, wire the auditor into the driver's
+// action/event hooks, inject every fault at its scheduled instant, run to
+// the horizon and verify bounded termination plus a final invariant sweep.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		Seed:     cfg.Seed,
+		Jobs:     cfg.Jobs,
+		Injected: metrics.NewCounter(),
+		Skipped:  metrics.NewCounter(),
+	}
+
+	runner := simrun.New(simrun.Config{
+		Cluster:      cluster.Config{Machines: cfg.Machines, ExecutorsPerMachine: cfg.ExecutorsPerMachine},
+		Options:      *cfg.Options,
+		Seed:         cfg.Seed,
+		ReadmitDelay: cfg.Profile.RecoverDelay,
+	})
+	aud := NewAuditor(runner.Controller(), runner.Cluster(), cfg.CheckEvery)
+	runner.SetActionHook(aud.OnAction)
+	runner.SetEventHook(aud.AfterEvent)
+
+	tr := trace.Generate(trace.Spec{
+		Jobs:          cfg.Jobs,
+		Seed:          cfg.Seed,
+		ArrivalWindow: cfg.ArrivalWindow.Seconds(),
+	})
+	for _, j := range tr.Jobs {
+		runner.SubmitAt(sim.FromSeconds(j.SubmitAt), j.Job)
+	}
+
+	// Distinct derived seeds keep the three random streams (workload,
+	// schedule shape, injection-time victim picks) independent.
+	schedule := GenerateSchedule(rand.New(rand.NewSource(cfg.Seed<<1|1)), *cfg.Profile,
+		cfg.FaultWindow, cfg.Machines, cfg.Machines*cfg.ExecutorsPerMachine)
+	applyRng := rand.New(rand.NewSource(cfg.Seed<<2 | 3))
+	eng := runner.Engine()
+	for _, f := range schedule {
+		f := f
+		eng.At(f.At, func() {
+			target, ok := apply(runner, f, applyRng, cfg.Profile)
+			if ok {
+				res.Injected.Add(f.Kind.String(), 1)
+				aud.Fold(fmt.Sprintf("fault|%d|%s|%s\n", eng.Now(), f.Kind, target))
+			} else {
+				res.Skipped.Add(f.Kind.String(), 1)
+			}
+		})
+	}
+
+	end, quiesced := runner.RunBounded(cfg.Horizon, cfg.MaxSteps)
+	res.Quiesced = quiesced
+	res.Makespan = end
+	if !quiesced {
+		aud.violate(end, "event budget of %d steps exhausted before the horizon: livelocked recovery loop", cfg.MaxSteps)
+	}
+	aud.CheckNow(end)
+
+	// Bounded termination: at the horizon every submitted job is done or
+	// failed.
+	ctrl := runner.Controller()
+	for _, j := range tr.Jobs {
+		switch {
+		case ctrl.JobDone(j.Job.ID):
+			res.Completed++
+		case ctrl.JobFailed(j.Job.ID):
+			res.Failed++
+		default:
+			res.Unfinished++
+			aud.violate(end, "job %s neither done nor failed at the horizon", j.Job.ID)
+		}
+	}
+	latency := 0.0
+	for _, jr := range runner.Results().Jobs {
+		res.Restarts += jr.Restarts
+		res.Resends += jr.Resends
+		if jr.Finish > res.LastFinish {
+			res.LastFinish = jr.Finish
+		}
+		if jr.Completed {
+			latency += jr.Duration()
+		}
+	}
+	if res.Completed > 0 {
+		res.MeanLatency = latency / float64(res.Completed)
+	}
+	res.Violations = aud.Violations()
+	res.TraceHash = aud.TraceHash()
+	return res
+}
+
+// apply injects one fault, choosing live victims for task-scoped kinds
+// with the dedicated injection rng. It returns a target description (for
+// the trace hash) and whether the fault applied.
+func apply(r *simrun.Runner, f Fault, rng *rand.Rand, p *Profile) (string, bool) {
+	eng := r.Engine()
+	switch f.Kind {
+	case KindMachineCrash:
+		id := cluster.MachineID(f.Machine)
+		if !r.CrashMachine(id) {
+			return "", false
+		}
+		eng.After(p.RebootDelay, func() { r.RebootMachine(id) })
+		return fmt.Sprintf("m%d", f.Machine), true
+	case KindMachineUnhealthy:
+		id := cluster.MachineID(f.Machine)
+		if !r.MarkUnhealthy(id) {
+			return "", false
+		}
+		eng.After(p.RecoverDelay, func() { r.RecoverMachine(id) })
+		return fmt.Sprintf("m%d", f.Machine), true
+	case KindExecutorRestart:
+		r.RestartExecutor(cluster.ExecutorID(f.Executor))
+		return fmt.Sprintf("e%d", f.Executor), true
+	case KindTaskCrash:
+		ref, ok := pickRunning(r, rng)
+		if !ok {
+			return "", false
+		}
+		kind := core.FailCrash
+		if f.AppErr {
+			kind = core.FailAppError
+		}
+		return ref.String(), r.CrashTask(ref, kind)
+	case KindTaskTimeout:
+		ref, ok := pickRunning(r, rng)
+		if !ok {
+			return "", false
+		}
+		return ref.String(), r.TimeoutTask(ref)
+	case KindOutputLost:
+		ref, ok := pickDone(r, rng)
+		if !ok {
+			return "", false
+		}
+		r.LoseOutput(ref)
+		return ref.String(), true
+	case KindCacheWorkerCrash:
+		if !r.CrashCacheWorker(cluster.MachineID(f.Machine)) {
+			return "", false
+		}
+		return fmt.Sprintf("m%d", f.Machine), true
+	case KindStraggler:
+		ref, ok := pickRunning(r, rng)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("%s*%.2f", ref, f.Factor), r.SlowTask(ref, f.Factor)
+	}
+	return "", false
+}
+
+// pickRunning selects one running task uniformly (sorted refs, seeded rng:
+// deterministic).
+func pickRunning(r *simrun.Runner, rng *rand.Rand) (core.TaskRef, bool) {
+	refs := r.RunningTaskRefs()
+	if len(refs) == 0 {
+		return core.TaskRef{}, false
+	}
+	return refs[rng.Intn(len(refs))], true
+}
+
+// pickDone selects one completed task whose buffered output is still
+// intact, from the controller's deterministic snapshots.
+func pickDone(r *simrun.Runner, rng *rand.Rand) (core.TaskRef, bool) {
+	ctrl := r.Controller()
+	var refs []core.TaskRef
+	for _, job := range ctrl.LiveJobs() {
+		for _, t := range ctrl.Tasks(job) {
+			if t.State == core.TaskDone && !t.OutputLost {
+				refs = append(refs, t.Ref)
+			}
+		}
+	}
+	if len(refs) == 0 {
+		return core.TaskRef{}, false
+	}
+	return refs[rng.Intn(len(refs))], true
+}

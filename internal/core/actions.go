@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"swift/internal/cluster"
+	"swift/internal/shuffle"
 )
 
 // TaskRef identifies one task instance.
@@ -75,13 +76,28 @@ type ActJobRestarted struct{ Job string }
 // ActMachineReadOnly reports the health monitor draining a machine.
 type ActMachineReadOnly struct{ Machine cluster.MachineID }
 
-func (ActStartTask) isAction()       {}
-func (ActAbortTask) isAction()       {}
-func (ActResend) isAction()          {}
-func (ActJobCompleted) isAction()    {}
-func (ActJobFailed) isAction()       {}
-func (ActJobRestarted) isAction()    {}
-func (ActMachineReadOnly) isAction() {}
+// ActMachineHealthy reports a machine re-admitted to the pool after a
+// healthy window (read-only drain ended) or a reboot after a crash.
+type ActMachineHealthy struct{ Machine cluster.MachineID }
+
+// ActShuffleDegraded reports that a Cache-Worker-backed shuffle edge fell
+// back to a mode that does not depend on the lost worker (Local/Remote →
+// Direct) for the re-run after a Cache Worker crash.
+type ActShuffleDegraded struct {
+	Job      string
+	From, To string
+	Old, New shuffle.Mode
+}
+
+func (ActStartTask) isAction()        {}
+func (ActAbortTask) isAction()        {}
+func (ActResend) isAction()           {}
+func (ActJobCompleted) isAction()     {}
+func (ActJobFailed) isAction()        {}
+func (ActJobRestarted) isAction()     {}
+func (ActMachineReadOnly) isAction()  {}
+func (ActMachineHealthy) isAction()   {}
+func (ActShuffleDegraded) isAction()  {}
 
 // FailureKind classifies a task failure for recovery purposes.
 type FailureKind int

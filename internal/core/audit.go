@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+
+	"swift/internal/cluster"
+)
+
+// This file is the controller's self-audit surface: deterministic
+// introspection snapshots for external monitors (the chaos auditor in
+// internal/chaos) and CheckInvariants, which verifies every internal
+// consistency property the scheduler and recovery paths are supposed to
+// maintain. It is pure observation — calling it never mutates state — and
+// all iteration follows submission/stage order so output is reproducible.
+
+// TaskState is the externally visible execution state of one task.
+type TaskState int8
+
+const (
+	// TaskPending tasks await an executor.
+	TaskPending TaskState = iota
+	// TaskRunning tasks hold an executor.
+	TaskRunning
+	// TaskDone tasks completed and (unless OutputLost) hold usable output.
+	TaskDone
+)
+
+// String renders the state.
+func (s TaskState) String() string {
+	switch s {
+	case TaskPending:
+		return "pending"
+	case TaskRunning:
+		return "running"
+	case TaskDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// TaskSnapshot is one task's controller-side state at audit time.
+type TaskSnapshot struct {
+	Ref      TaskRef
+	State    TaskState
+	Executor cluster.ExecutorID // current/last attempt's executor (-1 unknown)
+	Attempt  int
+	Retries  int
+	Graphlet int
+	// OutputLost marks a done task whose buffered output is gone but was
+	// not needed when the loss was detected.
+	OutputLost bool
+}
+
+// LiveJobs returns the IDs of admitted jobs that are neither done nor
+// failed, in submission order.
+func (c *Controller) LiveJobs() []string {
+	var out []string
+	for _, id := range c.order {
+		if m := c.jobs[id]; m != nil && !m.done && !m.failed {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Tasks returns snapshots of every task of a job in stage order (nil for
+// unknown jobs). The order is deterministic: stages in DAG insertion
+// order, tasks by index.
+func (c *Controller) Tasks(job string) []TaskSnapshot {
+	m := c.jobs[job]
+	if m == nil {
+		return nil
+	}
+	var out []TaskSnapshot
+	for _, name := range m.job.StageNames() {
+		st := m.stages[name]
+		for i := range st.status {
+			out = append(out, TaskSnapshot{
+				Ref:        TaskRef{Job: job, Stage: name, Index: i},
+				State:      TaskState(st.status[i]),
+				Executor:   st.executor[i],
+				Attempt:    st.attempt[i],
+				Retries:    st.retries[i],
+				Graphlet:   st.graphlet,
+				OutputLost: st.lost[i],
+			})
+		}
+	}
+	return out
+}
+
+// QueueLen returns the number of graphlet resource requests waiting in the
+// scheduler queue.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// CheckInvariants verifies the controller's safety and liveness
+// invariants and returns one message per violation (empty when
+// consistent). It is intended to run at event boundaries — after the
+// caller has processed one controller event and drained its actions — and
+// covers:
+//
+//   - task-state conservation: every task is exactly one of
+//     pending/running/done, and per-stage done counters match;
+//   - graphlet accounting: running counters match running tasks, the
+//     pending queue of each graphlet contains exactly the pending tasks,
+//     each exactly once;
+//   - executor leases: no two running tasks share an executor, every
+//     running task holds a known executor, the cluster's busy-executor
+//     count balances against the controller's running-task count, and no
+//     running task sits on a machine the controller knows has failed;
+//   - scheduler liveness: a graphlet with pending work is either gated
+//     (waiting on an incomplete producer stage), registered in the
+//     request queue, or still has running tasks whose completion will
+//     re-trigger scheduling — anything else is a stuck scheduler;
+//   - recovery consistency: no stage with a pending consumer task has a
+//     producer task whose output is recorded lost but still marked done
+//     (the consumer would launch against data that no longer exists), and
+//     the controller's disordered-run counter — which gates the
+//     deadlock-breaking queue scan — matches the number of graphlet runs
+//     actually flagged disordered.
+func (c *Controller) CheckInvariants() []string {
+	var v []string
+	seenExec := make(map[cluster.ExecutorID]TaskRef)
+	totalRunning := 0
+	disordered := 0
+
+	for _, jobID := range c.order {
+		m := c.jobs[jobID]
+		if m == nil || m.done || m.failed {
+			continue
+		}
+		queued := make(map[int]int) // graphlet -> queue entries
+		for _, it := range c.queue {
+			if it.job == jobID {
+				queued[it.g]++
+			}
+		}
+		pendingInQueue := make([]map[int]int, len(m.gruns)) // graphlet -> task key -> count
+		for g, run := range m.gruns {
+			pendingInQueue[g] = make(map[int]int)
+			for _, ref := range run.pending {
+				st := m.stages[ref.Stage]
+				if st == nil || ref.Index < 0 || ref.Index >= len(st.status) {
+					v = append(v, fmt.Sprintf("%s: graphlet %d pending queue holds invalid ref %s", jobID, g, ref))
+					continue
+				}
+				pendingInQueue[g][taskKey(m, ref)]++
+			}
+		}
+
+		for _, name := range m.job.StageNames() {
+			st := m.stages[name]
+			doneCount, runningCount := 0, 0
+			for i := range st.status {
+				ref := TaskRef{Job: jobID, Stage: name, Index: i}
+				switch st.status[i] {
+				case tPending:
+					if n := pendingInQueue[st.graphlet][taskKey(m, ref)]; n != 1 {
+						v = append(v, fmt.Sprintf("%s: pending task %s appears %d times in graphlet %d's pending queue (want 1)", jobID, ref, n, st.graphlet))
+					}
+				case tRunning:
+					runningCount++
+					totalRunning++
+					e := st.executor[i]
+					if e < 0 {
+						v = append(v, fmt.Sprintf("%s: running task %s has no executor", jobID, ref))
+						break
+					}
+					if prev, dup := seenExec[e]; dup {
+						v = append(v, fmt.Sprintf("executor %d double-assigned to %s and %s", e, prev, ref))
+					}
+					seenExec[e] = ref
+					if c.cl.Machine(c.cl.MachineOf(e)).Health == cluster.Failed {
+						v = append(v, fmt.Sprintf("%s: task %s still running on failed machine %d", jobID, ref, c.cl.MachineOf(e)))
+					}
+					if n := pendingInQueue[st.graphlet][taskKey(m, ref)]; n != 0 {
+						v = append(v, fmt.Sprintf("%s: running task %s also in pending queue", jobID, ref))
+					}
+				case tDone:
+					doneCount++
+					if n := pendingInQueue[st.graphlet][taskKey(m, ref)]; n != 0 {
+						v = append(v, fmt.Sprintf("%s: done task %s also in pending queue", jobID, ref))
+					}
+				default:
+					v = append(v, fmt.Sprintf("%s: task %s has invalid status %d", jobID, ref, st.status[i]))
+				}
+			}
+			if doneCount != st.done {
+				v = append(v, fmt.Sprintf("%s: stage %s done counter %d != %d done tasks", jobID, name, st.done, doneCount))
+			}
+			// Recovery consistency: pending consumers imply no
+			// done-but-lost producer outputs.
+			if pendingTasks(st) > 0 {
+				for _, e := range m.job.In(name) {
+					pst := m.stages[e.From]
+					for i := range pst.status {
+						if pst.status[i] == tDone && pst.lost[i] {
+							v = append(v, fmt.Sprintf("%s: task %s/%s[%d] output lost but consumer stage %s has pending tasks", jobID, jobID, e.From, i, name))
+						}
+					}
+				}
+			}
+		}
+
+		// Per-graphlet accounting and liveness.
+		for g, run := range m.gruns {
+			if run.disordered {
+				disordered++
+				if len(run.pending) == 0 {
+					v = append(v, fmt.Sprintf("%s: graphlet %d flagged disordered with empty pending queue", jobID, g))
+				}
+			}
+			running := 0
+			for _, name := range m.job.StageNames() {
+				st := m.stages[name]
+				if st.graphlet != g {
+					continue
+				}
+				for i := range st.status {
+					if st.status[i] == tRunning {
+						running++
+					}
+				}
+			}
+			if running != run.running {
+				v = append(v, fmt.Sprintf("%s: graphlet %d running counter %d != %d running tasks", jobID, g, run.running, running))
+			}
+			total := 0
+			for _, n := range pendingInQueue[g] {
+				total += n
+			}
+			if total != len(run.pending) {
+				v = append(v, fmt.Sprintf("%s: graphlet %d pending queue inconsistent", jobID, g))
+			}
+			switch run.status {
+			case gWaiting:
+				gated := false
+				for _, s := range run.gating {
+					if !m.stages[s].complete() {
+						gated = true
+						break
+					}
+				}
+				if !gated {
+					v = append(v, fmt.Sprintf("%s: graphlet %d waiting but all gating stages complete", jobID, g))
+				}
+			case gQueued:
+				if queued[g] == 0 {
+					v = append(v, fmt.Sprintf("%s: graphlet %d marked queued but absent from request queue", jobID, g))
+				}
+			case gRunning, gDone:
+				if len(run.pending) > 0 && running == 0 && queued[g] == 0 {
+					v = append(v, fmt.Sprintf("%s: graphlet %d stuck: %d pending tasks, none running, not queued", jobID, g, len(run.pending)))
+				}
+			}
+		}
+	}
+
+	if busy := c.cl.BusyExecutors(); busy != totalRunning {
+		v = append(v, fmt.Sprintf("executor lease imbalance: cluster reports %d busy, controller runs %d tasks", busy, totalRunning))
+	}
+	if disordered != c.disorderedRuns {
+		v = append(v, fmt.Sprintf("disordered-run counter %d != %d flagged graphlet runs", c.disorderedRuns, disordered))
+	}
+	return v
+}
+
+// pendingTasks counts a stage's pending tasks.
+func pendingTasks(st *stageState) int {
+	n := 0
+	for _, s := range st.status {
+		if s == tPending {
+			n++
+		}
+	}
+	return n
+}
+
+// taskKey flattens a TaskRef into a job-wide dense index for the pending
+// multiset check (stage order × index).
+func taskKey(m *monitor, ref TaskRef) int {
+	key := 0
+	for _, name := range m.job.StageNames() {
+		if name == ref.Stage {
+			return key + ref.Index
+		}
+		key += m.job.Stage(name).Tasks
+	}
+	return -1 - ref.Index
+}

@@ -44,7 +44,12 @@ type stageState struct {
 	retries  []int
 	started  []bool        // ever launched (non-idempotent cascade scope)
 	reason   []StartReason // reason for the next launch of each task
-	done     int
+	// lost marks a tDone task whose buffered output is gone but was not
+	// needed at loss time ("no step will be taken"). If a consumer later
+	// re-enters the pending state, the producer must re-run first —
+	// markPending revives lost inputs transitively.
+	lost []bool
+	done int
 }
 
 func (s *stageState) complete() bool { return s.done == len(s.status) }
@@ -55,6 +60,10 @@ type graphletRun struct {
 	pending []TaskRef // tasks awaiting an executor, topologically ordered
 	running int
 	gating  []string // external producer stages that must finish first
+	// disordered is set when recovery re-inserts a task, so the pending
+	// queue may no longer be in topological order and launch selection
+	// must scan for the most-upstream entry instead of popping the front.
+	disordered bool
 }
 
 type edgeKey struct{ from, to string }
@@ -67,6 +76,8 @@ type monitor struct {
 	gruns     []*graphletRun
 	stages    map[string]*stageState
 	modes     map[edgeKey]shuffle.Mode
+	topo      []string       // stage names in topological order
+	stageIdx  map[string]int // stage -> topological index
 	done      bool
 	failed    bool
 	restarts  int
@@ -84,6 +95,11 @@ type Controller struct {
 	// related failures is being processed (machine failure), so that
 	// recovery decisions see the full damage before relaunches begin.
 	deferSchedule bool
+	// disorderedRuns counts graphlet runs whose pending queue holds
+	// recovery-re-inserted tasks. Zero means no recovery is in flight
+	// anywhere, so the scheduler's deadlock check — an O(queue) scan — is
+	// skipped entirely on the hot fault-free path.
+	disorderedRuns int
 }
 
 type reqItem struct {
@@ -162,6 +178,7 @@ func (c *Controller) SubmitJob(job *dag.Job) error {
 			retries:  make([]int, s.Tasks),
 			started:  make([]bool, s.Tasks),
 			reason:   make([]StartReason, s.Tasks),
+			lost:     make([]bool, s.Tasks),
 		}
 		for i := range st.executor {
 			st.executor[i] = -1
@@ -182,6 +199,13 @@ func (c *Controller) SubmitJob(job *dag.Job) error {
 // ready" submission rule).
 func (c *Controller) buildGraphletRuns(m *monitor) []*graphletRun {
 	topo, _ := m.job.TopoOrder() // validated at submit
+	m.topo = topo
+	if m.stageIdx == nil {
+		m.stageIdx = make(map[string]int, len(topo))
+		for i, s := range topo {
+			m.stageIdx[s] = i
+		}
+	}
 	runs := make([]*graphletRun, len(m.graphlets))
 	for _, g := range m.graphlets {
 		run := &graphletRun{status: gWaiting}
@@ -246,13 +270,36 @@ func (c *Controller) requeue(m *monitor, g int) {
 	c.queue = append(c.queue, reqItem{job: m.job.ID, g: g})
 }
 
-// schedule is the ResourceScheduleLoop: walk the request queue in FIFO
-// order, allocate executors (locality + load policy in cluster.Allocate),
-// and launch pending tasks. Items that cannot make progress stay queued;
-// later items may still be served (backfill), which is what lets small
-// jobs flow around a large one.
+// schedule is the ResourceScheduleLoop: serve the request queue, and if
+// the pool ran dry with requests still waiting, check for the one stall
+// serving alone cannot fix — every executor held by pipeline consumers
+// idle-waiting on producer tasks that recovery pushed back to pending.
+// Breaking that deadlock frees an executor, so the queue is served again.
 func (c *Controller) schedule() {
-	if c.deferSchedule || len(c.queue) == 0 || c.cl.FreeExecutors() == 0 {
+	if c.deferSchedule {
+		return
+	}
+	for {
+		c.serveQueue()
+		if len(c.queue) == 0 || c.cl.FreeExecutors() > 0 {
+			return
+		}
+		// A dry pool with waiting requests is the normal saturated state;
+		// it can only be a deadlock when recovery has re-pended work
+		// somewhere (a disordered run), so the scan is gated on that.
+		if c.disorderedRuns == 0 || !c.breakDeadlock() {
+			return
+		}
+	}
+}
+
+// serveQueue walks the request queue in FIFO order, allocates executors
+// (locality + load policy in cluster.Allocate), and launches pending
+// tasks. Items that cannot make progress stay queued; later items may
+// still be served (backfill), which is what lets small jobs flow around a
+// large one.
+func (c *Controller) serveQueue() {
+	if len(c.queue) == 0 || c.cl.FreeExecutors() == 0 {
 		return
 	}
 	// In-place queue compaction: entries that were fully served (or whose
@@ -325,14 +372,131 @@ func (c *Controller) serveItem(item reqItem) (keep bool) {
 			c.cl.Release(execs[i:])
 			break
 		}
-		ref := run.pending[0]
-		run.pending = run.pending[1:]
-		c.launch(m, run, ref, e)
+		c.launch(m, run, c.takePending(m, run), e)
 	}
 	if len(run.pending) > 0 {
 		return true
 	}
 	run.status = gRunning
+	return false
+}
+
+// takePending removes and returns the next pending task to launch,
+// upstream stages first. Freshly built pending queues are topologically
+// ordered, so the common path pops the front in O(1); once recovery
+// re-inserts tasks out of order, the queue is scanned for the entry with
+// the smallest topological index, so a re-pended producer always launches
+// before more of its consumers — launching consumers first would park
+// them on data the producer cannot regenerate without an executor.
+func (c *Controller) takePending(m *monitor, run *graphletRun) TaskRef {
+	best := 0
+	if run.disordered {
+		for i := 1; i < len(run.pending); i++ {
+			a, b := run.pending[i], run.pending[best]
+			ia, ib := m.stageIdx[a.Stage], m.stageIdx[b.Stage]
+			if ia < ib || (ia == ib && a.Index < b.Index) {
+				best = i
+			}
+		}
+	}
+	ref := run.pending[best]
+	run.pending = append(run.pending[:best], run.pending[best+1:]...)
+	if run.disordered && len(run.pending) == 0 {
+		run.disordered = false
+		c.disorderedRuns--
+	}
+	return ref
+}
+
+// breakDeadlock resolves the one stall the resource loop cannot serve its
+// way out of: recovery re-pends producer tasks (lost output, machine
+// crash) while downstream consumers occupy every executor waiting for
+// exactly that data — the consumers never finish, so no executor is ever
+// freed for the producers. The stall can span graphlets: a gating stage
+// that regresses after its consumer graphlet launched leaves that
+// graphlet's tasks parked on data nobody can regenerate. For the first
+// starved queue item, the most-downstream running task of the same job
+// below a pending stage is preempted, and the starved item moves to the
+// queue front so the freed executor goes to the blocked producer rather
+// than relaunching a consumer that would only park again. The preemption
+// is not the victim's fault, so its retry budget is untouched; a
+// non-idempotent victim cascades exactly like a failed one. Returns
+// whether a task was preempted (i.e. an executor may have been freed).
+func (c *Controller) breakDeadlock() bool {
+	for qi, item := range c.queue {
+		m := c.jobs[item.job]
+		if m == nil || m.failed || m.done {
+			continue
+		}
+		run := m.gruns[item.g]
+		if !run.disordered || run.status != gQueued || len(run.pending) == 0 {
+			// Every deadlock starves a recovery-re-pended producer, and
+			// re-insertion marks its run disordered — ordered runs cannot
+			// be the blocked side of a deadlock.
+			continue
+		}
+		// Stages of this job strictly downstream of any stage with
+		// pending work in this graphlet.
+		below := make(map[string]bool)
+		var mark func(stage string)
+		mark = func(stage string) {
+			for _, e := range m.job.Out(stage) {
+				if !below[e.To] {
+					below[e.To] = true
+					mark(e.To)
+				}
+			}
+		}
+		seen := make(map[string]bool)
+		for _, ref := range run.pending {
+			if !seen[ref.Stage] {
+				seen[ref.Stage] = true
+				mark(ref.Stage)
+			}
+		}
+		// Most-downstream running victim; among equals prefer one whose
+		// executor will actually repool (healthy machine).
+		victim := TaskRef{Index: -1}
+		haveHealthy := false
+		for i := len(m.topo) - 1; i >= 0 && !haveHealthy; i-- {
+			s := m.topo[i]
+			if !below[s] {
+				continue
+			}
+			st := m.stages[s]
+			for idx := range st.status {
+				if st.status[idx] != tRunning {
+					continue
+				}
+				ref := TaskRef{Job: m.job.ID, Stage: s, Index: idx}
+				if c.cl.Machine(c.cl.MachineOf(st.executor[idx])).Health == cluster.Healthy {
+					victim = ref
+					haveHealthy = true
+					break
+				}
+				if victim.Index < 0 {
+					victim = ref
+				}
+			}
+		}
+		if victim.Index < 0 {
+			continue
+		}
+		st := m.stages[victim.Stage]
+		c.emit(ActAbortTask{Task: victim, Executor: st.executor[victim.Index], Attempt: st.attempt[victim.Index]})
+		c.releaseRunning(m, victim)
+		c.markPending(m, victim, StartRetry)
+		if !m.job.Stage(victim.Stage).Idempotent {
+			c.cascade(m, victim.Stage, st.graphlet, map[string]bool{victim.Stage: true})
+		}
+		c.requeue(m, st.graphlet)
+		// Serve the starved producer first: each preemption then launches
+		// a task strictly upstream of its victim, which bounds the number
+		// of preemptions one scheduling round can perform.
+		copy(c.queue[1:qi+1], c.queue[:qi])
+		c.queue[0] = item
+		return true
+	}
 	return false
 }
 
@@ -387,14 +551,18 @@ func (c *Controller) TaskFinished(ref TaskRef, attempt int) {
 	e := st.executor[ref.Index]
 
 	// Reuse the freed executor for the next pending task of the same
-	// graphlet; otherwise hand it back to the resource pool.
-	if len(run.pending) > 0 {
-		next := run.pending[0]
-		run.pending = run.pending[1:]
-		c.launch(m, run, next, e)
+	// graphlet; otherwise hand it back to the resource pool. Reuse is only
+	// legal while the executor's machine still accepts work: launching on
+	// a draining (read-only) or failed machine would break the health
+	// monitor's contract (Section IV-A), so those slots are released
+	// instead and the graphlet asks the scheduler for replacements.
+	if len(run.pending) > 0 && c.cl.Machine(c.cl.MachineOf(e)).Health == cluster.Healthy {
+		c.launch(m, run, c.takePending(m, run), e)
 	} else {
 		c.cl.Release([]cluster.ExecutorID{e})
-		if run.running == 0 && run.status != gDone {
+		if len(run.pending) > 0 {
+			c.requeue(m, st.graphlet)
+		} else if run.running == 0 && run.status != gDone {
 			run.status = gDone
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"swift/internal/cluster"
+	"swift/internal/shuffle"
 )
 
 // TaskFailed handles a detected task failure (Section IV-B). Stale attempt
@@ -107,15 +108,50 @@ func (c *Controller) releaseRunning(m *monitor, ref TaskRef) {
 }
 
 // markPending resets a task for re-execution with the given reason and
-// appends it to its graphlet's pending queue.
+// appends it to its graphlet's pending queue. A task that re-enters the
+// pending state needs its input data again, so any producer whose buffered
+// output was lost under the "no step taken" rule must re-run first; those
+// producers are revived here, transitively up the DAG.
 func (c *Controller) markPending(m *monitor, ref TaskRef, reason StartReason) {
 	st := m.stages[ref.Stage]
 	st.status[ref.Index] = tPending
 	st.reason[ref.Index] = reason
+	st.lost[ref.Index] = false // a re-run regenerates the output
 	run := m.gruns[st.graphlet]
 	run.pending = append(run.pending, ref)
+	if !run.disordered {
+		// Launch selection must restore topological order, and the
+		// scheduler's deadlock check watches for disordered runs.
+		run.disordered = true
+		c.disorderedRuns++
+	}
 	if run.status == gDone {
 		run.status = gQueued
+	}
+	c.reviveLostInputs(m, ref.Stage)
+}
+
+// reviveLostInputs re-runs every completed producer task of `stage` whose
+// buffered output was lost while "not needed" — a consumer of that output
+// has just become pending again, so the data is needed after all. The
+// recursion through markPending walks producers upward and terminates
+// because each revived task leaves the done+lost state and the DAG is
+// acyclic.
+func (c *Controller) reviveLostInputs(m *monitor, stage string) {
+	for _, e := range m.job.In(stage) {
+		pst := m.stages[e.From]
+		revived := false
+		for i := range pst.status {
+			if pst.status[i] != tDone || !pst.lost[i] {
+				continue
+			}
+			pst.done--
+			c.markPending(m, TaskRef{Job: m.job.ID, Stage: e.From, Index: i}, StartRetry)
+			revived = true
+		}
+		if revived {
+			c.requeue(m, pst.graphlet)
+		}
 	}
 }
 
@@ -223,7 +259,18 @@ func (c *Controller) TaskOutputLost(ref TaskRef) {
 		return
 	}
 	if !c.outputStillNeeded(m, ref.Stage) {
-		return // "no step will be taken"
+		// "No step will be taken" — but remember the loss so a consumer
+		// that later re-enters the pending state revives this producer.
+		st.lost[ref.Index] = true
+		return
+	}
+	// Regenerating a lost output is a retry like any other: without this
+	// bound, an output that keeps getting lost (flapping Cache Worker,
+	// repeatedly crashing machine) re-runs the task forever.
+	st.retries[ref.Index]++
+	if st.retries[ref.Index] > c.opts.MaxTaskRetries {
+		c.failJob(m, fmt.Sprintf("task %s exceeded %d retries regenerating lost output", ref, c.opts.MaxTaskRetries))
+		return
 	}
 	st.done--
 	c.markPending(m, ref, StartRetry)
@@ -242,6 +289,73 @@ func (c *Controller) MachineUnhealthy(id cluster.MachineID) {
 	}
 	c.cl.SetHealth(id, cluster.ReadOnly)
 	c.emit(ActMachineReadOnly{Machine: id})
+}
+
+// MachineRecovered re-admits a machine to the pool: a read-only machine
+// that stayed healthy through an observation window rejoins with its idle
+// executors, and a crashed machine that rebooted rejoins with a fresh
+// executor set. The failure counter resets so one old burst cannot
+// immediately re-drain it, and the scheduler runs because capacity grew.
+func (c *Controller) MachineRecovered(id cluster.MachineID) {
+	if c.cl.Machine(id).Health == cluster.Healthy {
+		return
+	}
+	c.cl.ResetTaskFailures(id)
+	c.cl.SetHealth(id, cluster.Healthy)
+	c.emit(ActMachineHealthy{Machine: id})
+	c.schedule()
+}
+
+// CacheWorkerLost handles the crash of one machine's Cache Worker process
+// (the machine itself survives): every buffered output hosted there is
+// gone. Each lost key is reported to the recovery logic individually —
+// TaskOutputLost applies the "no step taken" rule per task — and shuffle
+// edges out of the affected stages that depended on Cache Workers degrade
+// to Direct for the regenerated data, so the re-run cannot be taken down
+// by the same worker again. Scheduling is deferred until the whole storm
+// is processed so recovery decisions see the full damage.
+func (c *Controller) CacheWorkerLost(id cluster.MachineID) {
+	var lost []TaskRef
+	for _, jobID := range c.order {
+		m := c.jobs[jobID]
+		if m == nil || m.failed || m.done {
+			continue
+		}
+		for _, name := range m.job.StageNames() {
+			st := m.stages[name]
+			for i := range st.status {
+				if st.status[i] == tDone && st.executor[i] >= 0 && c.cl.MachineOf(st.executor[i]) == id {
+					lost = append(lost, TaskRef{Job: jobID, Stage: name, Index: i})
+				}
+			}
+		}
+	}
+	c.deferSchedule = true
+	for _, ref := range lost {
+		m := c.jobs[ref.Job]
+		if m == nil || m.failed || m.done {
+			continue
+		}
+		c.degradeEdges(m, ref.Stage)
+		c.TaskOutputLost(ref)
+	}
+	c.deferSchedule = false
+	c.schedule()
+}
+
+// degradeEdges switches Cache-Worker-dependent shuffle modes (Local,
+// Remote) of a stage's out-edges to Direct after the hosting Cache Worker
+// died, emitting one action per degraded edge.
+func (c *Controller) degradeEdges(m *monitor, stage string) {
+	for _, e := range m.job.Out(stage) {
+		k := edgeKey{e.From, e.To}
+		old := m.modes[k]
+		if old != shuffle.Local && old != shuffle.Remote {
+			continue
+		}
+		m.modes[k] = shuffle.Direct
+		c.emit(ActShuffleDegraded{Job: m.job.ID, From: e.From, To: e.To, Old: old, New: shuffle.Direct})
+	}
 }
 
 // ExecutorRestarted handles an executor process reporting a fresh start
@@ -280,6 +394,7 @@ func (c *Controller) restartJob(m *monitor) {
 			retries:  make([]int, tasks),
 			started:  make([]bool, tasks),
 			reason:   make([]StartReason, tasks),
+			lost:     make([]bool, tasks),
 		}
 		for i := range st.executor {
 			st.executor[i] = -1
@@ -293,6 +408,7 @@ func (c *Controller) restartJob(m *monitor) {
 		}
 	}
 	c.queue = q
+	c.dropDisordered(m)
 	m.gruns = c.buildGraphletRuns(m)
 	c.emit(ActJobRestarted{Job: m.job.ID})
 	c.enqueueReady(m)
@@ -313,10 +429,22 @@ func (c *Controller) abortAll(m *monitor) {
 	}
 }
 
+// dropDisordered removes a job's graphlet runs from the disordered count
+// (they are being discarded: job restart or abandonment).
+func (c *Controller) dropDisordered(m *monitor) {
+	for _, run := range m.gruns {
+		if run.disordered {
+			run.disordered = false
+			c.disorderedRuns--
+		}
+	}
+}
+
 // failJob abandons a job.
 func (c *Controller) failJob(m *monitor, reason string) {
 	c.abortAll(m)
 	m.failed = true
+	c.dropDisordered(m)
 	var q []reqItem
 	for _, it := range c.queue {
 		if it.job != m.job.ID {

@@ -170,6 +170,52 @@ func (h *Histogram) BinCenter(i int) float64 {
 	return h.Lo + w*(float64(i)+0.5)
 }
 
+// Counter accumulates named integer counts and reports them in sorted key
+// order, so chaos-soak fault tallies print and hash deterministically.
+type Counter struct {
+	counts map[string]int64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int64)} }
+
+// Add increments a named count by n.
+func (c *Counter) Add(key string, n int64) { c.counts[key] += n }
+
+// Get returns one named count (0 if never added).
+func (c *Counter) Get(key string) int64 { return c.counts[key] }
+
+// Total sums all counts.
+func (c *Counter) Total() int64 {
+	var t int64
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// Keys returns the counter's keys in sorted order.
+func (c *Counter) Keys() []string {
+	keys := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders "k1=v1 k2=v2 ..." in key order.
+func (c *Counter) String() string {
+	var b []byte
+	for i, k := range c.Keys() {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, fmt.Sprintf("%s=%d", k, c.counts[k])...)
+	}
+	return string(b)
+}
+
 // SeriesPoint is one sample of a step time series.
 type SeriesPoint struct {
 	T float64

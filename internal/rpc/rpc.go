@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -151,7 +152,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		resp := &envelope{ID: env.ID, Method: env.Method}
 		if h == nil {
 			resp.Err = fmt.Sprintf("rpc: unknown method %q", env.Method)
-		} else if body, herr := h(env.Body); herr != nil {
+		} else if body, herr := safeCall(h, env.Body); herr != nil {
 			resp.Err = herr.Error()
 		} else {
 			resp.Body = body
@@ -160,6 +161,18 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// safeCall invokes a handler, converting a panic into an RPC error so one
+// bad request cannot kill the serving goroutine (and with it every other
+// in-flight call on the connection).
+func safeCall(h Handler, body []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rpc: handler panic: %v", r)
+		}
+	}()
+	return h(body)
 }
 
 // Close stops accepting, severs live connections, and waits for the
@@ -179,26 +192,83 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Client is a single-connection RPC client. Calls are serialised; Swift's
-// executors keep one connection per peer (the connection-count arithmetic
-// of Section III-B).
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	next uint64
+// RetryPolicy bounds how a client re-attempts a call after a transport
+// failure: up to Max redials with exponential backoff starting at Base,
+// capped at Cap, with ±Jitter (a fraction) of randomisation so a fleet of
+// executors retrying a recovered Admin does not thunder in lockstep.
+type RetryPolicy struct {
+	Max    int
+	Base   time.Duration
+	Cap    time.Duration
+	Jitter float64
 }
 
-// Dial connects to a server.
+// DefaultRetryPolicy matches the control-plane traffic this package
+// carries (heartbeats, segment fetches — all idempotent).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Max: 3, Base: 50 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.2}
+}
+
+// backoff returns the sleep before retry attempt i (0-based).
+func (p RetryPolicy) backoff(i int) time.Duration {
+	d := p.Base << uint(i)
+	if p.Cap > 0 && d > p.Cap {
+		d = p.Cap
+	}
+	if p.Jitter > 0 {
+		d += time.Duration((2*rand.Float64() - 1) * p.Jitter * float64(d))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Client is a single-connection RPC client. Calls are serialised; Swift's
+// executors keep one connection per peer (the connection-count arithmetic
+// of Section III-B). Transport failures mark the connection broken; the
+// next attempt redials.
+type Client struct {
+	mu          sync.Mutex
+	conn        net.Conn // nil when broken
+	next        uint64
+	addr        string
+	dialTimeout time.Duration
+	callTimeout time.Duration
+	retry       RetryPolicy
+}
+
+// Dial connects to a server. The timeout also bounds later redials.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, addr: addr, dialTimeout: timeout}, nil
+}
+
+// SetCallTimeout sets a per-call deadline covering the write and the wait
+// for the reply. Zero (the default) means no deadline.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.callTimeout = d
+	c.mu.Unlock()
+}
+
+// SetRetryPolicy enables transport-failure retries (redial + backoff).
+// The zero policy (the default) fails calls on the first transport error.
+// Only enable it for idempotent methods: a timed-out call may have
+// executed on the server.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	c.retry = p
+	c.mu.Unlock()
 }
 
 // Call invokes a method with a gob-encodable request, decoding the reply
-// into resp (a pointer) unless resp is nil.
+// into resp (a pointer) unless resp is nil. Server-side errors (including
+// unknown methods and handler panics) are returned as-is and never
+// retried; transport errors retry under the client's RetryPolicy.
 func (c *Client) Call(method string, req interface{}, resp interface{}) error {
 	var body bytes.Buffer
 	if req != nil {
@@ -208,17 +278,54 @@ func (c *Client) Call(method string, req interface{}, resp interface{}) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.callLocked(method, body.Bytes(), resp)
+		var transport *transportError
+		if err == nil || !errors.As(err, &transport) {
+			return err
+		}
+		if attempt >= c.retry.Max {
+			return transport.err
+		}
+		time.Sleep(c.retry.backoff(attempt))
+	}
+}
+
+// transportError wraps connection-level failures (as opposed to errors the
+// server returned), marking the call retryable.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// callLocked performs one attempt, redialing if the connection is broken.
+// On any transport failure the connection is closed and cleared: a timed-
+// out or torn stream may hold a stale reply that would desynchronise every
+// later call.
+func (c *Client) callLocked(method string, body []byte, resp interface{}) error {
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+		if err != nil {
+			return &transportError{err}
+		}
+		c.conn = conn
+	}
+	if c.callTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.callTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	c.next++
-	env := &envelope{ID: c.next, Method: method, Body: body.Bytes()}
+	env := &envelope{ID: c.next, Method: method, Body: body}
 	if err := writeFrame(c.conn, env); err != nil {
-		return err
+		return c.broken(err)
 	}
 	reply, err := readFrame(c.conn)
 	if err != nil {
-		return err
+		return c.broken(err)
 	}
 	if reply.ID != env.ID {
-		return fmt.Errorf("rpc: reply id %d for request %d", reply.ID, env.ID)
+		return c.broken(fmt.Errorf("rpc: reply id %d for request %d", reply.ID, env.ID))
 	}
 	if reply.Err != "" {
 		return errors.New(reply.Err)
@@ -229,6 +336,14 @@ func (c *Client) Call(method string, req interface{}, resp interface{}) error {
 		}
 	}
 	return nil
+}
+
+func (c *Client) broken(err error) error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	return &transportError{err}
 }
 
 // Ping round-trips a heartbeat and returns the latency.
@@ -242,7 +357,16 @@ func (c *Client) Ping() (time.Duration, error) {
 }
 
 // Close shuts the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
 // Encode gob-encodes v (handler helper).
 func Encode(v interface{}) ([]byte, error) {

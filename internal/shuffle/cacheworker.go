@@ -3,6 +3,7 @@ package shuffle
 import (
 	"container/list"
 	"fmt"
+	"sort"
 )
 
 // CacheWorker is the per-machine in-memory shuffle store of Section III-B.
@@ -70,14 +71,17 @@ func (w *CacheWorker) Len() int { return len(w.segs) }
 
 // Put stores a shuffle segment that refs consumers will read. Payload may
 // be nil when only accounting is needed. It returns the bytes spilled to
-// make room, so the caller can charge disk time. Re-putting an existing key
-// is an error: producers write each partition exactly once.
+// make room, so the caller can charge disk time. Re-putting an existing
+// key replaces the previous segment — failure recovery re-writes a
+// relaunched producer's partition — and the replaced segment leaves the
+// memory accounting before the new one enters, so repeated re-puts cannot
+// leak `used` bytes.
 func (w *CacheWorker) Put(key string, size int64, payload [][]byte, refs int) (spilled int64, err error) {
-	if _, dup := w.segs[key]; dup {
-		return 0, fmt.Errorf("shuffle: cache worker: duplicate segment %q", key)
-	}
 	if size < 0 {
 		return 0, fmt.Errorf("shuffle: cache worker: negative size for %q", key)
+	}
+	if old, dup := w.segs[key]; dup {
+		w.remove(old)
 	}
 	if refs <= 0 {
 		refs = 1
@@ -148,6 +152,18 @@ func (w *CacheWorker) Get(key string) (payload [][]byte, wasSpilled, ok bool) {
 	return s.data, wasSpilled, true
 }
 
+// remove detaches a segment from the LRU list, the key map and the memory
+// accounting (spilled segments hold no memory).
+func (w *CacheWorker) remove(s *segment) {
+	if s.elem != nil {
+		w.lru.Remove(s.elem)
+	}
+	if !s.spilled {
+		w.used -= s.size
+	}
+	delete(w.segs, s.key)
+}
+
 // Consume records that one consumer has finished with the segment; the
 // segment is freed when all consumers have. It returns whether the key
 // existed.
@@ -160,13 +176,7 @@ func (w *CacheWorker) Consume(key string) bool {
 	if s.refs > 0 {
 		return true
 	}
-	if s.elem != nil {
-		w.lru.Remove(s.elem)
-	}
-	if !s.spilled {
-		w.used -= s.size
-	}
-	delete(w.segs, key)
+	w.remove(s)
 	w.stats.Freed++
 	return true
 }
@@ -178,12 +188,25 @@ func (w *CacheWorker) Drop(key string) bool {
 	if !ok {
 		return false
 	}
-	if s.elem != nil {
-		w.lru.Remove(s.elem)
-	}
-	if !s.spilled {
-		w.used -= s.size
-	}
-	delete(w.segs, key)
+	w.remove(s)
 	return true
+}
+
+// FailAll simulates the Cache Worker process dying: every resident
+// segment — in memory or spilled, since the swap file dies with its owner
+// — is lost at once. It returns the lost keys, sorted, so the caller can
+// fan each one out to recovery (the controller's CacheWorkerLost /
+// TaskOutputLost path), and leaves the worker empty but reusable, as a
+// restarted process would be. Stats survive: the crash does not erase the
+// history of what the worker did.
+func (w *CacheWorker) FailAll() []string {
+	keys := make([]string, 0, len(w.segs))
+	for k := range w.segs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.segs = make(map[string]*segment)
+	w.lru.Init()
+	w.used = 0
+	return keys
 }

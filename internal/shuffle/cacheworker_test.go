@@ -45,8 +45,13 @@ func TestCacheWorkerDuplicateAndErrors(t *testing.T) {
 	if _, err := w.Put("a", 10, nil, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.Put("a", 10, nil, 1); err == nil {
-		t.Error("duplicate put accepted")
+	// A re-put replaces the previous attempt's segment (failure recovery
+	// re-writes a partition) without leaking the old bytes from `used`.
+	if _, err := w.Put("a", 30, nil, 1); err != nil {
+		t.Fatalf("re-put rejected: %v", err)
+	}
+	if w.Used() != 30 || w.Len() != 1 {
+		t.Errorf("after replace: used=%d len=%d, want 30/1", w.Used(), w.Len())
 	}
 	if _, err := w.Put("b", -1, nil, 1); err == nil {
 		t.Error("negative size accepted")
@@ -56,6 +61,37 @@ func TestCacheWorkerDuplicateAndErrors(t *testing.T) {
 	}
 	if w.Stats().Misses != 1 {
 		t.Errorf("misses = %d", w.Stats().Misses)
+	}
+}
+
+func TestCacheWorkerFailAll(t *testing.T) {
+	w := NewCacheWorker(25)
+	for i, k := range []string{"c", "a", "b"} {
+		if _, err := w.Put(k, int64(10*(i+1)), nil, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 25 with 60 bytes resident: something has spilled; the crash
+	// loses spilled segments too.
+	lost := w.FailAll()
+	if want := []string{"a", "b", "c"}; len(lost) != 3 || lost[0] != want[0] || lost[1] != want[1] || lost[2] != want[2] {
+		t.Fatalf("lost keys = %v, want %v", lost, want)
+	}
+	if w.Len() != 0 || w.Used() != 0 {
+		t.Errorf("worker not empty after FailAll: len=%d used=%d", w.Len(), w.Used())
+	}
+	if w.Consume("a") || w.Drop("b") {
+		t.Error("segments survived FailAll")
+	}
+	// The worker is reusable, as a restarted process would be.
+	if _, err := w.Put("d", 5, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if w.Used() != 5 || w.Len() != 1 {
+		t.Errorf("restarted worker: used=%d len=%d", w.Used(), w.Len())
+	}
+	if w.FailAll()[0] != "d" {
+		t.Error("second FailAll did not report the new segment")
 	}
 }
 

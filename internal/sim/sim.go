@@ -124,6 +124,25 @@ func (e *Engine) RunUntil(limit Time) Time {
 	return e.now
 }
 
+// RunBounded executes events with time ≤ limit, additionally stopping after
+// maxSteps events — the guard the chaos soak uses to turn a livelocked
+// recovery loop into a detectable violation instead of a hung test. It
+// returns the final time and whether the queue drained of events at or
+// before the limit (false means the step budget ran out first).
+func (e *Engine) RunBounded(limit Time, maxSteps int64) (Time, bool) {
+	start := e.steps
+	for len(e.events) > 0 && e.events[0].at <= limit {
+		if e.steps-start >= maxSteps {
+			return e.now, false
+		}
+		e.step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now, true
+}
+
 // Pending reports how many events are queued.
 func (e *Engine) Pending() int { return len(e.events) }
 

@@ -11,6 +11,9 @@ import (
 // cost model. It must be called after every controller event.
 func (r *Runner) handleActions() {
 	for _, a := range r.ctrl.Drain() {
+		if r.onAction != nil {
+			r.onAction(r.eng.Now(), a)
+		}
 		switch a := a.(type) {
 		case core.ActStartTask:
 			r.startTask(a)
@@ -36,8 +39,26 @@ func (r *Runner) handleActions() {
 			jr.doneAt = make(map[string]sim.Time)
 			jr.firstStart = make(map[string]sim.Time)
 		case core.ActMachineReadOnly:
-			// Allocation-side effect only; nothing to simulate.
+			// The health monitor drained this machine. With a configured
+			// observation window, re-admit it once the window passes and
+			// it is still alive and still read-only.
+			if r.cfg.ReadmitDelay > 0 {
+				id := a.Machine
+				r.eng.After(r.cfg.ReadmitDelay, func() {
+					if r.down[id] || r.cl.Machine(id).Health != cluster.ReadOnly {
+						return
+					}
+					r.ctrl.MachineRecovered(id)
+					r.handleActions()
+				})
+			}
+		case core.ActMachineHealthy, core.ActShuffleDegraded:
+			// Allocation/shuffle-mode side effects only; the degraded
+			// re-run cost is dominated by the re-execution itself.
 		}
+	}
+	if r.afterEvent != nil {
+		r.afterEvent(r.eng.Now())
 	}
 }
 
@@ -49,9 +70,15 @@ func (r *Runner) startTask(a core.ActStartTask) {
 	if _, seen := jr.firstStart[a.Task.Stage]; !seen {
 		jr.firstStart[a.Task.Stage] = now
 	}
-	rt := &runningTask{act: a, started: now, launch: r.launchCost(jr, a), unmet: make(map[string]bool)}
+	rt := &runningTask{act: a, started: now, launch: r.launchCost(jr, a), unmet: make(map[string]bool), slow: 1}
 	r.tasks[a.Task] = rt
 	r.series.Delta(now.Seconds(), +1)
+	if r.down[r.cl.MachineOf(a.Executor)] {
+		// The controller launched onto a machine that is already dead but
+		// not yet detected: the task is a black hole. It never finishes;
+		// the delayed MachineFailed aborts and re-runs it.
+		return
+	}
 	for _, e := range jr.inEdges[a.Task.Stage] {
 		if !r.ctrl.StageComplete(jr.job.ID, e.From) {
 			rt.unmet[e.From] = true
@@ -98,39 +125,49 @@ func (r *Runner) abortTask(a core.ActAbortTask) {
 }
 
 // scheduleFinish computes the task's completion time now that its inputs
-// are (or are about to be) available.
+// are (or are about to be) available, then arms the finish event.
 func (r *Runner) scheduleFinish(jr *jobRun, rt *runningTask) {
 	now := r.eng.Now()
 	c := jr.costs[rt.act.Task.Stage]
 	jitter := 1 + r.cfg.ProcessJitter*(2*r.eng.Rand().Float64()-1)
-	process := c.process * jitter
-	read := c.scan + c.read
-	write := c.write
+	rt.process = c.process * jitter * rt.slow
+	rt.read = c.scan + c.read
+	rt.write = c.write
 
 	effStart := rt.started + sim.FromSeconds(rt.launch)
 	if now > effStart {
 		effStart = now
 	}
-	finishAt := effStart + sim.FromSeconds(read+process+write)
-	dataArrive := r.dataArrive(jr, rt)
+	rt.dataArrive = r.dataArrive(jr, rt)
+	r.armFinish(jr, rt, effStart+sim.FromSeconds(rt.read+rt.process+rt.write))
+}
+
+// armFinish schedules (or reschedules) a task's completion at finishAt.
+// Bumping the generation counter invalidates any previously armed finish,
+// so straggler injection can stretch a task that is already counting down.
+func (r *Runner) armFinish(jr *jobRun, rt *runningTask, finishAt sim.Time) {
+	rt.gen++
+	rt.armed = true
+	rt.finishAt = finishAt
+	gen := rt.gen
 	attempt := rt.act.Attempt
 	ref := rt.act.Task
 
 	r.eng.At(finishAt, func() {
 		cur, ok := r.tasks[ref]
-		if !ok || cur.act.Attempt != attempt {
-			return // aborted meanwhile
+		if !ok || cur.act.Attempt != attempt || cur.gen != gen {
+			return // aborted or superseded meanwhile
 		}
 		delete(r.tasks, ref)
 		r.series.Delta(r.eng.Now().Seconds(), -1)
 		jr.res.Samples = append(jr.res.Samples, TaskSample{
 			Ref:        ref,
 			Start:      cur.started,
-			DataArrive: dataArrive,
+			DataArrive: cur.dataArrive,
 			Finish:     r.eng.Now(),
 			Attempt:    attempt,
 		})
-		r.recordPhases(jr, ref.Stage, cur.launch, read, process, write)
+		r.recordPhases(jr, ref.Stage, cur.launch, cur.read, cur.process, cur.write)
 		r.ctrl.TaskFinished(ref, attempt)
 		r.handleActions()
 		r.onStageProgress(jr, ref.Stage)

@@ -24,6 +24,12 @@ type Config struct {
 	// ProcessJitter is the ± fraction applied to per-task processing
 	// time (default 0.05).
 	ProcessJitter float64
+	// ReadmitDelay, when positive, re-admits a read-only (drained) machine
+	// after that healthy observation window — the paper's health monitor
+	// restoring a machine whose failure burst has passed. Zero leaves
+	// drained machines out of the pool forever (the pre-hardening
+	// behaviour, which starves the cluster under sustained fault storms).
+	ReadmitDelay sim.Duration
 }
 
 // TaskSample is the per-task timing record behind IdleRatio.
@@ -119,6 +125,19 @@ type runningTask struct {
 	started sim.Time
 	launch  float64
 	unmet   map[string]bool // producer stages not yet complete
+	// gen versions the armed finish event: fault injection (straggler
+	// slowdowns) supersedes a scheduled completion by bumping gen and
+	// re-arming, and the stale closure no-ops.
+	gen      int
+	armed    bool
+	finishAt sim.Time
+	// slow accumulates straggler slowdown factors applied before the
+	// finish time is computed (parked tasks).
+	slow float64
+	// Cost components and data-arrival estimate captured when the finish
+	// was armed, so a re-armed finish records the same sample breakdown.
+	read, process, write float64
+	dataArrive           sim.Time
 }
 
 // Runner executes jobs on the simulated cluster.
@@ -132,6 +151,15 @@ type Runner struct {
 	parked  map[string][]core.TaskRef // producer stage -> waiting tasks
 	series  *metrics.Series
 	results *Results
+	// down marks machines that have crashed but whose failure the
+	// controller has not yet detected: their tasks are dead and new
+	// launches on them are black holes until the heartbeat delay elapses.
+	down map[cluster.MachineID]bool
+	// onAction observes every controller action as the driver interprets
+	// it; afterEvent fires once the controller has processed an event and
+	// its actions are drained (the chaos auditor's invariant checkpoint).
+	onAction   func(sim.Time, core.Action)
+	afterEvent func(sim.Time)
 }
 
 // New builds a runner. The zero Config is invalid; fill Cluster at least.
@@ -148,6 +176,7 @@ func New(cfg Config) *Runner {
 		jobs:    make(map[string]*jobRun),
 		tasks:   make(map[core.TaskRef]*runningTask),
 		parked:  make(map[string][]core.TaskRef),
+		down:    make(map[cluster.MachineID]bool),
 		series:  metrics.NewSeries(),
 		results: &Results{Jobs: make(map[string]*JobResult)},
 	}

@@ -1,0 +1,37 @@
+package sqlparse
+
+import "testing"
+
+// FuzzParse drives the lexer, parser and planner with arbitrary input.
+// Any input may be rejected with an error, but nothing may panic, and
+// whatever parses must also plan into a valid job DAG.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT a, COUNT(*) FROM t WHERE a > 1 GROUP BY a ORDER BY a LIMIT 10",
+		"SELECT t.a, s.b FROM t JOIN s ON t.id = s.id",
+		"SELECT SUM(x) FROM t GROUP BY y HAVING SUM(x) > 0",
+		"SELECT DISTINCT a FROM t ORDER BY a DESC",
+		"select",
+		"SELECT FROM WHERE",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT ((((((((((a))))))))))",
+		"\x00\xff SELECT",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		job, err := Plan("fuzz", stmt, DefaultPlanOptions())
+		if err != nil {
+			return
+		}
+		if err := job.Validate(); err != nil {
+			t.Fatalf("planned job fails validation for %q: %v", src, err)
+		}
+	})
+}

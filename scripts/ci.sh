@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repository gate: vet, race-test everything, run the fixed-seed chaos
+# soak (deterministic fault schedules + scheduler invariant auditor), and
+# build the sqlparse fuzz target so it cannot rot. Fuzz *exploration* is
+# not run here — CI stays deterministic; run it manually with
+#   go test ./internal/sqlparse -fuzz FuzzParse -fuzztime 30s
+#
+# Usage: scripts/ci.sh [chaos-seeds]   (default 8)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SEEDS="${1:-8}"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== chaos soak ($SEEDS seeds)"
+go test ./internal/chaos/ -run 'TestSoak$|TestSoakDeterminism' -chaos.seeds="$SEEDS" -count=1
+
+echo "== fuzz targets build"
+go test -run '^$' -c -o /dev/null ./internal/sqlparse/
+
+echo "ci: all green"
