@@ -1,0 +1,500 @@
+package engine
+
+import "fmt"
+
+// Batch is the engine's columnar record set: a fixed-schema slice of typed
+// vectors plus per-column null bitmaps. Operators carry batches end-to-end
+// — scan, filter, join, aggregate, shuffle write, wire transfer — so the
+// per-cell interface boxing and interface-dispatch comparison of the row
+// model is paid only at the row↔batch adapter seam (Rows/BatchFromRows),
+// which exists for Plans written against the row API.
+type Batch struct {
+	Cols []Column
+	Len  int // row count; every column holds exactly Len values
+}
+
+// ColType identifies a column's physical vector type.
+type ColType uint8
+
+// Physical column types. TAny is the escape hatch for kind-mixed columns
+// (e.g. an int64/float64 union key): values stay boxed, exactly as the row
+// model held them, so the adapter is total over any row input.
+const (
+	TInt64 ColType = iota
+	TFloat64
+	TString
+	TBool
+	TAny
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TInt64:
+		return "int64"
+	case TFloat64:
+		return "float64"
+	case TString:
+		return "string"
+	case TBool:
+		return "bool"
+	case TAny:
+		return "any"
+	}
+	return fmt.Sprintf("ColType(%d)", uint8(t))
+}
+
+// Column is one typed vector. Exactly one of the payload slices is
+// populated, selected by Type; null slots hold the zero value there and set
+// their bit in Nulls. A nil Nulls means no nulls.
+type Column struct {
+	Type   ColType
+	Nulls  []uint64 // bitmap, bit i set = row i is NULL; nil when null-free
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Anys   []Value
+}
+
+// Typed column constructors (null-free).
+
+// Int64Col wraps vals as a TInt64 column.
+func Int64Col(vals []int64) Column { return Column{Type: TInt64, Ints: vals} }
+
+// Float64Col wraps vals as a TFloat64 column.
+func Float64Col(vals []float64) Column { return Column{Type: TFloat64, Floats: vals} }
+
+// StringCol wraps vals as a TString column.
+func StringCol(vals []string) Column { return Column{Type: TString, Strs: vals} }
+
+// BoolCol wraps vals as a TBool column.
+func BoolCol(vals []bool) Column { return Column{Type: TBool, Bools: vals} }
+
+func bitGet(bm []uint64, i int) bool { return bm[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func bitSet(bm []uint64, i int) { bm[i>>6] |= 1 << (uint(i) & 63) }
+
+func bitmapWords(n int) int { return (n + 63) / 64 }
+
+// IsNull reports whether row i of the column is NULL.
+func (c *Column) IsNull(i int) bool { return c.Nulls != nil && bitGet(c.Nulls, i) }
+
+// setNull marks row i NULL, allocating the bitmap on first use (n is the
+// column's full length).
+func (c *Column) setNull(i, n int) {
+	if c.Nulls == nil {
+		c.Nulls = make([]uint64, bitmapWords(n))
+	}
+	bitSet(c.Nulls, i)
+}
+
+// hasNulls reports whether any bit is set.
+func (c *Column) hasNulls() bool {
+	for _, w := range c.Nulls {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Value boxes row i of the column (nil for NULL). This is the adapter-seam
+// read; batch kernels read the typed vectors directly.
+func (c *Column) Value(i int) Value {
+	if c.IsNull(i) {
+		return nil
+	}
+	switch c.Type {
+	case TInt64:
+		return c.Ints[i]
+	case TFloat64:
+		return c.Floats[i]
+	case TString:
+		return c.Strs[i]
+	case TBool:
+		return c.Bools[i]
+	}
+	return c.Anys[i]
+}
+
+// length returns the column's value count.
+func (c *Column) length() int {
+	switch c.Type {
+	case TInt64:
+		return len(c.Ints)
+	case TFloat64:
+		return len(c.Floats)
+	case TString:
+		return len(c.Strs)
+	case TBool:
+		return len(c.Bools)
+	}
+	return len(c.Anys)
+}
+
+// NewBatch wraps pre-built columns, inferring the row count from the first
+// column (0 columns = 0 rows). It panics on ragged columns — a kernel bug,
+// not runtime data.
+func NewBatch(cols ...Column) *Batch {
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].length()
+	}
+	for i := range cols {
+		if cols[i].length() != n {
+			panic(fmt.Sprintf("engine: ragged batch: column %d has %d values, want %d", i, cols[i].length(), n))
+		}
+	}
+	return &Batch{Cols: cols, Len: n}
+}
+
+// NumCols returns the column count.
+func (b *Batch) NumCols() int { return len(b.Cols) }
+
+// Value boxes cell (col, row) — nil for NULL.
+func (b *Batch) Value(col, row int) Value { return b.Cols[col].Value(row) }
+
+// IsNull reports whether cell (col, row) is NULL.
+func (b *Batch) IsNull(col, row int) bool { return b.Cols[col].IsNull(row) }
+
+// BatchFromRows converts rows into a batch: each column becomes the
+// narrowest typed vector that holds every value (nil values are NULL bits),
+// falling back to TAny when kinds mix. Ragged rows are tolerated — missing
+// trailing cells read as NULL — so the adapter is total over anything a
+// Plan emits.
+func BatchFromRows(rows []Row) *Batch {
+	ncols := 0
+	for _, r := range rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	b := &Batch{Cols: make([]Column, ncols), Len: len(rows)}
+	for c := 0; c < ncols; c++ {
+		b.Cols[c] = columnFromRows(rows, c)
+	}
+	return b
+}
+
+// columnFromRows builds column c of the rows. Two passes: infer the
+// narrowest type, then fill the typed vector.
+func columnFromRows(rows []Row, c int) Column {
+	t := ColType(0)
+	typed := false
+	mixed := false
+	for _, r := range rows {
+		if c >= len(r) || r[c] == nil {
+			continue
+		}
+		var vt ColType
+		switch r[c].(type) {
+		case int64:
+			vt = TInt64
+		case float64:
+			vt = TFloat64
+		case string:
+			vt = TString
+		case bool:
+			vt = TBool
+		default:
+			vt = TAny
+		}
+		if !typed {
+			t, typed = vt, true
+		} else if vt != t {
+			mixed = true
+			break
+		}
+	}
+	if mixed || (typed && t == TAny) {
+		t = TAny
+	} else if !typed {
+		t = TInt64 // all-NULL column: values are irrelevant, pick the cheapest
+	}
+	n := len(rows)
+	col := Column{Type: t}
+	switch t {
+	case TInt64:
+		col.Ints = make([]int64, n)
+	case TFloat64:
+		col.Floats = make([]float64, n)
+	case TString:
+		col.Strs = make([]string, n)
+	case TBool:
+		col.Bools = make([]bool, n)
+	case TAny:
+		col.Anys = make([]Value, n)
+	}
+	for i, r := range rows {
+		if c >= len(r) || r[c] == nil {
+			col.setNull(i, n)
+			continue
+		}
+		switch t {
+		case TInt64:
+			col.Ints[i] = r[c].(int64)
+		case TFloat64:
+			col.Floats[i] = r[c].(float64)
+		case TString:
+			col.Strs[i] = r[c].(string)
+		case TBool:
+			col.Bools[i] = r[c].(bool)
+		case TAny:
+			col.Anys[i] = r[c]
+		}
+	}
+	return col
+}
+
+// Rows materialises the batch as rows (the adapter-seam read). Row storage
+// is carved from an arena, one slab per ~4096 values.
+func (b *Batch) Rows() []Row {
+	return b.AppendRows(nil)
+}
+
+// AppendRows appends the batch's rows to dst.
+func (b *Batch) AppendRows(dst []Row) []Row {
+	if b == nil || b.Len == 0 {
+		return dst
+	}
+	var arena rowArena
+	nc := len(b.Cols)
+	for i := 0; i < b.Len; i++ {
+		r := arena.alloc(nc)
+		for c := range b.Cols {
+			r[c] = b.Cols[c].Value(i)
+		}
+		dst = append(dst, r)
+	}
+	return dst
+}
+
+// RowAt materialises row i.
+func (b *Batch) RowAt(i int) Row {
+	r := make(Row, len(b.Cols))
+	for c := range b.Cols {
+		r[c] = b.Cols[c].Value(i)
+	}
+	return r
+}
+
+// Project returns a batch holding the selected columns. Column vectors are
+// shared, not copied — projection is free in the columnar model.
+func (b *Batch) Project(cols []int) *Batch {
+	out := &Batch{Cols: make([]Column, len(cols)), Len: b.Len}
+	for i, c := range cols {
+		out.Cols[i] = b.Cols[c]
+	}
+	return out
+}
+
+// WithCol returns the batch extended by one more column (shared vectors).
+// The new column must have exactly Len values.
+func (b *Batch) WithCol(col Column) *Batch {
+	if col.length() != b.Len {
+		panic(fmt.Sprintf("engine: WithCol: %d values for %d-row batch", col.length(), b.Len))
+	}
+	cols := make([]Column, len(b.Cols)+1)
+	copy(cols, b.Cols)
+	cols[len(b.Cols)] = col
+	return &Batch{Cols: cols, Len: b.Len}
+}
+
+// Gather returns a new batch holding rows sel (in that order). Each column
+// dispatches on its type once and copies with a typed loop — the shared
+// kernel behind batch filter, sort and join materialisation.
+func (b *Batch) Gather(sel []int32) *Batch {
+	out := &Batch{Cols: make([]Column, len(b.Cols)), Len: len(sel)}
+	for c := range b.Cols {
+		out.Cols[c] = gatherCol(&b.Cols[c], sel)
+	}
+	return out
+}
+
+func gatherCol(src *Column, sel []int32) Column {
+	n := len(sel)
+	out := Column{Type: src.Type}
+	switch src.Type {
+	case TInt64:
+		out.Ints = make([]int64, n)
+		for i, s := range sel {
+			out.Ints[i] = src.Ints[s]
+		}
+	case TFloat64:
+		out.Floats = make([]float64, n)
+		for i, s := range sel {
+			out.Floats[i] = src.Floats[s]
+		}
+	case TString:
+		out.Strs = make([]string, n)
+		for i, s := range sel {
+			out.Strs[i] = src.Strs[s]
+		}
+	case TBool:
+		out.Bools = make([]bool, n)
+		for i, s := range sel {
+			out.Bools[i] = src.Bools[s]
+		}
+	case TAny:
+		out.Anys = make([]Value, n)
+		for i, s := range sel {
+			out.Anys[i] = src.Anys[s]
+		}
+	}
+	if src.Nulls != nil {
+		for i, s := range sel {
+			if bitGet(src.Nulls, int(s)) {
+				out.setNull(i, n)
+			}
+		}
+	}
+	return out
+}
+
+// ConcatBatches concatenates runs into one batch (the batch counterpart of
+// flattening Input runs). Columns with matching types append typed;
+// mismatched types degrade that column to TAny, preserving each value's
+// boxed kind. Runs must agree on column count (empty runs are skipped).
+func ConcatBatches(runs []*Batch) *Batch {
+	total, ncols := 0, -1
+	for _, r := range runs {
+		if r == nil || r.Len == 0 {
+			continue
+		}
+		total += r.Len
+		if ncols < 0 {
+			ncols = len(r.Cols)
+		} else if len(r.Cols) != ncols {
+			panic(fmt.Sprintf("engine: concat of %d-col and %d-col batches", ncols, len(r.Cols)))
+		}
+	}
+	if ncols < 0 {
+		return &Batch{}
+	}
+	out := &Batch{Cols: make([]Column, ncols), Len: total}
+	for c := 0; c < ncols; c++ {
+		out.Cols[c] = concatCol(runs, c, total)
+	}
+	return out
+}
+
+func concatCol(runs []*Batch, c, total int) Column {
+	t := ColType(0)
+	typed := false
+	for _, r := range runs {
+		if r == nil || r.Len == 0 {
+			continue
+		}
+		rt := r.Cols[c].Type
+		if !typed {
+			t, typed = rt, true
+		} else if rt != t {
+			// Mixed types across runs: an all-NULL run infers TInt64 and can
+			// merge into anything; genuine kind mixes degrade to TAny.
+			if allNull(&r.Cols[c], r.Len) {
+				continue
+			}
+			if allNullSoFar(runs, c, r) {
+				t = rt
+				continue
+			}
+			t = TAny
+			break
+		}
+	}
+	out := Column{Type: t}
+	switch t {
+	case TInt64:
+		out.Ints = make([]int64, 0, total)
+	case TFloat64:
+		out.Floats = make([]float64, 0, total)
+	case TString:
+		out.Strs = make([]string, 0, total)
+	case TBool:
+		out.Bools = make([]bool, 0, total)
+	case TAny:
+		out.Anys = make([]Value, 0, total)
+	}
+	off := 0
+	for _, r := range runs {
+		if r == nil || r.Len == 0 {
+			continue
+		}
+		src := &r.Cols[c]
+		if src.Type == t && t != TAny {
+			switch t {
+			case TInt64:
+				out.Ints = append(out.Ints, src.Ints...)
+			case TFloat64:
+				out.Floats = append(out.Floats, src.Floats...)
+			case TString:
+				out.Strs = append(out.Strs, src.Strs...)
+			case TBool:
+				out.Bools = append(out.Bools, src.Bools...)
+			}
+			if src.Nulls != nil {
+				for i := 0; i < r.Len; i++ {
+					if bitGet(src.Nulls, i) {
+						out.setNull(off+i, total)
+					}
+				}
+			}
+		} else {
+			// Slow lane: type differs from the merged type (all-NULL run, or
+			// the merged type is TAny) — box through Value.
+			for i := 0; i < r.Len; i++ {
+				v := src.Value(i)
+				switch t {
+				case TInt64:
+					out.Ints = append(out.Ints, 0)
+				case TFloat64:
+					out.Floats = append(out.Floats, 0)
+				case TString:
+					out.Strs = append(out.Strs, "")
+				case TBool:
+					out.Bools = append(out.Bools, false)
+				case TAny:
+					out.Anys = append(out.Anys, v)
+				}
+				if v == nil {
+					out.setNull(off+i, total)
+				} else if t != TAny {
+					// Non-nil value of a different kind forced into a typed
+					// column can only happen for TAny targets, handled above.
+					panic("engine: concat type drift")
+				}
+			}
+		}
+		off += r.Len
+	}
+	return out
+}
+
+func allNull(c *Column, n int) bool {
+	if c.Nulls == nil {
+		return n == 0
+	}
+	for i := 0; i < n; i++ {
+		if !bitGet(c.Nulls, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// allNullSoFar reports whether every run before `until` has an all-NULL
+// column c.
+func allNullSoFar(runs []*Batch, c int, until *Batch) bool {
+	for _, r := range runs {
+		if r == until {
+			return true
+		}
+		if r == nil || r.Len == 0 {
+			continue
+		}
+		if !allNull(&r.Cols[c], r.Len) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,118 @@
+package engine
+
+import "testing"
+
+// Batch-kernel counterparts of the row microbenchmarks, on the same
+// workloads (same sizes, key domains and seeds), so `benchstat` and the
+// EXPERIMENTS.md table compare the two data planes apples-to-apples. The
+// row→batch conversion happens outside the timer: plans hold batches
+// end-to-end, so conversion is not part of the steady-state cost.
+
+func BenchmarkBatchHashJoin(b *testing.B) {
+	build := BatchFromRows(benchRows(1000, 500, 1))
+	probe := BatchFromRows(benchRows(4000, 500, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := HashJoinBatch(build, []int{0}, probe, []int{0})
+		if out.Len == 0 {
+			b.Fatal("empty join")
+		}
+	}
+}
+
+func BenchmarkBatchHashAggregate(b *testing.B) {
+	batch := BatchFromRows(benchRows(8000, 200, 3))
+	aggs := []Agg{{AggSum, 2}, {AggCount, 0}, {AggMin, 2}, {AggMax, 2}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := HashAggregateBatch(batch, []int{0}, aggs)
+		if out.Len == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+func BenchmarkBatchSort(b *testing.B) {
+	cases := []struct {
+		name string
+		keys []int
+	}{
+		{"int64Key", []int{0}},
+		{"stringKey", []int{1}},
+		{"multiKey", []int{0, 1, 2}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			src := BatchFromRows(benchRows(4000, 1000, 4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := SortBatch(src, c.keys)
+				if out.Len != src.Len {
+					b.Fatal("lost rows")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBatchPartitionByKey(b *testing.B) {
+	batch := BatchFromRows(benchRows(8000, 4000, 6))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts := PartitionBatchByKey(batch, []int{0}, 16)
+		if len(parts) != 16 {
+			b.Fatal("wrong fan-out")
+		}
+	}
+}
+
+func BenchmarkBatchFilter(b *testing.B) {
+	batch := BatchFromRows(benchRows(8000, 4000, 9))
+	ints := batch.Cols[0].Ints
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := FilterBatch(batch, func(i int) bool { return ints[i]&1 == 0 })
+		if out.Len == 0 {
+			b.Fatal("filtered everything")
+		}
+	}
+}
+
+func BenchmarkBatchCodecEncode(b *testing.B) {
+	batch := BatchFromRows(benchRows(8000, 4000, 10))
+	buf := make([]byte, 0, EncodedBatchSize(batch))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendBatch(buf[:0], batch)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkBatchCodecDecode(b *testing.B) {
+	enc := EncodeBatch(BatchFromRows(benchRows(8000, 4000, 10)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := DecodeBatch(enc)
+		if err != nil || out.Len != 8000 {
+			b.Fatal("bad decode")
+		}
+	}
+	b.SetBytes(int64(len(enc)))
+}
+
+func BenchmarkHashBatchInto(b *testing.B) {
+	batch := BatchFromRows(benchRows(8000, 4000, 11))
+	dst := make([]uint64, batch.Len)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashBatchInto(batch, []int{0, 1, 2}, dst)
+	}
+}

@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Column codec: the wire format shuffle segments travel in (internal/rpc
+// wraps it for the multi-process path) and the byte-accounting ground truth
+// for the Store and Cache Workers. Layout, all integers little-endian:
+//
+//	uvarint rows, uvarint cols
+//	per column:
+//	  1 byte ColType, 1 byte hasNulls
+//	  [hasNulls] ceil(rows/64) × 8-byte null-bitmap words
+//	  payload:
+//	    TInt64 / TFloat64: rows × 8 bytes (two's-complement / IEEE bits)
+//	    TString:           per value uvarint length + bytes
+//	    TBool:             ceil(rows/8) packed bytes
+//	    TAny:              per value 1 kind byte + payload (see anyKind*)
+//
+// Typed vectors are length-prefixed by the header's row count — no gob, no
+// interface registration, no per-cell reflection. NULL slots encode their
+// zero value; the bitmap is authoritative.
+
+// TAny per-value kind bytes.
+const (
+	anyKindNull   = 0
+	anyKindInt64  = 1
+	anyKindFloat  = 2
+	anyKindString = 3
+	anyKindBool   = 4
+	// anyKindOther carries fmt.Sprintf("%v") of a kind outside the engine's
+	// value domain; it decodes as a string. Compare would panic on such a
+	// value anyway — this keeps the codec total without gob.
+	anyKindOther = 5
+)
+
+// maxCountOnlyRows caps the row count of a decoded column-less batch; with
+// no per-row payload to bound it, the header alone could otherwise claim an
+// arbitrarily expensive batch.
+const maxCountOnlyRows = 1 << 20
+
+// EncodedBatchSize returns the exact byte length AppendBatch would produce
+// — the shared size helper behind Store.Put accounting.
+func EncodedBatchSize(b *Batch) int {
+	if b == nil {
+		return uvarintLen(0) + uvarintLen(0)
+	}
+	n := uvarintLen(uint64(b.Len)) + uvarintLen(uint64(len(b.Cols)))
+	for c := range b.Cols {
+		n += encodedColSize(&b.Cols[c], b.Len)
+	}
+	return n
+}
+
+func encodedColSize(c *Column, rows int) int {
+	n := 2 // type + hasNulls
+	if c.hasNulls() {
+		n += bitmapWords(rows) * 8
+	}
+	switch c.Type {
+	case TInt64, TFloat64:
+		n += rows * 8
+	case TString:
+		for _, s := range c.Strs {
+			n += uvarintLen(uint64(len(s))) + len(s)
+		}
+	case TBool:
+		n += (rows + 7) / 8
+	case TAny:
+		for i := range c.Anys {
+			n += 1 + anyValueSize(c.Anys[i])
+		}
+	}
+	return n
+}
+
+func anyValueSize(v Value) int {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case int64, float64:
+		return 8
+	case string:
+		return uvarintLen(uint64(len(x))) + len(x)
+	case bool:
+		return 1
+	default:
+		s := fmt.Sprintf("%v", v)
+		return uvarintLen(uint64(len(s))) + len(s)
+	}
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// EncodeBatch encodes the batch into a fresh exact-size buffer.
+func EncodeBatch(b *Batch) []byte {
+	return AppendBatch(make([]byte, 0, EncodedBatchSize(b)), b)
+}
+
+// AppendBatch appends the batch's encoding to dst (zero allocations when
+// dst has capacity).
+func AppendBatch(dst []byte, b *Batch) []byte {
+	if b == nil {
+		return binary.AppendUvarint(binary.AppendUvarint(dst, 0), 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(b.Len))
+	dst = binary.AppendUvarint(dst, uint64(len(b.Cols)))
+	for c := range b.Cols {
+		dst = appendCol(dst, &b.Cols[c], b.Len)
+	}
+	return dst
+}
+
+func appendCol(dst []byte, c *Column, rows int) []byte {
+	hasNulls := c.hasNulls()
+	dst = append(dst, byte(c.Type))
+	if hasNulls {
+		dst = append(dst, 1)
+		words := bitmapWords(rows)
+		for w := 0; w < words; w++ {
+			var v uint64
+			if w < len(c.Nulls) {
+				v = c.Nulls[w]
+			}
+			dst = binary.LittleEndian.AppendUint64(dst, v)
+		}
+	} else {
+		dst = append(dst, 0)
+	}
+	switch c.Type {
+	case TInt64:
+		for _, v := range c.Ints {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	case TFloat64:
+		for _, v := range c.Floats {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	case TString:
+		for _, s := range c.Strs {
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		}
+	case TBool:
+		nb := (rows + 7) / 8
+		start := len(dst)
+		dst = append(dst, make([]byte, nb)...)
+		for i, v := range c.Bools {
+			if v {
+				dst[start+i/8] |= 1 << (uint(i) % 8)
+			}
+		}
+	case TAny:
+		for _, v := range c.Anys {
+			dst = appendAnyValue(dst, v)
+		}
+	}
+	return dst
+}
+
+func appendAnyValue(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, anyKindNull)
+	case int64:
+		dst = append(dst, anyKindInt64)
+		return binary.LittleEndian.AppendUint64(dst, uint64(x))
+	case float64:
+		dst = append(dst, anyKindFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	case string:
+		dst = append(dst, anyKindString)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...)
+	case bool:
+		dst = append(dst, anyKindBool)
+		if x {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	default:
+		s := fmt.Sprintf("%v", v)
+		dst = append(dst, anyKindOther)
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	}
+}
+
+// decoder walks an encoded batch with bounds checks on every read, so a
+// truncated or corrupt payload errors instead of panicking or allocating
+// unbounded memory.
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("engine: batch codec: bad uvarint at %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.data) || d.off+n < d.off {
+		return nil, fmt.Errorf("engine: batch codec: truncated at %d (need %d of %d)", d.off, n, len(d.data))
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	b, err := d.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// DecodeBatch decodes one batch, requiring the input to be fully consumed.
+// Strings are copied out of data, so the input buffer may be reused.
+func DecodeBatch(data []byte) (*Batch, error) {
+	d := &decoder{data: data}
+	rows64, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	cols64, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// A column costs ≥2 bytes and a row ≥1 bit of some column, which bounds
+	// both counts by the payload length before any allocation happens.
+	// Column-less (count-only) batches carry no per-row bytes, so their row
+	// count gets a fixed cap instead — a tiny frame claiming billions of
+	// rows would otherwise cost the receiver that much work the moment the
+	// row adapter walks it.
+	if cols64 > uint64(len(data)) {
+		return nil, fmt.Errorf("engine: batch codec: %d columns in %d bytes", cols64, len(data))
+	}
+	if cols64 > 0 && rows64 > 8*uint64(len(data)) {
+		return nil, fmt.Errorf("engine: batch codec: %d rows in %d bytes", rows64, len(data))
+	}
+	if cols64 == 0 && rows64 > maxCountOnlyRows {
+		return nil, fmt.Errorf("engine: batch codec: %d rows without columns", rows64)
+	}
+	rows, cols := int(rows64), int(cols64)
+	b := &Batch{Cols: make([]Column, cols), Len: rows}
+	for c := 0; c < cols; c++ {
+		if err := d.decodeCol(&b.Cols[c], rows); err != nil {
+			return nil, err
+		}
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("engine: batch codec: %d trailing bytes", len(data)-d.off)
+	}
+	return b, nil
+}
+
+func (d *decoder) decodeCol(c *Column, rows int) error {
+	tb, err := d.byte()
+	if err != nil {
+		return err
+	}
+	if tb > byte(TAny) {
+		return fmt.Errorf("engine: batch codec: unknown column type %d", tb)
+	}
+	c.Type = ColType(tb)
+	nf, err := d.byte()
+	if err != nil {
+		return err
+	}
+	if nf > 1 {
+		return fmt.Errorf("engine: batch codec: bad null flag %d", nf)
+	}
+	if nf == 1 {
+		words := bitmapWords(rows)
+		raw, err := d.bytes(words * 8)
+		if err != nil {
+			return err
+		}
+		c.Nulls = make([]uint64, words)
+		for w := 0; w < words; w++ {
+			c.Nulls[w] = binary.LittleEndian.Uint64(raw[w*8:])
+		}
+	}
+	switch c.Type {
+	case TInt64:
+		raw, err := d.bytes(rows * 8)
+		if err != nil {
+			return err
+		}
+		c.Ints = make([]int64, rows)
+		for i := range c.Ints {
+			c.Ints[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	case TFloat64:
+		raw, err := d.bytes(rows * 8)
+		if err != nil {
+			return err
+		}
+		c.Floats = make([]float64, rows)
+		for i := range c.Floats {
+			c.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	case TString:
+		c.Strs = make([]string, rows)
+		for i := range c.Strs {
+			n, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			raw, err := d.bytes(int(n))
+			if err != nil {
+				return err
+			}
+			c.Strs[i] = string(raw)
+		}
+	case TBool:
+		raw, err := d.bytes((rows + 7) / 8)
+		if err != nil {
+			return err
+		}
+		c.Bools = make([]bool, rows)
+		for i := range c.Bools {
+			c.Bools[i] = raw[i/8]&(1<<(uint(i)%8)) != 0
+		}
+	case TAny:
+		c.Anys = make([]Value, rows)
+		for i := range c.Anys {
+			v, err := d.decodeAnyValue()
+			if err != nil {
+				return err
+			}
+			c.Anys[i] = v
+		}
+	}
+	return nil
+}
+
+func (d *decoder) decodeAnyValue() (Value, error) {
+	kind, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case anyKindNull:
+		return nil, nil
+	case anyKindInt64:
+		raw, err := d.bytes(8)
+		if err != nil {
+			return nil, err
+		}
+		return int64(binary.LittleEndian.Uint64(raw)), nil
+	case anyKindFloat:
+		raw, err := d.bytes(8)
+		if err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(raw)), nil
+	case anyKindString, anyKindOther:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := d.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		return string(raw), nil
+	case anyKindBool:
+		bb, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if bb > 1 {
+			return nil, fmt.Errorf("engine: batch codec: bad bool byte %d", bb)
+		}
+		return bb == 1, nil
+	default:
+		return nil, fmt.Errorf("engine: batch codec: unknown any-kind %d", kind)
+	}
+}

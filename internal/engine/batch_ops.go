@@ -1,0 +1,733 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+)
+
+// Batch-native operator kernels. Each kernel dispatches on column type once
+// per batch (building a typed closure or running a typed loop) instead of
+// unpacking an interface per cell, which is where the row kernels spend
+// their time. Every kernel is pinned to its row counterpart by equivalence
+// property tests in batch_test.go.
+
+// ---- hashing ----
+
+// HashBatchInto computes Hash for every row of the batch into dst
+// (len(dst) == b.Len), column-at-a-time. The result is bit-identical to
+// calling Hash on the materialised rows, so row-emitted and batch-emitted
+// segments co-partition.
+func HashBatchInto(b *Batch, keys []int, dst []uint64) {
+	for i := range dst {
+		dst[i] = fnvOffset64
+	}
+	for _, k := range keys {
+		hashColInto(&b.Cols[k], dst)
+		for i := range dst {
+			dst[i] ^= fnvPrime64 // column separator, as in Hash
+		}
+	}
+}
+
+func hashColInto(c *Column, dst []uint64) {
+	nulls := c.Nulls
+	switch c.Type {
+	case TInt64:
+		for i, v := range c.Ints {
+			if nulls != nil && bitGet(nulls, i) {
+				dst[i] = hashByte(dst[i], tagNull)
+				continue
+			}
+			dst[i] = hashUint64(hashByte(dst[i], tagNumber), uint64(v))
+		}
+	case TFloat64:
+		for i, v := range c.Floats {
+			if nulls != nil && bitGet(nulls, i) {
+				dst[i] = hashByte(dst[i], tagNull)
+				continue
+			}
+			h := hashByte(dst[i], tagNumber)
+			if v == math.Trunc(v) && v >= -9223372036854775808 && v < 9223372036854775808 {
+				h = hashUint64(h, uint64(int64(v)))
+			} else {
+				h = hashUint64(h, math.Float64bits(v))
+			}
+			dst[i] = h
+		}
+	case TString:
+		for i, v := range c.Strs {
+			if nulls != nil && bitGet(nulls, i) {
+				dst[i] = hashByte(dst[i], tagNull)
+				continue
+			}
+			dst[i] = hashString(hashByte(dst[i], tagString), v)
+		}
+	case TBool:
+		for i, v := range c.Bools {
+			if nulls != nil && bitGet(nulls, i) {
+				dst[i] = hashByte(dst[i], tagNull)
+				continue
+			}
+			h := hashByte(dst[i], tagBool)
+			if v {
+				h = hashByte(h, 1)
+			} else {
+				h = hashByte(h, 0)
+			}
+			dst[i] = h
+		}
+	case TAny:
+		for i := range c.Anys {
+			dst[i] = hashAnyValue(dst[i], c.Value(i))
+		}
+	}
+}
+
+// hashAnyValue mirrors one key column's contribution in Hash.
+func hashAnyValue(h uint64, v Value) uint64 {
+	switch x := v.(type) {
+	case int64:
+		return hashUint64(hashByte(h, tagNumber), uint64(x))
+	case float64:
+		h = hashByte(h, tagNumber)
+		if x == math.Trunc(x) && x >= -9223372036854775808 && x < 9223372036854775808 {
+			return hashUint64(h, uint64(int64(x)))
+		}
+		return hashUint64(h, math.Float64bits(x))
+	case string:
+		return hashString(hashByte(h, tagString), x)
+	case bool:
+		h = hashByte(h, tagBool)
+		if x {
+			return hashByte(h, 1)
+		}
+		return hashByte(h, 0)
+	case nil:
+		return hashByte(h, tagNull)
+	default:
+		return hashString(hashByte(h, tagOther), fmt.Sprintf("%v", v))
+	}
+}
+
+// ---- comparison ----
+
+// colCompare orders cell i of column a against cell j of column b with
+// Compare's semantics (NULL first, cross-kind numerics as float64). Typed
+// same-kind and int/float pairs avoid boxing; anything else goes through
+// Compare on boxed values.
+func colCompare(a *Column, i int, b *Column, j int) int {
+	an, bn := a.IsNull(i), b.IsNull(j)
+	if an || bn {
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return -1
+		}
+		return 1
+	}
+	switch a.Type {
+	case TInt64:
+		switch b.Type {
+		case TInt64:
+			av, bv := a.Ints[i], b.Ints[j]
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			}
+			return 0
+		case TFloat64:
+			return cmpFloat(float64(a.Ints[i]), b.Floats[j])
+		}
+	case TFloat64:
+		switch b.Type {
+		case TFloat64:
+			return cmpFloat(a.Floats[i], b.Floats[j])
+		case TInt64:
+			return cmpFloat(a.Floats[i], float64(b.Ints[j]))
+		}
+	case TString:
+		if b.Type == TString {
+			av, bv := a.Strs[i], b.Strs[j]
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			}
+			return 0
+		}
+	case TBool:
+		if b.Type == TBool {
+			av, bv := a.Bools[i], b.Bools[j]
+			switch {
+			case !av && bv:
+				return -1
+			case av && !bv:
+				return 1
+			}
+			return 0
+		}
+	}
+	return Compare(a.Value(i), b.Value(j))
+}
+
+// batchKeysEqual reports whether rows i and j of one batch agree on the key
+// columns.
+func batchKeysEqual(b *Batch, i, j int, keys []int) bool {
+	for _, k := range keys {
+		if colCompare(&b.Cols[k], i, &b.Cols[k], j) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareBatchRows orders row i of batch a against row j of batch b by the
+// paired key columns (akeys[x] against bkeys[x]).
+func CompareBatchRows(a *Batch, i int, akeys []int, b *Batch, j int, bkeys []int) int {
+	for x := range akeys {
+		if c := colCompare(&a.Cols[akeys[x]], i, &b.Cols[bkeys[x]], j); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// ---- filter / sort ----
+
+// FilterBatch returns the rows where keep reports true, gathered with
+// typed column copies. The predicate receives a row index; typed plan code
+// reads the column vectors directly when building its own selection.
+func FilterBatch(b *Batch, keep func(i int) bool) *Batch {
+	sel := make([]int32, 0, b.Len)
+	for i := 0; i < b.Len; i++ {
+		if keep(i) {
+			sel = append(sel, int32(i))
+		}
+	}
+	return b.Gather(sel)
+}
+
+// colComparator builds a same-column ordering closure, selecting the typed
+// loop once per column (null-free fast lanes; null-aware otherwise).
+func colComparator(c *Column) func(i, j int) int {
+	if c.Nulls == nil {
+		switch c.Type {
+		case TInt64:
+			v := c.Ints
+			return func(i, j int) int {
+				switch {
+				case v[i] < v[j]:
+					return -1
+				case v[i] > v[j]:
+					return 1
+				}
+				return 0
+			}
+		case TFloat64:
+			v := c.Floats
+			return func(i, j int) int { return cmpFloat(v[i], v[j]) }
+		case TString:
+			v := c.Strs
+			return func(i, j int) int {
+				switch {
+				case v[i] < v[j]:
+					return -1
+				case v[i] > v[j]:
+					return 1
+				}
+				return 0
+			}
+		case TBool:
+			v := c.Bools
+			return func(i, j int) int {
+				switch {
+				case !v[i] && v[j]:
+					return -1
+				case v[i] && !v[j]:
+					return 1
+				}
+				return 0
+			}
+		}
+	}
+	cc := c
+	return func(i, j int) int { return colCompare(cc, i, cc, j) }
+}
+
+// SortBatch returns the batch's rows stably sorted by the key columns
+// (argsort over an index vector, then one typed gather). A single
+// null-free typed key takes a direct comparator — no closure chain — the
+// same fast lane SortRows has for kind-homogeneous columns.
+func SortBatch(b *Batch, keys []int) *Batch {
+	idx := make([]int32, b.Len)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	if len(keys) == 1 && sortIdxSingleKey(idx, &b.Cols[keys[0]]) {
+		return b.Gather(idx)
+	}
+	cmps := make([]func(i, j int) int, len(keys))
+	for x, k := range keys {
+		cmps[x] = colComparator(&b.Cols[k])
+	}
+	slices.SortStableFunc(idx, func(x, y int32) int {
+		for _, cmp := range cmps {
+			if c := cmp(int(x), int(y)); c != 0 {
+				return c
+			}
+		}
+		return 0
+	})
+	return b.Gather(idx)
+}
+
+// sortIdxSingleKey stably argsorts idx by a null-free typed column with an
+// inlined comparator, reporting whether it handled the column.
+func sortIdxSingleKey(idx []int32, c *Column) bool {
+	if c.Nulls != nil {
+		return false
+	}
+	switch c.Type {
+	case TInt64:
+		v := c.Ints
+		slices.SortStableFunc(idx, func(x, y int32) int {
+			a, b := v[x], v[y]
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		})
+	case TFloat64:
+		v := c.Floats
+		slices.SortStableFunc(idx, func(x, y int32) int { return cmpFloat(v[x], v[y]) })
+	case TString:
+		v := c.Strs
+		slices.SortStableFunc(idx, func(x, y int32) int {
+			a, b := v[x], v[y]
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		})
+	default:
+		return false
+	}
+	return true
+}
+
+// ---- partitioning ----
+
+// PartitionBatchByKey hash-partitions the batch into n sub-batches by the
+// key columns — the batch shuffle-write kernel behind EmitBatchByKey.
+// Hashing is columnar, placement a typed scatter into exact-size vectors.
+func PartitionBatchByKey(b *Batch, keys []int, n int) []*Batch {
+	if n <= 1 {
+		return []*Batch{b}
+	}
+	hashes := make([]uint64, b.Len)
+	HashBatchInto(b, keys, hashes)
+	pidx := make([]uint32, b.Len)
+	counts := make([]int, n)
+	for i, h := range hashes {
+		p := uint32(h % uint64(n))
+		pidx[i] = p
+		counts[p]++
+	}
+	return scatterBatch(b, pidx, counts)
+}
+
+// PartitionBatchByRange splits the batch into len(bounds)+1 contiguous
+// partitions: partition i holds rows below bounds[i] under the key columns
+// (bounds are rows, as sampled by a Terasort-style plan).
+func PartitionBatchByRange(b *Batch, keys []int, bounds []Row) []*Batch {
+	if len(bounds) == 0 {
+		return []*Batch{b}
+	}
+	bb := BatchFromRows(bounds)
+	pidx := make([]uint32, b.Len)
+	counts := make([]int, len(bounds)+1)
+	for i := 0; i < b.Len; i++ {
+		p := uint32(sort.Search(len(bounds), func(bi int) bool {
+			return CompareBatchRows(b, i, keys, bb, bi, keys) < 0
+		}))
+		pidx[i] = p
+		counts[p]++
+	}
+	return scatterBatch(b, pidx, counts)
+}
+
+// scatterBatch places rows into exact-size partitions (row i goes to
+// pidx[i], partition sizes given by counts), one typed pass per column.
+func scatterBatch(b *Batch, pidx []uint32, counts []int) []*Batch {
+	parts := make([]*Batch, len(counts))
+	for p, n := range counts {
+		parts[p] = &Batch{Cols: make([]Column, len(b.Cols)), Len: n}
+	}
+	offs := make([]int, len(counts))
+	for c := range b.Cols {
+		src := &b.Cols[c]
+		for p, n := range counts {
+			dst := &parts[p].Cols[c]
+			dst.Type = src.Type
+			switch src.Type {
+			case TInt64:
+				dst.Ints = make([]int64, n)
+			case TFloat64:
+				dst.Floats = make([]float64, n)
+			case TString:
+				dst.Strs = make([]string, n)
+			case TBool:
+				dst.Bools = make([]bool, n)
+			case TAny:
+				dst.Anys = make([]Value, n)
+			}
+		}
+		clear(offs)
+		switch src.Type {
+		case TInt64:
+			for i, v := range src.Ints {
+				p := pidx[i]
+				parts[p].Cols[c].Ints[offs[p]] = v
+				offs[p]++
+			}
+		case TFloat64:
+			for i, v := range src.Floats {
+				p := pidx[i]
+				parts[p].Cols[c].Floats[offs[p]] = v
+				offs[p]++
+			}
+		case TString:
+			for i, v := range src.Strs {
+				p := pidx[i]
+				parts[p].Cols[c].Strs[offs[p]] = v
+				offs[p]++
+			}
+		case TBool:
+			for i, v := range src.Bools {
+				p := pidx[i]
+				parts[p].Cols[c].Bools[offs[p]] = v
+				offs[p]++
+			}
+		case TAny:
+			for i, v := range src.Anys {
+				p := pidx[i]
+				parts[p].Cols[c].Anys[offs[p]] = v
+				offs[p]++
+			}
+		}
+		if src.Nulls != nil {
+			clear(offs)
+			for i := 0; i < b.Len; i++ {
+				p := pidx[i]
+				if bitGet(src.Nulls, i) {
+					parts[p].Cols[c].setNull(offs[p], counts[p])
+				}
+				offs[p]++
+			}
+		}
+	}
+	return parts
+}
+
+// ---- hash join ----
+
+// HashJoinBatch inner-joins probe rows against a materialised build side on
+// equal keys, emitting probe columns followed by build columns — the same
+// rows in the same order as the row HashJoin over the same inputs. The
+// build table maps hash → carved index bucket; matches accumulate as index
+// pairs and materialise with two typed gathers.
+func HashJoinBatch(build *Batch, buildKeys []int, probe *Batch, probeKeys []int) *Batch {
+	bh := make([]uint64, build.Len)
+	HashBatchInto(build, buildKeys, bh)
+	counts := make(map[uint64]int32, build.Len)
+	for _, h := range bh {
+		counts[h]++
+	}
+	backing := make([]int32, build.Len)
+	table := make(map[uint64][]int32, len(counts))
+	off := int32(0)
+	for h, c := range counts {
+		table[h] = backing[off : off : off+c]
+		off += c
+	}
+	for i, h := range bh {
+		table[h] = append(table[h], int32(i))
+	}
+
+	ph := make([]uint64, probe.Len)
+	HashBatchInto(probe, probeKeys, ph)
+	// Candidate count bounds the match count (over only by 64-bit hash
+	// collisions between distinct keys), so the match index arrays are
+	// allocated once at exact-ish size instead of append-doubling.
+	cand := 0
+	for _, h := range ph {
+		cand += len(table[h])
+	}
+	pIdx := make([]int32, 0, cand)
+	bIdx := make([]int32, 0, cand)
+	for i := 0; i < probe.Len; i++ {
+		for _, bi := range table[ph[i]] {
+			if CompareBatchRows(probe, i, probeKeys, build, int(bi), buildKeys) == 0 {
+				pIdx = append(pIdx, int32(i))
+				bIdx = append(bIdx, bi)
+			}
+		}
+	}
+	out := &Batch{Cols: make([]Column, len(probe.Cols)+len(build.Cols)), Len: len(pIdx)}
+	for c := range probe.Cols {
+		out.Cols[c] = gatherCol(&probe.Cols[c], pIdx)
+	}
+	for c := range build.Cols {
+		out.Cols[len(probe.Cols)+c] = gatherCol(&build.Cols[c], bIdx)
+	}
+	return out
+}
+
+// ---- hash aggregate ----
+
+// HashAggregateBatch groups the batch by the key columns and folds the
+// aggregates, emitting key columns followed by one column per aggregate,
+// sorted by key like HashAggregate. Group discovery hashes columnar and
+// chains collisions through index slices; each aggregate then folds in one
+// typed pass over the whole batch, so sums over an int64 or float64 column
+// never box a value. Output columns stay typed: Count and int sums are
+// TInt64 vectors, float sums TFloat64, Min/Max the input column's type.
+func HashAggregateBatch(b *Batch, keys []int, aggs []Agg) *Batch {
+	nk, na := len(keys), len(aggs)
+	if b == nil || b.Len == 0 {
+		return &Batch{Cols: make([]Column, nk+na)}
+	}
+	hashes := make([]uint64, b.Len)
+	HashBatchInto(b, keys, hashes)
+	head := make(map[uint64]int32, 64)
+	var (
+		rep  []int32 // group id -> representative (first) row
+		next []int32 // collision chain
+	)
+	gids := make([]int32, b.Len)
+	for i := 0; i < b.Len; i++ {
+		h := hashes[i]
+		first, seen := head[h]
+		gid := int32(-1)
+		if seen {
+			for g := first; g >= 0; g = next[g] {
+				if batchKeysEqual(b, int(rep[g]), i, keys) {
+					gid = g
+					break
+				}
+			}
+		}
+		if gid < 0 {
+			gid = int32(len(rep))
+			rep = append(rep, int32(i))
+			if seen {
+				next = append(next, first)
+			} else {
+				next = append(next, -1)
+			}
+			head[h] = gid
+		}
+		gids[i] = gid
+	}
+	groups := len(rep)
+	out := &Batch{Cols: make([]Column, nk+na), Len: groups}
+	for x, k := range keys {
+		out.Cols[x] = gatherCol(&b.Cols[k], rep)
+	}
+	for x, a := range aggs {
+		out.Cols[nk+x] = aggColumn(b, a, gids, groups)
+	}
+	return SortBatch(out, identity(nk))
+}
+
+// aggColumn folds one aggregate over the whole batch in a typed loop,
+// producing one value per group. NULL inputs are skipped by Sum/Min/Max
+// (a group with no non-NULL input yields NULL); Count counts rows.
+func aggColumn(b *Batch, a Agg, gids []int32, groups int) Column {
+	col := &b.Cols[a.Col]
+	if a.Kind == AggCount {
+		out := make([]int64, groups)
+		for _, g := range gids {
+			out[g]++
+		}
+		return Int64Col(out)
+	}
+	switch col.Type {
+	case TInt64:
+		switch a.Kind {
+		case AggSum, AggMin, AggMax:
+			acc := make([]int64, groups)
+			seen := make([]bool, groups)
+			for i, v := range col.Ints {
+				if col.Nulls != nil && bitGet(col.Nulls, i) {
+					continue
+				}
+				g := gids[i]
+				switch {
+				case !seen[g]:
+					acc[g] = v
+				case a.Kind == AggSum:
+					acc[g] += v
+				case a.Kind == AggMin && v < acc[g]:
+					acc[g] = v
+				case a.Kind == AggMax && v > acc[g]:
+					acc[g] = v
+				}
+				seen[g] = true
+			}
+			return withUnseenNulls(Int64Col(acc), seen)
+		}
+	case TFloat64:
+		switch a.Kind {
+		case AggSum, AggMin, AggMax:
+			acc := make([]float64, groups)
+			seen := make([]bool, groups)
+			for i, v := range col.Floats {
+				if col.Nulls != nil && bitGet(col.Nulls, i) {
+					continue
+				}
+				g := gids[i]
+				switch {
+				case !seen[g]:
+					acc[g] = v
+				case a.Kind == AggSum:
+					acc[g] += v
+				case a.Kind == AggMin && cmpFloat(v, acc[g]) < 0:
+					acc[g] = v
+				case a.Kind == AggMax && cmpFloat(v, acc[g]) > 0:
+					acc[g] = v
+				}
+				seen[g] = true
+			}
+			return withUnseenNulls(Float64Col(acc), seen)
+		}
+	case TString:
+		if a.Kind == AggMin || a.Kind == AggMax {
+			acc := make([]string, groups)
+			seen := make([]bool, groups)
+			for i, v := range col.Strs {
+				if col.Nulls != nil && bitGet(col.Nulls, i) {
+					continue
+				}
+				g := gids[i]
+				switch {
+				case !seen[g]:
+					acc[g] = v
+				case a.Kind == AggMin && v < acc[g]:
+					acc[g] = v
+				case a.Kind == AggMax && v > acc[g]:
+					acc[g] = v
+				}
+				seen[g] = true
+			}
+			return withUnseenNulls(StringCol(acc), seen)
+		}
+	}
+	// Boxed lane: TAny columns (mixed numeric sums promote per group, like
+	// accCell), bool min/max, and sums over non-numeric types (which panic
+	// inside fold, matching the row kernel).
+	accs := make([]accCell, groups)
+	n := b.Len
+	for i := 0; i < n; i++ {
+		accs[gids[i]].fold(a.Kind, col.Value(i))
+	}
+	out := Column{Type: TAny, Anys: make([]Value, groups)}
+	for g := range accs {
+		v := accs[g].value(a.Kind)
+		out.Anys[g] = v
+		if v == nil {
+			out.setNull(g, groups)
+		}
+	}
+	return out
+}
+
+// withUnseenNulls marks groups that never saw a non-NULL input as NULL.
+func withUnseenNulls(c Column, seen []bool) Column {
+	for g, s := range seen {
+		if !s {
+			c.setNull(g, len(seen))
+		}
+	}
+	return c
+}
+
+// ---- window ----
+
+// WindowBatch evaluates the window spec over the batch, returning the rows
+// ordered by (PartitionBy, OrderBy) with the window value appended as a new
+// typed column (int64 for ranks, float64 for running sums) — the batch
+// counterpart of Window.
+func WindowBatch(b *Batch, spec WindowSpec) *Batch {
+	keys := append(append([]int(nil), spec.PartitionBy...), spec.OrderBy...)
+	sorted := SortBatch(b, keys)
+	var (
+		ints   []int64
+		floats []float64
+	)
+	if spec.Func == WinRunningSum {
+		floats = make([]float64, sorted.Len)
+	} else {
+		ints = make([]int64, sorted.Len)
+	}
+	var valAt func(i int) (float64, bool)
+	if spec.Func == WinRunningSum {
+		vc := &sorted.Cols[spec.ValueCol]
+		switch vc.Type {
+		case TInt64:
+			valAt = func(i int) (float64, bool) { return float64(vc.Ints[i]), !vc.IsNull(i) }
+		case TFloat64:
+			valAt = func(i int) (float64, bool) { return vc.Floats[i], !vc.IsNull(i) }
+		default:
+			valAt = func(i int) (float64, bool) {
+				v := vc.Value(i)
+				if v == nil {
+					return 0, false
+				}
+				return asFloat(v), true
+			}
+		}
+	}
+	var rowNum, rank, denseRank int64
+	var running float64
+	for i := 0; i < sorted.Len; i++ {
+		newPart := i == 0 || !batchKeysEqual(sorted, i, i-1, spec.PartitionBy)
+		if newPart {
+			rowNum, rank, denseRank, running = 0, 0, 0, 0
+		}
+		rowNum++
+		if newPart || !batchKeysEqual(sorted, i, i-1, spec.OrderBy) {
+			rank = rowNum
+			denseRank++
+		}
+		switch spec.Func {
+		case WinRowNumber:
+			ints[i] = rowNum
+		case WinRank:
+			ints[i] = rank
+		case WinDenseRank:
+			ints[i] = denseRank
+		case WinRunningSum:
+			if v, ok := valAt(i); ok {
+				running += v
+			}
+			floats[i] = running
+		}
+	}
+	if spec.Func == WinRunningSum {
+		return sorted.WithCol(Float64Col(floats))
+	}
+	return sorted.WithCol(Int64Col(ints))
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"slices"
 	"strings"
+	"sync"
 )
 
 // Value is one field of a row. The engine operates on untyped values the
@@ -49,8 +50,19 @@ func (s Schema) MustCol(name string) int {
 
 // Compare orders two values: numerics numerically (int64/float64), strings
 // lexicographically, booleans false<true. Mixed numeric kinds compare as
-// float64. It panics on incomparable kinds — a plan bug, not runtime data.
+// float64. NULL (nil) is total: it sorts before every non-NULL value and
+// NULL == NULL, matching the batch null-bitmap semantics. It panics on
+// incomparable non-nil kinds — a plan bug, not runtime data.
 func Compare(a, b Value) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		}
+		return 1
+	}
 	switch av := a.(type) {
 	case int64:
 		switch bv := b.(type) {
@@ -183,6 +195,7 @@ const (
 	tagNumber = 0x4e
 	tagString = 0x53
 	tagBool   = 0x42
+	tagNull   = 0x30
 	tagOther  = 0x3f
 )
 
@@ -235,6 +248,10 @@ func Hash(r Row, keys []int) uint64 {
 			} else {
 				h = hashByte(h, 0)
 			}
+		case nil:
+			// NULL hashes by its own tag so nil keys co-partition with the
+			// batch null bitmap's hashing.
+			h = hashByte(h, tagNull)
 		default:
 			h = hashByte(h, tagOther)
 			h = hashString(h, fmt.Sprintf("%v", v))
@@ -280,6 +297,30 @@ type Table struct {
 	Name       string
 	Schema     Schema
 	Partitions [][]Row
+
+	// batches lazily caches the columnar view of each partition, built on
+	// first PartitionBatch call, so batch scans convert a partition once
+	// per table lifetime instead of once per task attempt.
+	batchMu sync.Mutex
+	batches []*Batch
+}
+
+// PartitionBatch returns the columnar view of partition i (cached; callers
+// must treat it as immutable). Out-of-range partitions return an empty
+// batch, mirroring TablePartition's nil-rows behaviour.
+func (t *Table) PartitionBatch(i int) *Batch {
+	if i < 0 || i >= len(t.Partitions) {
+		return &Batch{}
+	}
+	t.batchMu.Lock()
+	defer t.batchMu.Unlock()
+	if t.batches == nil {
+		t.batches = make([]*Batch, len(t.Partitions))
+	}
+	if t.batches[i] == nil {
+		t.batches[i] = BatchFromRows(t.Partitions[i])
+	}
+	return t.batches[i]
 }
 
 // NewTable partitions rows round-robin into parts partitions.

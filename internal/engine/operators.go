@@ -123,7 +123,7 @@ func NewHashJoin(build []Row, buildKeys []int, probe Iter, probeKeys []int) *Has
 	t := make(map[uint64][]Row, len(counts))
 	off := int32(0)
 	for h, c := range counts {
-		t[h] = backing[off:off : off+c]
+		t[h] = backing[off : off : off+c]
 		off += c
 	}
 	for i, r := range build {
@@ -267,6 +267,11 @@ type accCell struct {
 }
 
 func (c *accCell) fold(kind AggKind, v Value) {
+	// NULL semantics shared with the batch kernels: Count counts rows;
+	// Sum/Min/Max skip NULL inputs (a NULL-only group yields NULL).
+	if v == nil && kind != AggCount {
+		return
+	}
 	switch kind {
 	case AggCount:
 		c.i++

@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether the race detector instruments this build;
+// the allocation guards skip under it (instrumentation allocates).
+const raceEnabled = false

@@ -8,11 +8,18 @@ import (
 )
 
 // Store is the engine's in-memory shuffle fabric: one Cache Worker per
-// machine holding real row payloads, with blocking reads so a consumer
+// machine holding real segment payloads, with blocking reads so a consumer
 // task launched before its producer (gang scheduling within a graphlet)
 // simply waits for the segment to appear — the pipeline-edge behaviour of
 // Section III-B ("after the destination Cache Worker receives the desired
 // shuffle data, the reader tasks are notified").
+//
+// Segments are columnar: every payload is a Batch, whatever API wrote it.
+// Rows arriving through the row adapter (Put) are converted once at write
+// time and the original rows kept as the cached row view, so row-plan
+// readers see the very slices their producer emitted. Byte accounting uses
+// the column codec's exact encoded size (EncodedBatchSize) — the same
+// number the wire transfer pays — not a per-row estimate.
 //
 // Segments are retained until the whole job completes rather than being
 // freed at first consumption, so fine-grained recovery can re-read them;
@@ -24,8 +31,15 @@ type Store struct {
 	cond    *sync.Cond
 	workers []*shuffle.CacheWorker // per machine
 	home    map[string]int         // segment key -> machine
-	rows    map[string][]Row       // segment payloads
+	segs    map[string]*storedSeg  // segment payloads
 	jobKeys map[string][]string
+}
+
+// storedSeg is one resident segment: the authoritative batch plus a lazily
+// materialised (or producer-provided) row view.
+type storedSeg struct {
+	batch *Batch
+	rows  []Row
 }
 
 // NewStore creates a store with one Cache Worker per machine; capacity is
@@ -33,7 +47,7 @@ type Store struct {
 func NewStore(machines int, capacity int64) *Store {
 	s := &Store{
 		home:    make(map[string]int),
-		rows:    make(map[string][]Row),
+		segs:    make(map[string]*storedSeg),
 		jobKeys: make(map[string][]string),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -60,9 +74,25 @@ func SegmentKey(job, from, to string, producer, part int) string {
 	return string(b)
 }
 
-// Put stores a segment on the given machine's Cache Worker, replacing any
-// previous attempt's segment (failure recovery re-writes).
+// Put stores a row segment (the row-adapter write path): rows convert to a
+// batch once here, and the batch's exact encoded size is what the Cache
+// Worker accounts. Replaces any previous attempt's segment (failure
+// recovery re-writes).
 func (s *Store) Put(job string, machine int, key string, rows []Row) error {
+	return s.put(job, machine, key, &storedSeg{batch: BatchFromRows(rows), rows: rows})
+}
+
+// PutBatch stores a batch segment — the native write path of batch plans;
+// no row materialisation happens unless a row-API consumer reads it.
+func (s *Store) PutBatch(job string, machine int, key string, b *Batch) error {
+	if b == nil {
+		b = &Batch{}
+	}
+	return s.put(job, machine, key, &storedSeg{batch: b})
+}
+
+func (s *Store) put(job string, machine int, key string, seg *storedSeg) error {
+	size := int64(EncodedBatchSize(seg.batch)) // exact wire bytes, computed outside the lock
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if old, ok := s.home[key]; ok {
@@ -71,30 +101,52 @@ func (s *Store) Put(job string, machine int, key string, rows []Row) error {
 		s.jobKeys[job] = append(s.jobKeys[job], key)
 	}
 	w := s.workers[machine%len(s.workers)]
-	// Sizes are tracked by the Cache Worker; rows ride out of band, so no
-	// payload bytes are materialised.
-	if _, err := w.Put(key, int64(len(rows)*16+1), nil, 1<<30); err != nil {
+	// The Cache Worker tracks memory accounting and spill behaviour; the
+	// payload rides in the segment side table.
+	if _, err := w.Put(key, size, nil, 1<<30); err != nil {
 		return err
 	}
 	s.home[key] = machine % len(s.workers)
-	// Rows ride in a side table keyed the same way; the Cache Worker
-	// tracks memory accounting and spill behaviour.
-	s.rows[key] = rows
+	s.segs[key] = seg
 	s.cond.Broadcast()
 	return nil
 }
 
 // Get blocks until the segment exists (or abort closes), then returns its
-// rows. ok is false if the wait was aborted.
+// row view (materialised from the batch on first row read, cached after).
+// ok is false if the wait was aborted.
 func (s *Store) Get(key string, aborted func() bool) (rows []Row, ok bool) {
+	seg, ok := s.wait(key, aborted, true)
+	if !ok {
+		return nil, false
+	}
+	return seg.rows, true
+}
+
+// GetBatch is Get for batch consumers: no row materialisation.
+func (s *Store) GetBatch(key string, aborted func() bool) (*Batch, bool) {
+	seg, ok := s.wait(key, aborted, false)
+	if !ok {
+		return nil, false
+	}
+	return seg.batch, true
+}
+
+// wait blocks until the key exists or the wait aborts. When materialiseRows
+// is set, the segment's row view is built (once, under the lock) before the
+// segment is returned, so concurrent readers never race on the cache.
+func (s *Store) wait(key string, aborted func() bool, materialiseRows bool) (*storedSeg, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if r, exists := s.rows[key]; exists {
+		if seg, exists := s.segs[key]; exists {
 			if m, ok2 := s.home[key]; ok2 {
 				s.workers[m].Get(key) // touch LRU / reload accounting
 			}
-			return r, true
+			if materialiseRows && seg.rows == nil && seg.batch.Len > 0 {
+				seg.rows = seg.batch.Rows()
+			}
+			return seg, true
 		}
 		if aborted != nil && aborted() {
 			return nil, false
@@ -120,7 +172,7 @@ func (s *Store) DropTaskOutput(job, from, to string, producer, consumers int) {
 		if m, ok := s.home[key]; ok {
 			s.workers[m].Drop(key)
 			delete(s.home, key)
-			delete(s.rows, key)
+			delete(s.segs, key)
 		}
 	}
 	s.cond.Broadcast()
@@ -134,7 +186,7 @@ func (s *Store) DropJob(job string) {
 		if m, ok := s.home[key]; ok {
 			s.workers[m].Drop(key)
 			delete(s.home, key)
-			delete(s.rows, key)
+			delete(s.segs, key)
 		}
 	}
 	delete(s.jobKeys, job)
@@ -154,6 +206,7 @@ func (s *Store) Stats() shuffle.CacheStats {
 		out.SpillBytes += st.SpillBytes
 		out.LoadBytes += st.LoadBytes
 		out.Freed += st.Freed
+		out.UsedBytes += st.UsedBytes
 	}
 	return out
 }

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStoreUsedBytesZeroAfterDropJob pins the byte-accounting invariant:
+// whatever mix of write paths a job takes — row puts, batch puts, re-puts
+// from recovery, LRU spill under pressure — CacheStats.UsedBytes returns
+// to zero once DropJob releases the job's segments.
+func TestStoreUsedBytesZeroAfterDropJob(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	rows := randRows(r, 100)
+	batch := BatchFromRows(randRows(r, 50))
+
+	t.Run("row and batch puts", func(t *testing.T) {
+		s := NewStore(3, 0)
+		if err := s.Put("job", 0, "k-rows", rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutBatch("job", 1, "k-batch", batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutBatch("job", 2, "k-nil", nil); err != nil {
+			t.Fatal(err)
+		}
+		if used := s.Stats().UsedBytes; used <= 0 {
+			t.Fatalf("UsedBytes = %d before drop", used)
+		}
+		// Exact accounting: the worker holds precisely the encoded sizes.
+		want := int64(EncodedBatchSize(BatchFromRows(rows)) + EncodedBatchSize(batch) + EncodedBatchSize(&Batch{}))
+		if used := s.Stats().UsedBytes; used != want {
+			t.Fatalf("UsedBytes = %d, want exact encoded %d", used, want)
+		}
+		s.DropJob("job")
+		if used := s.Stats().UsedBytes; used != 0 {
+			t.Fatalf("UsedBytes = %d after DropJob", used)
+		}
+	})
+
+	t.Run("re-put replaces accounting", func(t *testing.T) {
+		s := NewStore(2, 0)
+		for attempt := 0; attempt < 5; attempt++ {
+			// Recovery re-writes the same key, alternating machines.
+			if err := s.Put("job", attempt, "k", rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := int64(EncodedBatchSize(BatchFromRows(rows)))
+		if used := s.Stats().UsedBytes; used != want {
+			t.Fatalf("UsedBytes = %d after re-puts, want %d", used, want)
+		}
+		s.DropJob("job")
+		if used := s.Stats().UsedBytes; used != 0 {
+			t.Fatalf("UsedBytes = %d after DropJob", used)
+		}
+	})
+
+	t.Run("spill path", func(t *testing.T) {
+		// Tiny capacity: every put pushes earlier segments to disk.
+		s := NewStore(1, 64)
+		for i := 0; i < 8; i++ {
+			key := SegmentKey("job", "a", "b", i, 0)
+			if err := s.Put("job", 0, key, rows[:10+i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := s.Stats(); st.SpillEvents == 0 {
+			t.Fatal("expected spills under a 64-byte budget")
+		}
+		// Reads load spilled segments back in (and may evict others).
+		if _, ok := s.Get(SegmentKey("job", "a", "b", 0, 0), nil); !ok {
+			t.Fatal("segment lost")
+		}
+		s.DropJob("job")
+		if used := s.Stats().UsedBytes; used != 0 {
+			t.Fatalf("UsedBytes = %d after DropJob with spills", used)
+		}
+	})
+
+	t.Run("drop task output path", func(t *testing.T) {
+		s := NewStore(2, 0)
+		for part := 0; part < 3; part++ {
+			if err := s.PutBatch("job", 0, SegmentKey("job", "m", "r", 7, part), batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.DropTaskOutput("job", "m", "r", 7, 3)
+		if used := s.Stats().UsedBytes; used != 0 {
+			t.Fatalf("UsedBytes = %d after DropTaskOutput", used)
+		}
+		// DropJob after DropTaskOutput must not double-free or resurrect.
+		s.DropJob("job")
+		if used := s.Stats().UsedBytes; used != 0 {
+			t.Fatalf("UsedBytes = %d after DropJob", used)
+		}
+	})
+}
+
+// TestStoreRowAndBatchViewsAgree pins the adapter seam: a segment written
+// as rows reads back identically through both APIs, and vice versa.
+func TestStoreRowAndBatchViewsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	rows := randRows(r, 64)
+	s := NewStore(1, 0)
+	if err := s.Put("job", 0, "k1", rows); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k1", nil); !ok {
+		t.Fatal("k1 lost")
+	} else {
+		rowsEqual(t, "row view", got, rows)
+	}
+	b, ok := s.GetBatch("k1", nil)
+	if !ok {
+		t.Fatal("k1 batch lost")
+	}
+	rowsEqual(t, "batch view", b.Rows(), rows)
+
+	if err := s.PutBatch("job", 0, "k2", b); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k2", nil); !ok {
+		t.Fatal("k2 lost")
+	} else {
+		rowsEqual(t, "batch write, row read", got, rows)
+	}
+	s.DropJob("job")
+	if used := s.Stats().UsedBytes; used != 0 {
+		t.Fatalf("UsedBytes = %d after DropJob", used)
+	}
+}

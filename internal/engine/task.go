@@ -142,7 +142,7 @@ func scatter(rows []Row, pidx []uint32, counts []int) [][]Row {
 	parts := make([][]Row, len(counts))
 	off := 0
 	for p, c := range counts {
-		parts[p] = backing[off:off : off+c]
+		parts[p] = backing[off : off : off+c]
 		off += c
 	}
 	for i, r := range rows {
@@ -197,4 +197,99 @@ func (c *TaskContext) Broadcast(to string, rows []Row) error {
 // exactly-once sink semantics under failure recovery.
 func (c *TaskContext) Sink(rows []Row) {
 	c.sink = append(c.sink, rows...)
+}
+
+// ---- batch-native task API ----
+//
+// These are the columnar counterparts of the row methods above. A batch
+// plan reads TablePartitionBatch/InputBatch and writes EmitBatch*, so its
+// data never passes through []Row; the row methods remain as the adapter
+// for Plans written against rows (both views of a segment are the same
+// stored batch).
+
+// TablePartitionBatch returns this task's partition of a registered table
+// as a (cached) column batch.
+func (c *TaskContext) TablePartitionBatch(name string) (*Batch, error) {
+	c.engine.mu.Lock()
+	t := c.engine.tables[name]
+	c.engine.mu.Unlock()
+	if t == nil {
+		return nil, &AppError{Msg: fmt.Sprintf("table %q does not exist", name)}
+	}
+	return t.PartitionBatch(c.ref.Index), nil
+}
+
+// InputBatch blocks like Input and returns every producer's partition
+// concatenated into one batch.
+func (c *TaskContext) InputBatch(from string) (*Batch, error) {
+	runs, err := c.InputBatchRuns(from)
+	if err != nil {
+		return nil, err
+	}
+	return ConcatBatches(runs), nil
+}
+
+// InputBatchRuns is InputBatch preserving per-producer runs.
+func (c *TaskContext) InputBatchRuns(from string) ([]*Batch, error) {
+	producers := c.js.job.Stage(from).Tasks
+	runs := make([]*Batch, producers)
+	for p := 0; p < producers; p++ {
+		key := SegmentKey(c.js.job.ID, from, c.ref.Stage, p, c.ref.Index)
+		b, ok := c.engine.store.GetBatch(key, c.Aborted)
+		if !ok {
+			return nil, ErrInjected
+		}
+		runs[p] = b
+	}
+	return runs, nil
+}
+
+// EmitBatchPartitioned writes this task's batch output for the edge to
+// `to`, one batch per consumer task.
+func (c *TaskContext) EmitBatchPartitioned(to string, parts []*Batch) error {
+	n := c.ConsumerTasks(to)
+	if len(parts) != n {
+		return fmt.Errorf("engine: %s->%s: %d partitions for %d consumers", c.ref.Stage, to, len(parts), n)
+	}
+	for i, b := range parts {
+		key := SegmentKey(c.js.job.ID, c.ref.Stage, to, c.ref.Index, i)
+		if err := c.engine.store.PutBatch(c.js.job.ID, c.machine, key, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EmitBatchByKey hash-partitions the batch by the key columns across the
+// consumer stage's tasks and writes it out (columnar hash + typed scatter;
+// co-partitions exactly with row EmitByKey).
+func (c *TaskContext) EmitBatchByKey(to string, b *Batch, keys []int) error {
+	return c.EmitBatchPartitioned(to, PartitionBatchByKey(b, keys, c.ConsumerTasks(to)))
+}
+
+// EmitBatchByRange range-partitions a key-sorted batch by sampled bounds —
+// the batch counterpart of EmitByRange.
+func (c *TaskContext) EmitBatchByRange(to string, b *Batch, keys []int, bounds []Row) error {
+	n := c.ConsumerTasks(to)
+	if len(bounds) != n-1 {
+		return fmt.Errorf("engine: need %d bounds, got %d", n-1, len(bounds))
+	}
+	return c.EmitBatchPartitioned(to, PartitionBatchByRange(b, keys, bounds))
+}
+
+// BroadcastBatch replicates the batch to every consumer task.
+func (c *TaskContext) BroadcastBatch(to string, b *Batch) error {
+	n := c.ConsumerTasks(to)
+	parts := make([]*Batch, n)
+	for i := range parts {
+		parts[i] = b
+	}
+	return c.EmitBatchPartitioned(to, parts)
+}
+
+// SinkBatch buffers a batch for the job's final result set (the sink
+// result API stays row-shaped; the adapter materialises here, after the
+// heavy operators have already run columnar).
+func (c *TaskContext) SinkBatch(b *Batch) {
+	c.sink = b.AppendRows(c.sink)
 }

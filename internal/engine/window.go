@@ -74,7 +74,10 @@ func Window(rows []Row, spec WindowSpec) []Row {
 		case WinDenseRank:
 			v = denseRank
 		case WinRunningSum:
-			running += asFloat(r[spec.ValueCol])
+			// NULL adds nothing, matching the batch kernel's null skip.
+			if x := r[spec.ValueCol]; x != nil {
+				running += asFloat(x)
+			}
 			v = running
 		}
 		_ = partStart

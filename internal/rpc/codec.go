@@ -1,0 +1,16 @@
+package rpc
+
+import "swift/internal/engine"
+
+// Column codec entry points for the wire: segment payloads travel as the
+// engine's length-prefixed typed-vector encoding (engine/batch_codec.go)
+// inside the gob envelope's opaque []byte body — no gob interface
+// registration, no per-cell reflection, and the same byte count the Store
+// accounts via EncodedBatchSize. FuzzBatchCodec hammers this boundary.
+
+// EncodeBatch encodes a batch for transfer.
+func EncodeBatch(b *engine.Batch) []byte { return engine.EncodeBatch(b) }
+
+// DecodeBatch decodes a transferred batch, erroring (never panicking) on
+// truncated or corrupt input.
+func DecodeBatch(data []byte) (*engine.Batch, error) { return engine.DecodeBatch(data) }

@@ -136,7 +136,7 @@ func TestCacheWorkerService(t *testing.T) {
 		t.Fatalf("premature hit: %v %v", found, err)
 	}
 	rows := []engine.Row{{int64(1), "a"}, {int64(2), "b"}}
-	if err := cc.Put(PutRequest{Job: "j", Machine: 0, Key: "seg1", Rows: rows}); err != nil {
+	if err := cc.Put("j", 0, "seg1", rows); err != nil {
 		t.Fatal(err)
 	}
 	got, found, err := cc.Get("seg1")

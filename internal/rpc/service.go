@@ -8,14 +8,17 @@ import (
 
 // Cache Worker RPC service: exposes a machine's shuffle segments to remote
 // executors — the Remote Shuffle pull path of Section III-B when executors
-// and Cache Workers live in different processes.
+// and Cache Workers live in different processes. Segments cross the wire
+// in the column codec (typed vectors, exact accounted bytes), not as
+// gob-encoded []interface{} rows.
 
-// PutRequest stores a segment.
+// PutRequest stores a segment. Batch is the column-codec encoding of the
+// segment payload (EncodeBatch).
 type PutRequest struct {
 	Job     string
 	Machine int
 	Key     string
-	Rows    []engine.Row
+	Batch   []byte
 }
 
 // GetRequest fetches a segment; Get does not block remotely — the puller
@@ -24,10 +27,10 @@ type GetRequest struct {
 	Key string
 }
 
-// GetResponse carries the segment if present.
+// GetResponse carries the column-codec-encoded segment if present.
 type GetResponse struct {
 	Found bool
-	Rows  []engine.Row
+	Batch []byte
 }
 
 // ServeCacheWorker registers cache.put / cache.get handlers backed by the
@@ -38,7 +41,11 @@ func ServeCacheWorker(s *Server, store *engine.Store) {
 		if err := Decode(body, &req); err != nil {
 			return nil, err
 		}
-		if err := store.Put(req.Job, req.Machine, req.Key, req.Rows); err != nil {
+		b, err := DecodeBatch(req.Batch)
+		if err != nil {
+			return nil, err
+		}
+		if err := store.PutBatch(req.Job, req.Machine, req.Key, b); err != nil {
 			return nil, err
 		}
 		return Encode(true)
@@ -51,8 +58,11 @@ func ServeCacheWorker(s *Server, store *engine.Store) {
 		// Non-blocking probe: the wait aborts immediately when the
 		// segment is absent; the remote puller retries, like a reader
 		// task polling its source Cache Worker.
-		rows, ok := store.Get(req.Key, func() bool { return true })
-		return Encode(GetResponse{Found: ok, Rows: rows})
+		b, ok := store.GetBatch(req.Key, func() bool { return true })
+		if !ok {
+			return Encode(GetResponse{})
+		}
+		return Encode(GetResponse{Found: true, Batch: EncodeBatch(b)})
 	})
 }
 
@@ -68,20 +78,43 @@ func DialCache(addr string) (*CacheClient, error) {
 	return &CacheClient{c: c}, nil
 }
 
-// Put stores a segment remotely.
-func (cc *CacheClient) Put(req PutRequest) error {
+// PutBatch stores a batch segment remotely.
+func (cc *CacheClient) PutBatch(job string, machine int, key string, b *engine.Batch) error {
 	var ok bool
+	req := PutRequest{Job: job, Machine: machine, Key: key, Batch: EncodeBatch(b)}
 	return cc.c.Call("cache.put", req, &ok)
 }
 
-// Get fetches a segment; found is false when the producer has not written
-// it yet.
-func (cc *CacheClient) Get(key string) (rows []engine.Row, found bool, err error) {
+// Put stores a row segment remotely (row-adapter path: rows convert to a
+// batch on the sending side, so the wire never carries boxed cells).
+func (cc *CacheClient) Put(job string, machine int, key string, rows []engine.Row) error {
+	return cc.PutBatch(job, machine, key, engine.BatchFromRows(rows))
+}
+
+// GetBatch fetches a segment as a batch; found is false when the producer
+// has not written it yet.
+func (cc *CacheClient) GetBatch(key string) (b *engine.Batch, found bool, err error) {
 	var resp GetResponse
 	if err := cc.c.Call("cache.get", GetRequest{Key: key}, &resp); err != nil {
 		return nil, false, err
 	}
-	return resp.Rows, resp.Found, nil
+	if !resp.Found {
+		return nil, false, nil
+	}
+	b, err = DecodeBatch(resp.Batch)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// Get fetches a segment as rows (row-adapter read).
+func (cc *CacheClient) Get(key string) (rows []engine.Row, found bool, err error) {
+	b, found, err := cc.GetBatch(key)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	return b.Rows(), true, nil
 }
 
 // Close shuts the underlying connection.

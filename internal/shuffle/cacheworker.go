@@ -45,6 +45,11 @@ type CacheStats struct {
 	LoadBytes   int64 // spilled bytes loaded back on access
 	Freed       int   // segments released after full consumption
 	PeakUsed    int64
+	// UsedBytes is the worker's current in-memory footprint (a snapshot of
+	// Used at Stats time, spilled segments excluded). It must return to
+	// zero once every segment is dropped — the leak regression pinned by
+	// the store accounting tests.
+	UsedBytes int64
 }
 
 // NewCacheWorker returns a Cache Worker with the given memory capacity in
@@ -63,8 +68,13 @@ func (w *CacheWorker) Capacity() int64 { return w.capacity }
 // Used returns the bytes currently held in memory.
 func (w *CacheWorker) Used() int64 { return w.used }
 
-// Stats returns a copy of the activity counters.
-func (w *CacheWorker) Stats() CacheStats { return w.stats }
+// Stats returns a copy of the activity counters plus a snapshot of the
+// current in-memory footprint.
+func (w *CacheWorker) Stats() CacheStats {
+	st := w.stats
+	st.UsedBytes = w.used
+	return st
+}
 
 // Len returns the number of resident segments (in memory or spilled).
 func (w *CacheWorker) Len() int { return len(w.segs) }

@@ -39,28 +39,35 @@ func LiteQ1(scanTasks, aggTasks int, cutoff string) (*dag.Job, engine.Plans) {
 
 	plans := engine.Plans{
 		"scan": func(ctx *engine.TaskContext) error {
-			part, err := ctx.TablePartition("lineitem")
+			b, err := ctx.TablePartitionBatch("lineitem")
 			if err != nil {
 				return err
 			}
-			var out []engine.Row
-			for _, r := range part {
-				if r[ship].(string) > cutoff {
-					continue
+			// Columnar scan: one typed pass over the shipdate vector builds
+			// the selection, projection is free, and the discounted-price
+			// column is computed vector-at-a-time.
+			sel := make([]int32, 0, b.Len)
+			for i, s := range b.Cols[ship].Strs {
+				if s <= cutoff {
+					sel = append(sel, int32(i))
 				}
-				out = append(out, engine.Row{
-					r[flag], r[status], r[qty], r[price],
-					r[price].(float64) * (1 - r[disc].(float64)),
-				})
 			}
-			return ctx.EmitByKey("agg", out, []int{0, 1})
+			f := b.Project([]int{flag, status, qty, price, disc}).Gather(sel)
+			discounted := make([]float64, f.Len)
+			prices := f.Cols[3].Floats
+			discs := f.Cols[4].Floats
+			for i := range discounted {
+				discounted[i] = prices[i] * (1 - discs[i])
+			}
+			out := f.Project([]int{0, 1, 2, 3}).WithCol(engine.Float64Col(discounted))
+			return ctx.EmitBatchByKey("agg", out, []int{0, 1})
 		},
 		"agg": func(ctx *engine.TaskContext) error {
-			rows, err := ctx.Input("scan")
+			b, err := ctx.InputBatch("scan")
 			if err != nil {
 				return err
 			}
-			ctx.Sink(engine.HashAggregate(rows, []int{0, 1}, []engine.Agg{
+			ctx.SinkBatch(engine.HashAggregateBatch(b, []int{0, 1}, []engine.Agg{
 				{Kind: engine.AggSum, Col: 2},
 				{Kind: engine.AggSum, Col: 3},
 				{Kind: engine.AggSum, Col: 4},
@@ -112,31 +119,36 @@ func LiteQ6(scanTasks int, lo, hi string) (*dag.Job, engine.Plans) {
 	disc := liCols.MustCol("l_discount")
 	plans := engine.Plans{
 		"scan": func(ctx *engine.TaskContext) error {
-			part, err := ctx.TablePartition("lineitem")
+			b, err := ctx.TablePartitionBatch("lineitem")
 			if err != nil {
 				return err
 			}
+			// Fully columnar filter+sum: the predicate and the fold both run
+			// over typed vectors, so no cell is ever boxed.
+			ships := b.Cols[ship].Strs
+			qtys := b.Cols[qty].Floats
+			prices := b.Cols[price].Floats
 			var rev float64
-			for _, r := range part {
-				d := r[disc].(float64)
-				if s := r[ship].(string); s < lo || s >= hi {
+			for i, d := range b.Cols[disc].Floats {
+				if s := ships[i]; s < lo || s >= hi {
 					continue
 				}
-				if d < 0.05 || d > 0.07 || r[qty].(float64) >= 24 {
+				if d < 0.05 || d > 0.07 || qtys[i] >= 24 {
 					continue
 				}
-				rev += r[price].(float64) * d
+				rev += prices[i] * d
 			}
-			return ctx.EmitPartitioned("sum", [][]engine.Row{{{rev}}})
+			part := engine.NewBatch(engine.Float64Col([]float64{rev}))
+			return ctx.EmitBatchPartitioned("sum", []*engine.Batch{part})
 		},
 		"sum": func(ctx *engine.TaskContext) error {
-			rows, err := ctx.Input("scan")
+			b, err := ctx.InputBatch("scan")
 			if err != nil {
 				return err
 			}
 			var total float64
-			for _, r := range rows {
-				total += r[0].(float64)
+			for _, v := range b.Cols[0].Floats {
+				total += v
 			}
 			ctx.Sink([]engine.Row{{total}})
 			return nil
@@ -195,82 +207,68 @@ func LiteQ3(scanTasks, joinTasks, topK int, segment, date string) (*dag.Job, eng
 
 	plans := engine.Plans{
 		"cust": func(ctx *engine.TaskContext) error {
-			part, err := ctx.TablePartition("customer")
+			b, err := ctx.TablePartitionBatch("customer")
 			if err != nil {
 				return err
 			}
-			var out []engine.Row
-			for _, r := range part {
-				if r[cSeg].(string) == segment {
-					out = append(out, engine.Row{r[cKey]})
-				}
-			}
+			segs := b.Cols[cSeg].Strs
+			out := engine.FilterBatch(b, func(i int) bool { return segs[i] == segment }).
+				Project([]int{cKey})
 			// Customers partition by custkey; orders carry custkey too,
 			// but the join key downstream is orderkey, so broadcast the
 			// (small, filtered) customer set instead.
-			return ctx.Broadcast("join", out)
+			return ctx.BroadcastBatch("join", out)
 		},
 		"ord": func(ctx *engine.TaskContext) error {
-			part, err := ctx.TablePartition("orders")
+			b, err := ctx.TablePartitionBatch("orders")
 			if err != nil {
 				return err
 			}
-			var out []engine.Row
-			for _, r := range part {
-				if r[oDate].(string) < date {
-					out = append(out, engine.Row{r[oKey], r[oCust], r[oDate]})
-				}
-			}
-			return ctx.EmitByKey("join", out, []int{0})
+			dates := b.Cols[oDate].Strs
+			out := engine.FilterBatch(b, func(i int) bool { return dates[i] < date }).
+				Project([]int{oKey, oCust, oDate})
+			return ctx.EmitBatchByKey("join", out, []int{0})
 		},
 		"line": func(ctx *engine.TaskContext) error {
-			part, err := ctx.TablePartition("lineitem")
+			b, err := ctx.TablePartitionBatch("lineitem")
 			if err != nil {
 				return err
 			}
-			out := make([]engine.Row, 0, len(part))
-			for _, r := range part {
-				out = append(out, engine.Row{r[lKey], r[lPrice].(float64) * (1 - r[lDisc].(float64))})
+			revs := make([]float64, b.Len)
+			prices := b.Cols[lPrice].Floats
+			discs := b.Cols[lDisc].Floats
+			for i := range revs {
+				revs[i] = prices[i] * (1 - discs[i])
 			}
-			return ctx.EmitByKey("join", out, []int{0})
+			out := b.Project([]int{lKey}).WithCol(engine.Float64Col(revs))
+			return ctx.EmitBatchByKey("join", out, []int{0})
 		},
 		"join": func(ctx *engine.TaskContext) error {
-			custs, err := ctx.Input("cust")
+			custs, err := ctx.InputBatch("cust") // (custkey)
 			if err != nil {
 				return err
 			}
-			orders, err := ctx.Input("ord")
+			orders, err := ctx.InputBatch("ord") // (orderkey, custkey, orderdate)
 			if err != nil {
 				return err
 			}
-			lines, err := ctx.Input("line")
+			lines, err := ctx.InputBatch("line") // (orderkey, revenue)
 			if err != nil {
 				return err
 			}
-			inSeg := map[int64]bool{}
-			for _, c := range custs {
-				inSeg[c[0].(int64)] = true
-			}
-			// orders filtered to the segment, keyed by orderkey.
-			keep := map[int64]string{}
-			for _, o := range orders {
-				if inSeg[o[1].(int64)] {
-					keep[o[0].(int64)] = o[2].(string)
-				}
-			}
-			rev := map[int64]float64{}
-			for _, l := range lines {
-				k := l[0].(int64)
-				if _, ok := keep[k]; ok {
-					rev[k] += l[1].(float64)
-				}
-			}
-			var out []engine.Row
-			for k, v := range rev {
-				out = append(out, engine.Row{k, v, keep[k]})
-			}
-			engine.SortRows(out, []int{0}) // deterministic order
-			return ctx.EmitPartitioned("top", [][]engine.Row{out})
+			// Semi-join orders to segment customers (custkey is unique, so
+			// an inner join cannot duplicate orders), keep (orderkey, date).
+			oj := engine.HashJoinBatch(custs, []int{0}, orders, []int{1}).
+				Project([]int{0, 2})
+			// Lineitems against qualifying orders, then revenue per order.
+			// HashAggregateBatch sorts by its keys; orderkey is unique, so
+			// the result is orderkey-ordered — deterministic for the sink.
+			j := engine.HashJoinBatch(oj, []int{0}, lines, []int{0})
+			agg := engine.HashAggregateBatch(j, []int{0, 3}, []engine.Agg{
+				{Kind: engine.AggSum, Col: 1},
+			})
+			out := agg.Project([]int{0, 2, 1}) // (orderkey, revenue, orderdate)
+			return ctx.EmitBatchPartitioned("top", []*engine.Batch{out})
 		},
 		"top": func(ctx *engine.TaskContext) error {
 			rows, err := ctx.Input("join")

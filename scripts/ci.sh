@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Repository gate: vet, race-test everything, run the fixed-seed chaos
-# soak (deterministic fault schedules + scheduler invariant auditor), and
-# build the sqlparse fuzz target so it cannot rot. Fuzz *exploration* is
-# not run here — CI stays deterministic; run it manually with
+# soak (deterministic fault schedules + scheduler invariant auditor),
+# build the fuzz targets so they cannot rot, and smoke the benchmark
+# suites (one iteration each) so a bench-only compile break or panic is
+# caught here, not at measurement time. Fuzz *exploration* is not run
+# here — CI stays deterministic; run it manually with
 #   go test ./internal/sqlparse -fuzz FuzzParse -fuzztime 30s
+#   go test ./internal/rpc -fuzz FuzzBatchCodec -fuzztime 30s
 #
 # Usage: scripts/ci.sh [chaos-seeds]   (default 8)
 set -euo pipefail
@@ -25,5 +28,9 @@ go test ./internal/chaos/ -run 'TestSoak$|TestSoakDeterminism' -chaos.seeds="$SE
 
 echo "== fuzz targets build"
 go test -run '^$' -c -o /dev/null ./internal/sqlparse/
+go test -run '^$' -c -o /dev/null ./internal/rpc/
+
+echo "== bench smoke (1 iteration)"
+go test -run '^$' -bench . -benchtime 1x ./internal/engine/ ./internal/tpch/ > /dev/null
 
 echo "ci: all green"
