@@ -43,9 +43,14 @@ func main() {
 			fmt.Println()
 		}
 		t0 := time.Now()
-		if !exp.Run(name, cfg, os.Stdout) {
+		ok, err := exp.Run(name, cfg, os.Stdout)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "swiftbench: unknown experiment %q (try -list)\n", name)
 			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swiftbench: %s: %v\n", name, err)
+			os.Exit(1)
 		}
 		fmt.Printf("[%s in %.1fs]\n", name, time.Since(t0).Seconds())
 	}

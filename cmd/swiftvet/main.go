@@ -1,0 +1,82 @@
+// Command swiftvet runs the project's static analyzers (internal/lint)
+// over the named packages — the repository-specific companion to go vet,
+// enforcing the invariants stock tooling cannot know about: simulator
+// determinism, lock discipline, error discipline, enum-switch
+// exhaustiveness, and batch/row kernel parity.
+//
+// Usage:
+//
+//	go run ./cmd/swiftvet [-json] [-analyzers a,b] [packages...]
+//
+// Packages default to ./... . Exit status is 0 when clean, 1 when any
+// finding survives suppression, 2 on load/usage errors. With -json the
+// findings stream to stdout as a single JSON array of
+// {analyzer, file, line, col, message} objects for tooling.
+//
+// Findings are silenced only by an inline
+//
+//	//lint:allow <analyzer> <reason>
+//
+// comment (reason mandatory) on the offending line or the line above; see
+// DESIGN.md's "Static analysis" section for the analyzer catalogue.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"swift/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "print the analyzer catalogue and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := lint.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swiftvet:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	pkgs, fset, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swiftvet:", err)
+		os.Exit(2)
+	}
+	cfg := lint.DefaultConfig()
+	if len(pkgs) > 0 && pkgs[0].Module != "" {
+		cfg = lint.ConfigForModule(pkgs[0].Module)
+	}
+	findings := lint.Run(fset, pkgs, cfg, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "swiftvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "swiftvet: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}

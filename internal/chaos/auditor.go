@@ -100,6 +100,8 @@ func (a *Auditor) OnAction(now sim.Time, act core.Action) {
 			a.violate(now, "task %s launched on read-only machine %d", act.Task, a.cl.MachineOf(act.Executor))
 		case cluster.Failed:
 			a.violate(now, "task %s launched on failed machine %d", act.Task, a.cl.MachineOf(act.Executor))
+		case cluster.Healthy:
+			// the only legal placement target
 		}
 		if state, dead := a.terminal[act.Task.Job]; dead {
 			a.violate(now, "task %s launched after its job %s", act.Task, state)
@@ -114,6 +116,29 @@ func (a *Auditor) OnAction(now sim.Time, act core.Action) {
 			a.violate(now, "job %s failed after already %s", act.Job, prev)
 		}
 		a.terminal[act.Job] = "failed"
+	case core.ActAbortTask:
+		if state, dead := a.terminal[act.Task.Job]; dead {
+			a.violate(now, "task %s aborted after its job %s", act.Task, state)
+		}
+	case core.ActResend:
+		if state, dead := a.terminal[act.To.Job]; dead {
+			a.violate(now, "resend to %s after its job %s", act.To, state)
+		}
+	case core.ActJobRestarted:
+		// A restart resets every attempt and terminal expectation for the
+		// job; forget its attempt floor so re-runs start clean.
+		for ref := range a.lastAttempt {
+			if ref.Job == act.Job {
+				delete(a.lastAttempt, ref)
+			}
+		}
+		delete(a.terminal, act.Job)
+	case core.ActMachineReadOnly, core.ActMachineHealthy:
+		// Health transitions carry no task state to validate; the placement
+		// checks above use the cluster's live health on every start.
+	case core.ActShuffleDegraded:
+		// Mode downgrades are validated by the controller's own invariant
+		// sweep (CheckInvariants) at the next event boundary.
 	}
 }
 

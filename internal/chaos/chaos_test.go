@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"swift/internal/cluster"
+	"swift/internal/core"
 	"swift/internal/sim"
 )
 
@@ -89,5 +91,55 @@ func TestSoakDeterminism(t *testing.T) {
 	c := Run(Config{Seed: 8})
 	if c.TraceHash == a.TraceHash {
 		t.Error("different seeds produced the same trace hash")
+	}
+}
+
+// TestAuditorActionArms drives the action-stream checks directly: the
+// post-terminal rules for aborts and resends, and the attempt-floor reset
+// a job restart implies. These arms close the exhaustive-switch coverage
+// of core.Action; this pins their behaviour.
+func TestAuditorActionArms(t *testing.T) {
+	newAuditor := func() *Auditor {
+		cl := cluster.New(cluster.Config{Machines: 1, ExecutorsPerMachine: 1})
+		return NewAuditor(core.NewController(cl, core.DefaultOptions()), cl, 1)
+	}
+	ref := core.TaskRef{Job: "j", Stage: "s", Index: 0}
+
+	a := newAuditor()
+	a.OnAction(0, core.ActJobCompleted{Job: "j"})
+	a.OnAction(0, core.ActAbortTask{Task: ref, Attempt: 1})
+	a.OnAction(0, core.ActResend{To: ref, FromStage: "up"})
+	if n := len(a.Violations()); n != 2 {
+		t.Fatalf("want 2 post-terminal violations (abort, resend), got %d: %v", n, a.Violations())
+	}
+
+	// Before the job is terminal, the same actions are legal.
+	b := newAuditor()
+	b.OnAction(0, core.ActAbortTask{Task: ref, Attempt: 1})
+	b.OnAction(0, core.ActResend{To: ref, FromStage: "up"})
+	if n := len(b.Violations()); n != 0 {
+		t.Fatalf("abort/resend on a live job flagged: %v", b.Violations())
+	}
+
+	// A job restart resets the attempt floor and the terminal state:
+	// attempt 1 may run again without tripping monotonicity, and the
+	// re-run may complete again.
+	c := newAuditor()
+	c.OnAction(0, core.ActStartTask{Task: ref, Attempt: 2})
+	c.OnAction(0, core.ActJobFailed{Job: "j", Reason: "x"})
+	c.OnAction(0, core.ActJobRestarted{Job: "j"})
+	c.OnAction(0, core.ActStartTask{Task: ref, Attempt: 1})
+	c.OnAction(0, core.ActJobCompleted{Job: "j"})
+	if n := len(c.Violations()); n != 0 {
+		t.Fatalf("restart did not reset audit state: %v", c.Violations())
+	}
+
+	// Without the restart, re-running attempt 1 after attempt 2 is the
+	// monotonicity bug the auditor exists to catch.
+	d := newAuditor()
+	d.OnAction(0, core.ActStartTask{Task: ref, Attempt: 2})
+	d.OnAction(0, core.ActStartTask{Task: ref, Attempt: 1})
+	if n := len(d.Violations()); n != 1 {
+		t.Fatalf("want 1 monotonicity violation, got %d: %v", n, d.Violations())
 	}
 }

@@ -180,6 +180,9 @@ func GenerateSchedule(rng *rand.Rand, p Profile, window sim.Duration, machines, 
 					f.AppErr = rng.Float64() < p.AppErrorFraction
 				case KindStraggler:
 					f.Factor = 1 + rng.Float64()*(p.SlowdownMax-1)
+				case KindTaskTimeout, KindOutputLost:
+					// task-scoped with no extra parameters: the victim is
+					// drawn from the live tasks at injection time.
 				}
 				out = append(out, f)
 			}

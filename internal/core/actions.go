@@ -89,15 +89,15 @@ type ActShuffleDegraded struct {
 	Old, New shuffle.Mode
 }
 
-func (ActStartTask) isAction()        {}
-func (ActAbortTask) isAction()        {}
-func (ActResend) isAction()           {}
-func (ActJobCompleted) isAction()     {}
-func (ActJobFailed) isAction()        {}
-func (ActJobRestarted) isAction()     {}
-func (ActMachineReadOnly) isAction()  {}
-func (ActMachineHealthy) isAction()   {}
-func (ActShuffleDegraded) isAction()  {}
+func (ActStartTask) isAction()       {}
+func (ActAbortTask) isAction()       {}
+func (ActResend) isAction()          {}
+func (ActJobCompleted) isAction()    {}
+func (ActJobFailed) isAction()       {}
+func (ActJobRestarted) isAction()    {}
+func (ActMachineReadOnly) isAction() {}
+func (ActMachineHealthy) isAction()  {}
+func (ActShuffleDegraded) isAction() {}
 
 // FailureKind classifies a task failure for recovery purposes.
 type FailureKind int

@@ -85,6 +85,8 @@ func (c *Controller) cascade(m *monitor, stage string, g int, visited map[string
 			case tDone:
 				st.done--
 				c.markPending(m, ref, StartCascade)
+			case tPending:
+				// already awaiting a fresh run; nothing to cascade
 			}
 		}
 		c.requeue(m, g)
@@ -185,6 +187,9 @@ func (c *Controller) MachineFailed(id cluster.MachineID) {
 					victims = append(victims, victim{ref, st.attempt[i], true})
 				case tDone:
 					victims = append(victims, victim{ref, st.attempt[i], false})
+				case tPending:
+					// not placed anywhere: the machine's death cannot
+					// have touched it
 				}
 			}
 		}

@@ -121,6 +121,8 @@ func (r *ReplicatedController) Compact() {
 			if r.JobDone(ev.Task.Job) || r.JobFailed(ev.Task.Job) {
 				continue
 			}
+		case EvMachineFailed, EvMachineUnhealthy, EvExecutorRestarted:
+			// cluster-level: always retained
 		}
 		keep = append(keep, ev)
 	}

@@ -69,8 +69,9 @@ func (k OperatorKind) GlobalSort() bool {
 	switch k {
 	case OpStreamedAggregate, OpMergeJoin, OpWindow, OpSortBy, OpMergeSort:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // Operator is one step of a stage's physical plan.

@@ -113,6 +113,8 @@ func (c *Column) Value(i int) Value {
 		return c.Strs[i]
 	case TBool:
 		return c.Bools[i]
+	case TAny:
+		return c.Anys[i]
 	}
 	return c.Anys[i]
 }
@@ -128,6 +130,8 @@ func (c *Column) length() int {
 		return len(c.Strs)
 	case TBool:
 		return len(c.Bools)
+	case TAny:
+		return len(c.Anys)
 	}
 	return len(c.Anys)
 }
@@ -431,6 +435,8 @@ func concatCol(runs []*Batch, c, total int) Column {
 				out.Strs = append(out.Strs, src.Strs...)
 			case TBool:
 				out.Bools = append(out.Bools, src.Bools...)
+			case TAny:
+				// excluded by the t != TAny guard on this branch
 			}
 			if src.Nulls != nil {
 				for i := 0; i < r.Len; i++ {

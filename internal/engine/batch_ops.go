@@ -142,6 +142,8 @@ func colCompare(a *Column, i int, b *Column, j int) int {
 			return 0
 		case TFloat64:
 			return cmpFloat(float64(a.Ints[i]), b.Floats[j])
+		default:
+			// other pairings: boxed compare below
 		}
 	case TFloat64:
 		switch b.Type {
@@ -149,6 +151,8 @@ func colCompare(a *Column, i int, b *Column, j int) int {
 			return cmpFloat(a.Floats[i], b.Floats[j])
 		case TInt64:
 			return cmpFloat(a.Floats[i], float64(b.Ints[j]))
+		default:
+			// other pairings: boxed compare below
 		}
 	case TString:
 		if b.Type == TString {
@@ -172,6 +176,8 @@ func colCompare(a *Column, i int, b *Column, j int) int {
 			}
 			return 0
 		}
+	default:
+		// TAny and kind-mixed columns: boxed compare below
 	}
 	return Compare(a.Value(i), b.Value(j))
 }
@@ -254,6 +260,8 @@ func colComparator(c *Column) func(i, j int) int {
 				}
 				return 0
 			}
+		case TAny:
+			// boxed comparator below
 		}
 	}
 	cc := c
@@ -567,6 +575,8 @@ func aggColumn(b *Batch, a Agg, gids []int32, groups int) Column {
 	switch col.Type {
 	case TInt64:
 		switch a.Kind {
+		case AggCount:
+			// handled before the switch
 		case AggSum, AggMin, AggMax:
 			acc := make([]int64, groups)
 			seen := make([]bool, groups)
@@ -591,6 +601,8 @@ func aggColumn(b *Batch, a Agg, gids []int32, groups int) Column {
 		}
 	case TFloat64:
 		switch a.Kind {
+		case AggCount:
+			// handled before the switch
 		case AggSum, AggMin, AggMax:
 			acc := make([]float64, groups)
 			seen := make([]bool, groups)
@@ -634,6 +646,8 @@ func aggColumn(b *Batch, a Agg, gids []int32, groups int) Column {
 			}
 			return withUnseenNulls(StringCol(acc), seen)
 		}
+	default:
+		// TBool and TAny: boxed lane below
 	}
 	// Boxed lane: TAny columns (mixed numeric sums promote per group, like
 	// accCell), bool min/max, and sums over non-numeric types (which panic

@@ -217,7 +217,13 @@ func (e *Engine) applyActions() {
 			e.finishJob(a.Job, nil)
 		case core.ActJobFailed:
 			e.finishJob(a.Job, errors.New(a.Reason))
-		case core.ActJobRestarted, core.ActMachineReadOnly:
+		case core.ActJobRestarted, core.ActMachineReadOnly, core.ActMachineHealthy:
+			// Health transitions and restart accounting have no in-process
+			// work: the controller already rescheduled what they affect.
+		case core.ActShuffleDegraded:
+			// Mode downgrades only matter to the simulator's cost model;
+			// the in-process store serves segments the same way in every
+			// mode.
 		}
 	}
 }
@@ -314,11 +320,14 @@ func (e *Engine) abortTask(a core.ActAbortTask) {
 // simulator's fault injection.
 func (e *Engine) FailTask(job, stage string) bool {
 	e.mu.Lock()
+	// Deterministic victim: the lowest task index among the stage's
+	// running tasks, not whatever the map yields first.
 	var victim *taskRun
 	for ref, tr := range e.running {
 		if ref.Job == job && ref.Stage == stage {
-			victim = tr
-			break
+			if victim == nil || ref.Index < victim.ref.Index {
+				victim = tr
+			}
 		}
 	}
 	e.mu.Unlock()

@@ -318,6 +318,8 @@ func (c *accCell) value(kind AggKind) Value {
 			return c.f
 		}
 		return c.i
+	case AggMin, AggMax:
+		return c.v
 	}
 	return c.v
 }

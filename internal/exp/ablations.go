@@ -92,7 +92,7 @@ func AblationPartition(cfg Config) []AblationPartitionRow {
 	for _, p := range policies {
 		res := runTrace(tr, cfg.fig10Cluster(), p.opts, cfg.Seed)
 		var idle []float64
-		for _, jr := range res.Jobs {
+		for _, jr := range res.SortedJobs() {
 			if !jr.Completed {
 				continue
 			}

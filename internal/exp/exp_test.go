@@ -268,14 +268,15 @@ func TestRunRegistryCoversAllExperiments(t *testing.T) {
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries: %v", len(names), names)
 	}
-	if Run("nope", cfg(), &bytes.Buffer{}) {
+	if ok, _ := Run("nope", cfg(), &bytes.Buffer{}); ok {
 		t.Error("unknown experiment accepted")
 	}
 	// Smoke-run the cheap reports through the registry.
 	for _, n := range []string{"fig13", "fig9a", "table1"} {
 		var b bytes.Buffer
-		if !Run(n, cfg(), &b) {
-			t.Fatalf("Run(%s) failed", n)
+		ok, err := Run(n, cfg(), &b)
+		if !ok || err != nil {
+			t.Fatalf("Run(%s) failed: ok=%v err=%v", n, ok, err)
 		}
 		if b.Len() == 0 {
 			t.Errorf("Run(%s) produced no output", n)

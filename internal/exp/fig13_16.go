@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"swift/internal/baseline"
 	"swift/internal/core"
@@ -151,10 +152,15 @@ func Fig15TraceFailures(cfg Config) Fig15Result {
 	restartDur := run(baseline.JobRestart(baseline.Swift()), injections)
 
 	ratios := func(d map[string]float64) []float64 {
+		ids := make([]string, 0, len(baselineDur))
+		for id := range baselineDur {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
 		var out []float64
-		for id, b := range baselineDur {
-			if v, ok := d[id]; ok && b > 0 {
-				out = append(out, v/b*100)
+		for _, id := range ids {
+			if v, ok := d[id]; ok && baselineDur[id] > 0 {
+				out = append(out, v/baselineDur[id]*100)
 			}
 		}
 		return out

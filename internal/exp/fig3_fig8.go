@@ -35,7 +35,7 @@ func Fig3IdleRatio(cfg Config) []Fig3Row {
 		// across jobs (the paper reports per-cluster averages of job
 		// measurements).
 		var perJob []float64
-		for _, jr := range res.Jobs {
+		for _, jr := range res.SortedJobs() {
 			if !jr.Completed || len(jr.Samples) == 0 {
 				continue
 			}

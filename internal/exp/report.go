@@ -79,7 +79,7 @@ func Names() []string {
 }
 
 // registry maps experiment ids to report functions.
-var registry = map[string]func(Config, io.Writer){
+var registry = map[string]func(Config, io.Writer) error{
 	"fig3":   reportFig3,
 	"fig8":   reportFig8,
 	"fig9a":  reportFig9a,
@@ -94,27 +94,27 @@ var registry = map[string]func(Config, io.Writer){
 	"fig16":  reportFig16,
 }
 
-// Run executes one named experiment and writes its paper-style report.
-// It returns false for unknown names.
-func Run(name string, cfg Config, w io.Writer) bool {
+// Run executes one named experiment and writes its paper-style report. It
+// returns false for unknown names; the error is the first write failure.
+func Run(name string, cfg Config, w io.Writer) (bool, error) {
 	fn, ok := registry[name]
 	if !ok {
-		return false
+		return false, nil
 	}
-	fn(cfg, w)
-	return true
+	return true, fn(cfg, w)
 }
 
-func reportFig3(cfg Config, w io.Writer) {
+func reportFig3(cfg Config, w io.Writer) error {
 	t := &Table{Title: "Fig. 3 — IdleRatio under gang scheduling (paper: 3.81 / 13.15 / 14.45 / 14.92 %)",
 		Headers: []string{"cluster", "idle_ratio_%"}}
 	for _, r := range Fig3IdleRatio(cfg) {
 		t.Add("#"+r.Cluster, r.IdleRatioPct)
 	}
-	t.WriteTo(w)
+	_, err := t.WriteTo(w)
+	return err
 }
 
-func reportFig8(cfg Config, w io.Writer) {
+func reportFig8(cfg Config, w io.Writer) error {
 	s := Fig8TraceCharacteristics(cfg)
 	t := &Table{Title: "Fig. 8 — trace characteristics (paper: mean 30 s, >90% <120 s, >80% ≤80 tasks & ≤4 stages)",
 		Headers: []string{"metric", "value"}}
@@ -123,10 +123,11 @@ func reportFig8(cfg Config, w io.Writer) {
 	t.Add("P(runtime<120s)", s.FracRuntimeUnder120)
 	t.Add("P(tasks<=80)", s.FracTasksUnder80)
 	t.Add("P(stages<=4)", s.FracStagesUnder4)
-	t.WriteTo(w)
+	_, err := t.WriteTo(w)
+	return err
 }
 
-func reportFig9a(cfg Config, w io.Writer) {
+func reportFig9a(cfg Config, w io.Writer) error {
 	res := Fig9aTPCH(cfg)
 	t := &Table{Title: "Fig. 9(a) — TPC-H 1 TB, Swift vs Spark (paper total speedup: 2.11x)",
 		Headers: []string{"query", "spark_s", "swift_s", "speedup"}}
@@ -134,28 +135,31 @@ func reportFig9a(cfg Config, w io.Writer) {
 		t.Add(r.Query, r.SparkSec, r.SwiftSec, r.Speedup)
 	}
 	t.Add("TOTAL", "", "", res.TotalSpeedup)
-	t.WriteTo(w)
+	_, err := t.WriteTo(w)
+	return err
 }
 
-func reportFig9b(cfg Config, w io.Writer) {
+func reportFig9b(cfg Config, w io.Writer) error {
 	t := &Table{Title: "Fig. 9(b) — Q9 phase breakdown (L/SR/P/SW seconds per critical task)",
 		Headers: []string{"stage", "system", "launch", "read", "process", "write"}}
 	for _, r := range Fig9bQ9Phases(cfg) {
 		t.Add(r.Stage, r.System, r.Launch, r.Read, r.Process, r.Write)
 	}
-	t.WriteTo(w)
+	_, err := t.WriteTo(w)
+	return err
 }
 
-func reportTable1(cfg Config, w io.Writer) {
+func reportTable1(cfg Config, w io.Writer) error {
 	t := &Table{Title: "Table I — Terasort (paper speedups: 3.07 / 3.96 / 7.06 / 14.18)",
 		Headers: []string{"job_size", "spark_s", "swift_s", "speedup"}}
 	for _, r := range Table1Terasort(cfg) {
 		t.Add(r.Size, r.SparkSec, r.SwiftSec, r.Speedup)
 	}
-	t.WriteTo(w)
+	_, err := t.WriteTo(w)
+	return err
 }
 
-func reportFig10(cfg Config, w io.Writer) {
+func reportFig10(cfg Config, w io.Writer) error {
 	res := Fig10ExecutorTimeline(cfg)
 	t := &Table{Title: "Fig. 10 — trace replay makespan (paper: Swift 2.44x, Bubble 1.98x over JetScope)",
 		Headers: []string{"system", "makespan_s", "speedup_vs_jetscope", "peak_executors"}}
@@ -168,10 +172,11 @@ func reportFig10(cfg Config, w io.Writer) {
 		}
 		t.Add(sys, res.Makespan[sys], res.SpeedupOverJetScope[sys], peak)
 	}
-	t.WriteTo(w)
+	_, err := t.WriteTo(w)
+	return err
 }
 
-func reportFig11(cfg Config, w io.Writer) {
+func reportFig11(cfg Config, w io.Writer) error {
 	res := Fig11LatencyCDF(cfg)
 	t := &Table{Title: "Fig. 11 — job latency vs Swift (paper: >60% of JetScope jobs >2x Swift)",
 		Headers: []string{"metric", "value"}}
@@ -185,54 +190,62 @@ func reportFig11(cfg Config, w io.Writer) {
 		t.Add(sys+" median ratio", rs[len(rs)/2])
 		t.Add(sys+" p90 ratio", rs[len(rs)*9/10])
 	}
-	t.WriteTo(w)
+	_, err := t.WriteTo(w)
+	return err
 }
 
-func reportFig12(cfg Config, w io.Writer) {
+func reportFig12(cfg Config, w io.Writer) error {
 	t := &Table{Title: "Fig. 12 — shuffle-mode ablation, normalized to Direct (paper winners: Direct/Remote/Local)",
 		Headers: []string{"class", "mode", "normalized_time"}}
 	cells := Fig12ShuffleModes(cfg)
 	for _, c := range cells {
 		t.Add(c.Class.String(), c.Mode.String(), fmt.Sprintf("%.3f", c.Normalized))
 	}
-	t.WriteTo(w)
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
 	best := Fig12Best(cells)
-	fmt.Fprintf(w, "winners: small=%v medium=%v large=%v\n",
+	_, err := fmt.Fprintf(w, "winners: small=%v medium=%v large=%v\n",
 		best[0], best[1], best[2])
+	return err
 }
 
-func reportFig13(_ Config, w io.Writer) {
+func reportFig13(_ Config, w io.Writer) error {
 	t := &Table{Title: "Fig. 13 — TPC-H Q13 job detail",
 		Headers: []string{"stage", "tasks", "records/task", "input/task"}}
 	for _, d := range Fig13Q13Detail() {
 		t.Add(d.Stage, d.Tasks, d.RecordsPerTask, d.InputSizePerTask)
 	}
-	t.WriteTo(w)
+	_, err := t.WriteTo(w)
+	return err
 }
 
-func reportFig14(cfg Config, w io.Writer) {
+func reportFig14(cfg Config, w io.Writer) error {
 	t := &Table{Title: "Fig. 14 — Q13 fault injection (paper: Swift <10% slowdown at every point)",
 		Headers: []string{"inject_at", "stage", "swift_slowdown_%", "restart_slowdown_%"}}
 	for _, r := range Fig14FaultInjection(cfg) {
 		t.Add(r.InjectAtPct, r.Stage, r.SwiftSlowdownPct, r.RestartSlowdownPct)
 	}
-	t.WriteTo(w)
+	_, err := t.WriteTo(w)
+	return err
 }
 
-func reportFig15(cfg Config, w io.Writer) {
+func reportFig15(cfg Config, w io.Writer) error {
 	res := Fig15TraceFailures(cfg)
 	t := &Table{Title: "Fig. 15 — trace replay with failures (paper: restart +45%, Swift +5%)",
 		Headers: []string{"policy", "mean_slowdown_%", "quartiles(normalized)"}}
 	t.Add("fine-grained (Swift)", res.SwiftSlowdownPct, res.SwiftQuartiles.String())
 	t.Add("job restart", res.RestartSlowdownPct, res.RestartQuartiles.String())
-	t.WriteTo(w)
+	_, err := t.WriteTo(w)
+	return err
 }
 
-func reportFig16(cfg Config, w io.Writer) {
+func reportFig16(cfg Config, w io.Writer) error {
 	t := &Table{Title: "Fig. 16 — strong scaling (paper: near-linear 10k→140k executors)",
 		Headers: []string{"executors", "speedup", "ideal"}}
 	for _, r := range Fig16Scalability(cfg) {
 		t.Add(r.Executors, r.Speedup, r.Ideal)
 	}
-	t.WriteTo(w)
+	_, err := t.WriteTo(w)
+	return err
 }

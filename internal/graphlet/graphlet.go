@@ -117,6 +117,14 @@ func mergeCyclicGroups(job *dag.Job, graphlets []*Graphlet) []*Graphlet {
 		}
 		adj[a][b] = true
 	}
+	sortedNeighbors := func(set map[int]bool) []int {
+		ns := make([]int, 0, len(set))
+		for m := range set {
+			ns = append(ns, m)
+		}
+		sort.Ints(ns)
+		return ns
+	}
 	reach := func(from, to int) bool {
 		seen := map[int]bool{from: true}
 		stack := []int{from}
@@ -126,7 +134,7 @@ func mergeCyclicGroups(job *dag.Job, graphlets []*Graphlet) []*Graphlet {
 			if n == to {
 				return true
 			}
-			for m := range adj[n] {
+			for _, m := range sortedNeighbors(adj[n]) {
 				if !seen[m] {
 					seen[m] = true
 					stack = append(stack, m)

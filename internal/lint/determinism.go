@@ -1,0 +1,315 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the replay contract of the simulator/controller
+// stack: inside module-internal packages (minus configured exemptions such
+// as the rpc layer) production code must not read the wall clock or the
+// global math/rand source, and must not let Go's randomised map iteration
+// order leak into observable output. Three map-range shapes are flagged:
+//
+//   - a channel send inside a map range (emission order is random),
+//   - an append from a map range into a slice declared outside the loop
+//     that is never passed to a sort call later in the same function
+//     (collect-then-sort is the sanctioned idiom),
+//   - a break out of a map range that has assigned loop-derived values to
+//     outer variables (selects an arbitrary element).
+//
+// Seeded *rand.Rand values threaded through call graphs are fine — only
+// the process-global source and clock are forbidden.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global math/rand, and map-iteration-order leaks in deterministic packages",
+	Run:  runDeterminism,
+}
+
+// forbiddenCalls maps package-level functions to the reason they break
+// replay. Keys are "<import path>.<func>".
+var forbiddenCalls = map[string]string{
+	"time.Now":   "reads the wall clock",
+	"time.Since": "reads the wall clock",
+	"time.Until": "reads the wall clock",
+	"time.Sleep": "blocks on the wall clock",
+	"time.After": "schedules on the wall clock",
+	"time.Tick":  "schedules on the wall clock",
+
+	"math/rand.Int":         "draws from the global rand source",
+	"math/rand.Intn":        "draws from the global rand source",
+	"math/rand.Int31":       "draws from the global rand source",
+	"math/rand.Int31n":      "draws from the global rand source",
+	"math/rand.Int63":       "draws from the global rand source",
+	"math/rand.Int63n":      "draws from the global rand source",
+	"math/rand.Uint32":      "draws from the global rand source",
+	"math/rand.Uint64":      "draws from the global rand source",
+	"math/rand.Float32":     "draws from the global rand source",
+	"math/rand.Float64":     "draws from the global rand source",
+	"math/rand.ExpFloat64":  "draws from the global rand source",
+	"math/rand.NormFloat64": "draws from the global rand source",
+	"math/rand.Perm":        "draws from the global rand source",
+	"math/rand.Shuffle":     "draws from the global rand source",
+	"math/rand.Seed":        "mutates the global rand source",
+	"math/rand.Read":        "draws from the global rand source",
+
+	"math/rand/v2.Int":         "draws from the global rand source",
+	"math/rand/v2.IntN":        "draws from the global rand source",
+	"math/rand/v2.Int64":       "draws from the global rand source",
+	"math/rand/v2.Int64N":      "draws from the global rand source",
+	"math/rand/v2.Uint64":      "draws from the global rand source",
+	"math/rand/v2.Float64":     "draws from the global rand source",
+	"math/rand/v2.Perm":        "draws from the global rand source",
+	"math/rand/v2.Shuffle":     "draws from the global rand source",
+	"math/rand/v2.ExpFloat64":  "draws from the global rand source",
+	"math/rand/v2.NormFloat64": "draws from the global rand source",
+}
+
+func runDeterminism(p *Pass) {
+	if !p.Cfg.internalPath(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		// Forbidden calls: anywhere in the file, including package-level
+		// variable initialisers.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pkgFuncCallee(p.Pkg.Info, call); ok {
+				if why, bad := forbiddenCalls[path+"."+name]; bad {
+					p.Reportf(call.Pos(), "%s.%s %s; thread a seeded *rand.Rand or sim.Time instead", pkgBase(path), name, why)
+				}
+			}
+			return true
+		})
+		// Map-iteration-order leaks: per function scope, so the
+		// collect-then-sort check looks at the right statements.
+		funcBodies(f, func(body *ast.BlockStmt) {
+			walkShallow(body, func(n ast.Node) bool {
+				if rng, ok := n.(*ast.RangeStmt); ok {
+					checkMapRange(p, body, rng)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// pkgFuncCallee resolves a call to a package-level function, returning the
+// package import path and function name.
+func pkgFuncCallee(info *types.Info, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// checkMapRange flags the map-iteration shapes whose output depends on Go's
+// randomised map order. fnBody is the enclosing function body (the scope of
+// the sorted-later check).
+func checkMapRange(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	info := p.Pkg.Info
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	loopVars := rangeVars(info, rng)
+	selection := false
+	walkShallow(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range gets its own visit; sends/appends in a
+			// nested non-map range are still inside this map iteration,
+			// so keep descending either way.
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send inside map iteration: emission order follows Go's randomised map order")
+		case *ast.AssignStmt:
+			checkMapRangeAppend(p, fnBody, rng, n)
+			if assignsLoopDerived(info, n, loopVars, rng) {
+				selection = true
+			}
+		}
+		return true
+	})
+	if selection && rangeHasBreak(rng) {
+		p.Reportf(rng.Pos(), "break after assigning a map element to an outer variable selects an arbitrary element; iterate fully and pick a deterministic winner")
+	}
+}
+
+// rangeVars returns the objects of the range statement's key/value vars.
+func rangeVars(info *types.Info, rng *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				out = append(out, obj)
+			} else if obj := info.Uses[id]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// rangeHasBreak reports whether the range body contains a break binding to
+// the range loop itself (not to a nested loop, switch, or select).
+func rangeHasBreak(rng *ast.RangeStmt) bool {
+	found := false
+	walkShallow(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false
+		case *ast.BranchStmt:
+			if n.Tok.String() == "break" && n.Label == nil {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// assignsLoopDerived reports whether the assignment writes a value derived
+// from the loop variables into a variable declared outside the loop.
+func assignsLoopDerived(info *types.Info, as *ast.AssignStmt, loopVars []types.Object, rng *ast.RangeStmt) bool {
+	if len(loopVars) == 0 {
+		return false
+	}
+	rhsUsesLoop := false
+	for _, rhs := range as.Rhs {
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				obj := info.Uses[id]
+				for _, lv := range loopVars {
+					if obj == lv {
+						rhsUsesLoop = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if !rhsUsesLoop {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.Uses[id] // plain assignment to an existing var
+		if obj == nil {
+			continue
+		}
+		if obj.Pos() < rng.Pos() || obj.Pos() > rng.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRangeAppend flags `outer = append(outer, ...)` inside a map range
+// unless the enclosing function later sorts the slice.
+func checkMapRangeAppend(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	info := p.Pkg.Info
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			continue
+		}
+		if b, isBuiltin := info.Uses[fn].(*types.Builtin); !isBuiltin || b.Name() != "append" {
+			continue
+		}
+		target, ok := call.Args[0].(*ast.Ident)
+		if !ok || i >= len(as.Lhs) {
+			continue
+		}
+		lhs, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || lhs.Name != target.Name {
+			continue
+		}
+		obj := info.Uses[target]
+		if obj == nil {
+			continue
+		}
+		// Declared inside the loop: scoped per iteration, harmless.
+		if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+			continue
+		}
+		if sortedAfter(info, fnBody, rng, obj) {
+			continue
+		}
+		p.Reportf(as.Pos(), "append to %s inside map iteration leaks Go's randomised map order; collect then sort, or iterate sorted keys", target.Name)
+	}
+}
+
+// sortedAfter reports whether, after the range loop, the enclosing function
+// calls into package sort or slices with the collected variable as an
+// argument — the collect-then-sort idiom.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		if !sortingCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// sortingCall reports whether call is a sort: either a sort/slices package
+// function, or a local helper whose name says it sorts (sortRefs and kin).
+func sortingCall(info *types.Info, call *ast.CallExpr) bool {
+	if path, _, ok := pkgFuncCallee(info, call); ok {
+		return path == "sort" || path == "slices"
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		return strings.Contains(strings.ToLower(id.Name), "sort")
+	}
+	return false
+}

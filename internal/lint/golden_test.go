@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The golden tests load the fixture module under testdata/src/lintest with
+// the real loader (go list + export data + go/types), run the analyzers,
+// and diff the findings against `want` directives embedded in the fixture
+// sources:
+//
+//	code() // want <analyzer> "<message substring>"
+//
+// A `want+N`/`want-N` form anchors the expectation N lines away from the
+// directive, for findings that land on comment lines (e.g. a bare
+// //lint:allow, which cannot share its line with another comment).
+
+var testdataDir = filepath.Join("testdata", "src", "lintest")
+
+var (
+	goldenOnce sync.Once
+	goldenPkgs []*Package
+	goldenFset *token.FileSet
+	goldenErr  error
+)
+
+func loadGolden(t *testing.T) ([]*Package, *token.FileSet) {
+	t.Helper()
+	goldenOnce.Do(func() {
+		goldenPkgs, goldenFset, goldenErr = Load(testdataDir, "./...")
+	})
+	if goldenErr != nil {
+		t.Fatalf("load testdata module: %v", goldenErr)
+	}
+	return goldenPkgs, goldenFset
+}
+
+// goldenConfig is the fixture-module policy: the rpc mirror keeps its
+// wall-clock exemption and skipme proves the per-package escape hatch.
+func goldenConfig() *Config {
+	return &Config{
+		Module: "lintest",
+		Skip: map[string][]string{
+			"lintest/internal/rpc":    {"determinism"},
+			"lintest/internal/skipme": {"determinism"},
+		},
+	}
+}
+
+type expectation struct {
+	file     string // base name
+	line     int
+	analyzer string
+	substr   string
+}
+
+var wantRe = regexp.MustCompile(`want([+-]\d+)?\s+(\w+)\s+"([^"]*)"`)
+
+func collectWants(t *testing.T) []expectation {
+	t.Helper()
+	var wants []expectation
+	err := filepath.Walk(testdataDir, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || fi.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if !strings.Contains(line, "//") {
+				continue // a want directive only counts inside a comment
+			}
+			comment := line[strings.Index(line, "//"):]
+			for _, m := range wantRe.FindAllStringSubmatch(comment, -1) {
+				offset := 0
+				if m[1] != "" {
+					offset, _ = strconv.Atoi(m[1])
+				}
+				wants = append(wants, expectation{
+					file:     filepath.Base(path),
+					line:     i + 1 + offset,
+					analyzer: m[2],
+					substr:   m[3],
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scan wants: %v", err)
+	}
+	if len(wants) == 0 {
+		t.Fatal("no want directives found in testdata")
+	}
+	return wants
+}
+
+// TestGoldenFindings is the end-to-end check for all five analyzers plus
+// the suppression machinery: every finding must be wanted, every want must
+// be found.
+func TestGoldenFindings(t *testing.T) {
+	pkgs, fset := loadGolden(t)
+	findings := Run(fset, pkgs, goldenConfig(), All())
+	wants := collectWants(t)
+
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(f.File) || w.line != f.Line ||
+				w.analyzer != f.Analyzer || !strings.Contains(f.Message, w.substr) {
+				continue
+			}
+			matched[i] = true
+			ok = true
+			break
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing finding: %s:%d [%s] ~ %q", w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+// TestPerPackageConfig proves Config.Skip filters a package's findings and
+// nothing else.
+func TestPerPackageConfig(t *testing.T) {
+	pkgs, fset := loadGolden(t)
+	var skipme []*Package
+	for _, p := range pkgs {
+		if p.Path == "lintest/internal/skipme" {
+			skipme = append(skipme, p)
+		}
+	}
+	if len(skipme) != 1 {
+		t.Fatalf("fixture package lintest/internal/skipme not loaded (got %d)", len(skipme))
+	}
+
+	unskipped := Run(fset, skipme, &Config{Module: "lintest"}, All())
+	if len(unskipped) != 1 || unskipped[0].Analyzer != "determinism" {
+		t.Fatalf("without Skip want exactly one determinism finding, got %v", unskipped)
+	}
+	if got := Run(fset, skipme, goldenConfig(), All()); len(got) != 0 {
+		t.Fatalf("Skip config left findings behind: %v", got)
+	}
+}
+
+// TestAnalyzerSubset covers swiftvet's -analyzers path: a single analyzer
+// reports only its own findings.
+func TestAnalyzerSubset(t *testing.T) {
+	pkgs, fset := loadGolden(t)
+	sub, err := ByName("exhaustive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(fset, pkgs, goldenConfig(), sub)
+	if len(findings) == 0 {
+		t.Fatal("exhaustive found nothing in the fixture module")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "exhaustive" && f.Analyzer != "lint" {
+			t.Errorf("analyzer subset leaked a %s finding: %s", f.Analyzer, f)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown analyzer name accepted")
+	}
+}
+
+// TestSwiftvetCommand runs the real driver over the fixture module: seeded
+// violations must produce exit status 1 and a parseable -json stream.
+func TestSwiftvetCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the swiftvet binary")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "swiftvet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/swiftvet")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build swiftvet: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = testdataDir
+	out, runErr := cmd.Output()
+	exit, ok := runErr.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit status 1 on seeded violations, got err=%v output=%s", runErr, out)
+	}
+	if code := exit.ExitCode(); code != 1 {
+		t.Fatalf("want exit status 1, got %d (stderr: %s)", code, exit.Stderr)
+	}
+	var findings []Finding
+	if err := json.Unmarshal(out, &findings); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json reported no findings for a module full of seeded violations")
+	}
+	for _, f := range findings {
+		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "determinism", File: "x.go", Line: 3, Col: 7, Message: "m"}
+	if got, want := f.String(), "x.go:3:7: [determinism] m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestConfigForModule(t *testing.T) {
+	cfg := ConfigForModule("lintest")
+	if !cfg.skipped("lintest/internal/rpc", "determinism") {
+		t.Error("rpc determinism exemption missing")
+	}
+	if cfg.skipped("lintest/internal/rpc", "errdiscipline") {
+		t.Error("rpc must stay in scope for errdiscipline")
+	}
+	if !cfg.internalPath("lintest/internal/core") {
+		t.Error("internal package not recognised")
+	}
+	if cfg.internalPath("lintest/cmd/tool") || cfg.internalPath("other/internal/x") {
+		t.Error("internalPath scope too wide")
+	}
+}

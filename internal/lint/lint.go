@@ -1,0 +1,288 @@
+// Package lint is swiftvet's analysis framework: a small go/analysis-style
+// harness built on go/parser + go/ast + go/types only (no x/tools), plus
+// the five project-specific analyzers that machine-enforce this repo's
+// invariants — simulator/controller determinism, lock discipline, error
+// discipline, enum-switch exhaustiveness, and batch/row kernel parity.
+//
+// Every reproduction experiment (Figs 3–16, the chaos soak, the invariant
+// auditor) is only trustworthy because the deterministic packages replay
+// bit-for-bit from a seed; these analyzers keep that property from rotting
+// one innocuous PR at a time.
+//
+// A finding is silenced only by an inline comment
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line or the line above. The reason is mandatory; a
+// bare allow is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String renders a finding the way go vet does.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a single package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Cfg      *Config
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Config scopes analyzers per package. The zero value checks everything;
+// DefaultConfig encodes this repository's policy.
+type Config struct {
+	// Module is the main module path analyzers scope themselves by.
+	Module string
+	// Skip disables the named analyzers for an import path — the
+	// per-package escape hatch for layers whose job is the thing an
+	// analyzer forbids (the rpc layer really does live on the wall
+	// clock).
+	Skip map[string][]string
+}
+
+// DefaultConfig is the repository policy: every internal package is held
+// to the determinism contract except the real-network rpc layer, which
+// legitimately reads the wall clock (deadlines, backoff) and jitters
+// retries from the global rand.
+func DefaultConfig() *Config {
+	return ConfigForModule("swift")
+}
+
+// ConfigForModule applies the repository policy to an arbitrary main module
+// path, so swiftvet works unchanged on any module laid out like this one
+// (the lint golden tests run it over a fixture module).
+func ConfigForModule(module string) *Config {
+	return &Config{
+		Module: module,
+		Skip: map[string][]string{
+			module + "/internal/rpc": {"determinism"},
+		},
+	}
+}
+
+func (c *Config) skipped(pkgPath, analyzer string) bool {
+	if c == nil {
+		return false
+	}
+	for _, a := range c.Skip[pkgPath] {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// inModule reports whether path is inside the configured main module.
+func (c *Config) inModule(path string) bool {
+	if c == nil || c.Module == "" {
+		return true
+	}
+	return path == c.Module || strings.HasPrefix(path, c.Module+"/")
+}
+
+// internalPath reports whether path is a module-internal package (the
+// scope of the determinism and errdiscipline contracts; cmd/ and
+// examples/ are user-facing mains that may print, sleep, and exit).
+func (c *Config) internalPath(path string) bool {
+	return c.inModule(path) && strings.Contains(path, "/internal/")
+}
+
+// All returns the five analyzers in catalogue order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		LockDiscipline,
+		ErrDiscipline,
+		Exhaustive,
+		BatchParity,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("" = all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a := byName[strings.TrimSpace(n)]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// suppression is one parsed //lint:allow comment.
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+(\S+)\s*(.*)$`)
+
+// collectSuppressions scans every comment of the package (test files
+// included) for //lint:allow directives. A directive with no reason is
+// itself a finding: suppressions must say why or they are just deletions
+// of the check.
+func collectSuppressions(fset *token.FileSet, pkg *Package) ([]suppression, []Finding) {
+	var sups []suppression
+	var bad []Finding
+	files := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  fmt.Sprintf("lint:allow %s is missing its mandatory reason", m[1]),
+					})
+					continue
+				}
+				sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzer: m[1]})
+			}
+		}
+	}
+	return sups, bad
+}
+
+// suppressed reports whether a finding is covered by an allow directive on
+// its own line or the line immediately above.
+func suppressedBy(f Finding, sups []suppression) bool {
+	for _, s := range sups {
+		if s.analyzer != f.Analyzer || s.file != f.File {
+			continue
+		}
+		if s.line == f.Line || s.line == f.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the packages, applies per-package config
+// and //lint:allow suppressions, and returns the surviving findings in
+// file/line order.
+func Run(fset *token.FileSet, pkgs []*Package, cfg *Config, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sups, bad := collectSuppressions(fset, pkg)
+		findings = append(findings, bad...)
+		var raw []Finding
+		for _, a := range analyzers {
+			if cfg.skipped(pkg.Path, a.Name) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Cfg: cfg, Fset: fset, Pkg: pkg, findings: &raw}
+			a.Run(pass)
+		}
+		seen := make(map[Finding]bool)
+		for _, f := range raw {
+			if !suppressedBy(f, sups) && !seen[f] {
+				seen[f] = true
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// funcBodies yields every function body in the file — declarations and
+// literals — each exactly once, with literals reported as their own
+// scope (a Lock in a closure must find its Unlock in that closure).
+func funcBodies(f *ast.File, visit func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(n.Body)
+			}
+		case *ast.FuncLit:
+			visit(n.Body)
+		}
+		return true
+	})
+}
+
+// walkShallow walks the statements of body without descending into nested
+// function literals, whose execution time is unknown to the enclosing
+// scope's analysis.
+func walkShallow(body ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		return visit(n)
+	})
+}

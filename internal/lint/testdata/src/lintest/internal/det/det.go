@@ -1,0 +1,92 @@
+// Package det seeds determinism violations and their sanctioned
+// counterparts for the golden tests.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want determinism "reads the wall clock"
+}
+
+func draw() int {
+	return rand.Intn(6) // want determinism "draws from the global rand source"
+}
+
+// seeded draws are the sanctioned idiom: only the process-global source is
+// forbidden.
+func seeded(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+func emit(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want determinism "channel send inside map iteration"
+	}
+}
+
+func collectUnsorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want determinism "append to out inside map iteration"
+	}
+	return out
+}
+
+// collectSorted is the sanctioned collect-then-sort shape.
+func collectSorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// collectHelperSorted sorts through a local helper whose name says so.
+func collectHelperSorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+// perIteration appends to a slice scoped inside the loop: harmless.
+func perIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func pickAny(m map[string]int) int {
+	var won int
+	for _, v := range m { // want determinism "selects an arbitrary element"
+		won = v
+		break
+	}
+	return won
+}
+
+// suppressed shows the reason-ful escape hatch: no finding survives.
+func suppressed() time.Time {
+	//lint:allow determinism fixture: proves a reasoned allow silences the line below
+	return time.Now()
+}
+
+// want+3 lint "missing its mandatory reason"
+// want+3 determinism "reads the wall clock"
+func bareAllow() time.Time {
+	//lint:allow determinism
+	return time.Now()
+}

@@ -1,0 +1,27 @@
+// Package engine mirrors the real engine's batch-kernel surface for the
+// batchparity golden tests.
+package engine
+
+// Batch is a miniature of the real columnar batch.
+type Batch struct {
+	Ints []int64
+}
+
+// FilterBatch is anchored by TestFilterBatchEquivalence: clean.
+func FilterBatch(b *Batch) *Batch { return b }
+
+// MapBatch has no equivalence test.
+func MapBatch(b *Batch) *Batch { return b } // want batchparity "MapBatch has no row-equivalence test"
+
+// HashBatch is an in-place kernel (Hash prefix) anchored by
+// TestHashBatchMatchesRows: clean.
+func HashBatch(b *Batch, out []uint64) {
+	_ = b
+	_ = out
+}
+
+// SumBatch consumes a batch but returns a scalar: not a kernel.
+func SumBatch(b *Batch) int64 {
+	_ = b
+	return 0
+}

@@ -1,0 +1,13 @@
+package engine
+
+import "testing"
+
+func TestFilterBatchEquivalence(t *testing.T) {
+	if FilterBatch(&Batch{Ints: []int64{1}}) == nil {
+		t.Fatal("nil batch")
+	}
+}
+
+func TestHashBatchMatchesRows(t *testing.T) {
+	HashBatch(&Batch{}, nil)
+}

@@ -1,0 +1,101 @@
+// Package enums seeds exhaustiveness violations over iota enums and sealed
+// interface sums for the golden tests.
+package enums
+
+// Color is a contiguous iota enum: in scope for exhaustive.
+type Color int
+
+// Color members; numColors is a sentinel counter, not a member.
+const (
+	Red Color = iota
+	Green
+	Blue
+	numColors
+)
+
+var _ = numColors
+
+func name(c Color) string {
+	switch c { // want exhaustive "misses Blue"
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return "?"
+}
+
+// defaulted opts out with a default arm: clean.
+func defaulted(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+// commented covers the remaining members with an explicit no-op arm: clean.
+func commented(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green, Blue:
+		// cool colours share a rendering path in this fixture
+	}
+	return "?"
+}
+
+// Weight is a unit family (values not contiguous from zero), out of scope.
+type Weight int
+
+// Weight units.
+const (
+	Light Weight = 1
+	Heavy Weight = 10
+)
+
+func heavy(w Weight) bool {
+	switch w {
+	case Heavy:
+		return true
+	}
+	return false
+}
+
+// Node is a sealed sum: the unexported marker method closes it.
+type Node interface{ isNode() }
+
+// Leaf is a Node.
+type Leaf struct{}
+
+// Fork is a Node.
+type Fork struct{}
+
+// Root is a Node through its pointer type.
+type Root struct{}
+
+func (Leaf) isNode()  {}
+func (Fork) isNode()  {}
+func (*Root) isNode() {}
+
+func describe(n Node) string {
+	switch n.(type) { // want exhaustive "misses Root"
+	case Leaf:
+		return "leaf"
+	case Fork:
+		return "fork"
+	}
+	return "?"
+}
+
+// total covers every member (pointer member via its pointer type): clean.
+func total(n Node) string {
+	switch n.(type) {
+	case Leaf, Fork:
+		return "inner"
+	case *Root:
+		return "root"
+	}
+	return "?"
+}

@@ -1,0 +1,45 @@
+// Package errs seeds error-discipline violations for the golden tests.
+package errs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+type conn struct{}
+
+func (c *conn) SetDeadline(n int) error {
+	_ = n
+	return nil
+}
+
+// leak drops the error on the floor: the canonical offender.
+func leak(c *conn) {
+	c.SetDeadline(1) // want errdiscipline "silently discarded"
+}
+
+// handled propagates: clean.
+func handled(c *conn) error {
+	return c.SetDeadline(2)
+}
+
+// visible discards explicitly — a greppable decision: clean.
+func visible(c *conn) {
+	_ = c.SetDeadline(3) // deadline is advisory in this fixture
+}
+
+// buffers exercises the infallible in-memory writer exemptions: clean.
+func buffers() string {
+	var b bytes.Buffer
+	b.WriteString("in-memory writers cannot fail")
+	fmt.Fprintf(&b, "%d", 7)
+	fmt.Println("stdout is best-effort CLI output")
+	return b.String()
+}
+
+// fileWrite loses a real write error: fmt.Fprint* to anything that is not
+// an in-memory writer stays in scope.
+func fileWrite(f *os.File) {
+	fmt.Fprintln(f, "x") // want errdiscipline "silently discarded"
+}

@@ -1,0 +1,65 @@
+// Package locks seeds lock-discipline violations for the golden tests.
+package locks
+
+import (
+	"sync"
+
+	"lintest/internal/rpc"
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// forgotten unlock: rule 1.
+func (b *box) leak() {
+	b.mu.Lock() // want lockdiscipline "without a matching Unlock"
+	b.n++
+}
+
+// channel send while held: rule 2.
+func (b *box) sendHeld(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch <- b.n // want lockdiscipline "channel send while b.mu is held"
+}
+
+// rpc client call while held: rule 2.
+func (b *box) rpcHeld(c *rpc.Client) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_ = c.Call("ping") // want lockdiscipline "rpc client call while b.mu is held"
+}
+
+// released before the send: clean.
+func (b *box) sendAfter(ch chan int) {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	ch <- n
+}
+
+// rpc call after release: clean.
+func (b *box) rpcAfter(c *rpc.Client) error {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	return c.Call("ping")
+}
+
+// read lock pairing with RUnlock: clean.
+func (b *box) read() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n
+}
+
+// a closure is its own scope: the Lock inside must unlock inside.
+func (b *box) closureLeak() func() {
+	return func() {
+		b.mu.Lock() // want lockdiscipline "without a matching Unlock"
+		b.n++
+	}
+}

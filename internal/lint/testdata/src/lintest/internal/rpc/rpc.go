@@ -1,0 +1,26 @@
+// Package rpc mirrors the shape of the real rpc layer: its Client blocks
+// on the network, and serialising calls on the connection mutex is its own
+// documented design (exempt from the client-call-under-lock rule).
+package rpc
+
+import "sync"
+
+// Client is the blocking network client the lockdiscipline analyzer
+// forbids calling under a held mutex elsewhere in the module.
+type Client struct {
+	mu sync.Mutex
+}
+
+// Call pretends to do a network round-trip.
+func (c *Client) Call(method string) error {
+	_ = method
+	return nil
+}
+
+// CallSerialised holds the connection mutex across the call — the rpc
+// package's own design, exempt from rule 2.
+func (c *Client) CallSerialised(method string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Call(method)
+}

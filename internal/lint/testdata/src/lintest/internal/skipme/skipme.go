@@ -1,0 +1,9 @@
+// Package skipme breaks determinism on purpose; the golden tests disable
+// the analyzer for it via Config.Skip to prove the per-package escape
+// hatch filters findings.
+package skipme
+
+import "time"
+
+// BootTime would be a determinism finding if the package were in scope.
+var BootTime = time.Now()

@@ -136,7 +136,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.conns[conn] = true
 	s.connMu.Unlock()
 	defer func() {
-		conn.Close()
+		_ = conn.Close() // conn is already drained or torn
 		s.connMu.Lock()
 		delete(s.conns, conn)
 		s.connMu.Unlock()
@@ -185,7 +185,7 @@ func (s *Server) Close() error {
 	}
 	s.connMu.Lock()
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // severing: the serving goroutine sees the read error
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
@@ -312,8 +312,20 @@ func (c *Client) callLocked(method string, body []byte, resp interface{}) error 
 		c.conn = conn
 	}
 	if c.callTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.callTimeout))
-		defer c.conn.SetDeadline(time.Time{})
+		if err := c.conn.SetDeadline(time.Now().Add(c.callTimeout)); err != nil {
+			return c.broken(fmt.Errorf("rpc: set call deadline: %w", err))
+		}
+		defer func() {
+			// A connection whose deadline cannot be cleared would time out
+			// some future call at an arbitrary moment; drop it now and let
+			// the next call redial.
+			if c.conn != nil {
+				if err := c.conn.SetDeadline(time.Time{}); err != nil {
+					_ = c.conn.Close() // already discarding the conn
+					c.conn = nil
+				}
+			}
+		}()
 	}
 	c.next++
 	env := &envelope{ID: c.next, Method: method, Body: body}
@@ -340,7 +352,7 @@ func (c *Client) callLocked(method string, body []byte, resp interface{}) error 
 
 func (c *Client) broken(err error) error {
 	if c.conn != nil {
-		c.conn.Close()
+		_ = c.conn.Close() // the call already fails with err; nothing to add
 		c.conn = nil
 	}
 	return &transportError{err}

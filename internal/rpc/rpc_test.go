@@ -3,6 +3,9 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"io"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -172,4 +175,41 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 	if err := c.Call("ping", nil, nil); err == nil {
 		t.Error("call succeeded after server close")
 	}
+}
+
+// deadlineFailConn is a net.Conn whose SetDeadline fails, covering the
+// path where the kernel refuses to arm a socket timer (e.g. the fd was
+// torn down underneath us).
+type deadlineFailConn struct {
+	net.Conn
+	deadlineErr error
+	closed      bool
+}
+
+func (f *deadlineFailConn) Read(b []byte) (int, error)  { return 0, io.EOF }
+func (f *deadlineFailConn) Write(b []byte) (int, error) { return len(b), nil }
+func (f *deadlineFailConn) Close() error                { f.closed = true; return nil }
+func (f *deadlineFailConn) SetDeadline(time.Time) error { return f.deadlineErr }
+
+func TestCallFailsWhenDeadlineCannotBeSet(t *testing.T) {
+	fake := &deadlineFailConn{deadlineErr: errors.New("fd torn down")}
+	// Point the redial at a port nothing listens on so the failure
+	// surfaces instead of being papered over by a successful reconnect.
+	c := &Client{conn: fake, addr: "127.0.0.1:1", dialTimeout: 50 * time.Millisecond}
+	c.SetCallTimeout(time.Second)
+	err := c.Call("ping", nil, nil)
+	if err == nil {
+		t.Fatal("call succeeded with a conn that cannot set deadlines")
+	}
+	if !strings.Contains(err.Error(), "set call deadline") {
+		t.Errorf("error %q does not mention the deadline failure", err)
+	}
+	if !fake.closed {
+		t.Error("broken conn was not closed")
+	}
+	c.mu.Lock()
+	if c.conn != nil {
+		t.Error("broken conn was not cleared; a later call would reuse it")
+	}
+	c.mu.Unlock()
 }

@@ -120,6 +120,8 @@ func Cost(mode Mode, in CostInput) Breakdown {
 		streams = float64(py)
 	case Disk:
 		streams = float64(in.N) / float64(cy) * float64(min(in.M, py))
+	case Direct:
+		// many short flows: costed through the retransmission term above
 	}
 	incast := 1 + streams/m.IncastStreamCapacity
 	if incast > m.MaxIncastFactor {

@@ -8,6 +8,8 @@
 package simrun
 
 import (
+	"sort"
+
 	"swift/internal/cluster"
 	"swift/internal/core"
 	"swift/internal/dag"
@@ -90,10 +92,25 @@ type Results struct {
 	Makespan   sim.Time
 }
 
+// SortedJobs returns the job results ordered by job ID, so callers iterate
+// the Jobs map deterministically.
+func (r *Results) SortedJobs() []*JobResult {
+	ids := make([]string, 0, len(r.Jobs))
+	for id := range r.Jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*JobResult, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, r.Jobs[id])
+	}
+	return out
+}
+
 // JobDurations returns the latencies of completed jobs in seconds.
 func (r *Results) JobDurations() []float64 {
 	var out []float64
-	for _, j := range r.Jobs {
+	for _, j := range r.SortedJobs() {
 		if j.Completed {
 			out = append(out, j.Duration())
 		}

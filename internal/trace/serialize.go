@@ -57,6 +57,8 @@ func (t *Trace) Write(w io.Writer) error {
 					js.Scan = true
 				case dag.OpAdhocSink:
 					js.Sink = true
+				default:
+					// other operators don't change the serialised shape
 				}
 			}
 			jj.Stages = append(jj.Stages, js)

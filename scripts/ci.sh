@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Repository gate: vet, race-test everything, run the fixed-seed chaos
+# Repository gate: gofmt, vet, swiftvet (the project's own static
+# analyzers — see DESIGN.md "Static analysis"), race-test everything,
+# run the fixed-seed chaos
 # soak (deterministic fault schedules + scheduler invariant auditor),
 # build the fuzz targets so they cannot rot, and smoke the benchmark
 # suites (one iteration each) so a bench-only compile break or panic is
@@ -14,11 +16,22 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 SEEDS="${1:-8}"
 
+echo "== gofmt"
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
 echo "== go build ./..."
 go build ./...
+
+echo "== swiftvet ./... (project analyzers; swiftvet -json for tooling)"
+go run ./cmd/swiftvet ./...
 
 echo "== go test -race ./..."
 go test -race ./...
