@@ -20,6 +20,8 @@ import (
 	"os"
 
 	"swift/internal/chaos"
+	"swift/internal/core"
+	"swift/internal/obs"
 	"swift/internal/sim"
 )
 
@@ -32,6 +34,8 @@ func main() {
 	horizon := flag.Float64("horizon", 3600, "bounded-termination deadline (virtual seconds)")
 	verify := flag.Bool("verify", false, "run every seed twice and compare trace hashes")
 	verbose := flag.Bool("v", false, "print violations as they are found")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the first seed's soak")
+	stats := flag.Bool("stats", false, "print the first seed's observability snapshot")
 	flag.Parse()
 
 	failed := 0
@@ -43,6 +47,14 @@ func main() {
 			ExecutorsPerMachine: *execs,
 			Horizon:             sim.FromSeconds(*horizon),
 		}
+		// Observe the first seed only: each soak needs its own recorder.
+		var rec *obs.Recorder
+		if (*tracePath != "" || *stats) && s == *seed {
+			rec = obs.New()
+			o := core.DefaultOptions()
+			o.Obs = rec
+			cfg.Options = &o
+		}
 		res := chaos.Run(cfg)
 		fmt.Println(res)
 		if *verbose {
@@ -50,8 +62,17 @@ func main() {
 				fmt.Println("  violation:", v)
 			}
 		}
+		if rec != nil {
+			if err := dumpObs(rec, *tracePath, *stats); err != nil {
+				fmt.Fprintln(os.Stderr, "swiftchaos:", err)
+				os.Exit(1)
+			}
+		}
 		ok := len(res.Violations) == 0
 		if *verify {
+			// The re-run must not share (and re-append to) the first run's
+			// recorder; default options drop it.
+			cfg.Options = nil
 			again := chaos.Run(cfg)
 			if again.TraceHash != res.TraceHash {
 				ok = false
@@ -69,4 +90,32 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d seeds clean\n", *seeds)
+}
+
+// dumpObs writes the recorder's snapshot (stats to stdout, trace to path).
+func dumpObs(rec *obs.Recorder, tracePath string, stats bool) error {
+	if stats {
+		if err := rec.WriteBreakdown(os.Stdout); err != nil {
+			return err
+		}
+		if _, err := rec.Registry().WriteTo(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if tracePath == "" {
+		return nil
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  trace written to %s (%d events)\n", tracePath, len(rec.Events()))
+	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"swift/internal/cluster"
 	"swift/internal/core"
 	"swift/internal/dag"
+	"swift/internal/obs"
 	"swift/internal/sim"
 	"swift/internal/simrun"
 	"swift/internal/tpch"
@@ -33,6 +34,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	failStage := flag.String("failstage", "", "inject a failure into this stage")
 	failAt := flag.Float64("failat", 0.5, "failure time as a fraction of the clean runtime")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	stats := flag.Bool("stats", false, "print the observability snapshot (critical path + counters)")
 	flag.Parse()
 
 	job, err := buildJob(*jobName)
@@ -48,8 +51,19 @@ func main() {
 
 	ccfg := cluster.Config{Machines: *machines, ExecutorsPerMachine: *execs, Model: cluster.DefaultModel()}
 
+	// The observed run is the faulty one when a failure is injected (that
+	// is the interesting trace); otherwise the clean run.
+	var rec *obs.Recorder
+	if *tracePath != "" || *stats {
+		rec = obs.New()
+	}
+	cleanRec := rec
+	if *failStage != "" {
+		cleanRec = nil
+	}
+
 	// Clean run (also the baseline for failure injection timing).
-	clean := runOnce(job.Clone(), ccfg, opts, *seed, "", 0)
+	clean := runOnce(job.Clone(), ccfg, opts, *seed, "", 0, cleanRec)
 	fmt.Printf("system=%s job=%s machines=%d executors=%d\n", *system, job.ID, *machines, *machines**execs)
 	fmt.Printf("stages=%d tasks=%d\n", job.NumStages(), job.NumTasks())
 	printGraphlets(job, opts)
@@ -58,11 +72,43 @@ func main() {
 
 	if *failStage != "" {
 		at := clean.Duration() * *failAt
-		faulty := runOnce(job.Clone(), ccfg, opts, *seed, *failStage, at)
+		faulty := runOnce(job.Clone(), ccfg, opts, *seed, *failStage, at, rec)
 		fmt.Printf("\nwith failure in %s at %.1fs: %.2fs (%+.1f%%), restarts=%d resends=%d\n",
 			*failStage, at, faulty.Duration(), (faulty.Duration()/clean.Duration()-1)*100,
 			faulty.Restarts, faulty.Resends)
 	}
+
+	if *stats {
+		fmt.Println()
+		if err := rec.WriteBreakdown(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "swiftsim:", err)
+			os.Exit(1)
+		}
+		if _, err := rec.Registry().WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "swiftsim:", err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "swiftsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s (%d events)\n", *tracePath, len(rec.Events()))
+	}
+}
+
+// writeTrace dumps the recorder's Chrome trace-event JSON to path.
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildJob(name string) (*dag.Job, error) {
@@ -95,7 +141,8 @@ func systemOptions(name string) (core.Options, error) {
 	return core.Options{}, fmt.Errorf("unknown system %q", name)
 }
 
-func runOnce(job *dag.Job, ccfg cluster.Config, opts core.Options, seed int64, failStage string, failAt float64) *simrun.JobResult {
+func runOnce(job *dag.Job, ccfg cluster.Config, opts core.Options, seed int64, failStage string, failAt float64, rec *obs.Recorder) *simrun.JobResult {
+	opts.Obs = rec
 	r := simrun.New(simrun.Config{Cluster: ccfg, Options: opts, Seed: seed})
 	r.SubmitAt(0, job)
 	if failStage != "" {

@@ -16,6 +16,7 @@ import (
 	"swift/internal/baseline"
 	"swift/internal/cluster"
 	"swift/internal/metrics"
+	"swift/internal/obs"
 	"swift/internal/sim"
 	"swift/internal/simrun"
 	"swift/internal/trace"
@@ -30,6 +31,8 @@ func main() {
 	machines := flag.Int("machines", 100, "cluster machines for -replay")
 	out := flag.String("out", "", "write the trace as JSON lines to this file")
 	in := flag.String("in", "", "read a previously written trace instead of generating")
+	tracePath := flag.String("trace", "", "with -replay: write a Chrome trace-event JSON of the replay")
+	stats := flag.Bool("stats", false, "with -replay: print the observability snapshot")
 	flag.Parse()
 
 	var tr *trace.Trace
@@ -72,9 +75,15 @@ func main() {
 	if !*replay {
 		return
 	}
+	var rec *obs.Recorder
+	if *tracePath != "" || *stats {
+		rec = obs.New()
+	}
+	ropts := baseline.Swift()
+	ropts.Obs = rec
 	r := simrun.New(simrun.Config{
 		Cluster: cluster.Config{Machines: *machines, ExecutorsPerMachine: 60, Model: cluster.DefaultModel()},
-		Options: baseline.Swift(),
+		Options: ropts,
 		Seed:    *seed,
 	})
 	for _, j := range tr.Jobs {
@@ -93,6 +102,30 @@ func main() {
 	fmt.Printf("job runtime: %s  mean=%.1fs  P(<120s)=%.2f\n",
 		metrics.FourQuartiles(durations), metrics.Mean(durations), metrics.FractionBelow(durations, 120))
 	fmt.Printf("peak running executors: %.0f\n", res.ExecSeries.Max())
+
+	if *stats {
+		fmt.Println()
+		if err := rec.WriteBreakdown(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if _, err := rec.Registry().WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d events)\n", *tracePath, len(rec.Events()))
+	}
 }
 
 func fatal(err error) {

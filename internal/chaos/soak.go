@@ -159,6 +159,9 @@ func Run(cfg Config) *Result {
 			if ok {
 				res.Injected.Add(f.Kind.String(), 1)
 				aud.Fold(fmt.Sprintf("fault|%d|%s|%s\n", eng.Now(), f.Kind, target))
+				// Mirror applied faults into the observability trace (the
+				// recorder arrives through Options.Obs; nil-safe).
+				cfg.Options.Obs.Fault(f.Kind.String(), target)
 			} else {
 				res.Skipped.Add(f.Kind.String(), 1)
 			}

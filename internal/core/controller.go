@@ -134,7 +134,10 @@ func (c *Controller) Drain() []Action {
 	return a
 }
 
-func (c *Controller) emit(a Action) { c.actions = append(c.actions, a) }
+func (c *Controller) emit(a Action) {
+	c.actions = append(c.actions, a)
+	c.observe(a)
+}
 
 // SubmitJob admits a job: validates it, partitions it with the configured
 // policy, selects shuffle modes per edge, and registers resource requests
@@ -165,9 +168,12 @@ func (c *Controller) SubmitJob(job *dag.Job) error {
 			m.owner[s] = g.Index
 		}
 	}
+	c.opts.Obs.JobSubmitted(job.ID, len(job.Stages()), job.NumTasks(), len(gs))
 	for _, e := range job.Edges() {
 		crossing := m.owner[e.From] != m.owner[e.To]
-		m.modes[edgeKey{e.From, e.To}] = c.opts.Shuffle(job.ShuffleEdgeSize(e), e.Bytes, crossing)
+		mode := c.opts.Shuffle(job.ShuffleEdgeSize(e), e.Bytes, crossing)
+		m.modes[edgeKey{e.From, e.To}] = mode
+		c.opts.Obs.ShuffleModeSelected(job.ID, e.From, e.To, mode.String(), job.ShuffleEdgeSize(e), e.Bytes)
 	}
 	for _, s := range job.Stages() {
 		st := &stageState{
@@ -251,6 +257,7 @@ func (c *Controller) enqueueReady(m *monitor) {
 		if ready {
 			run.status = gQueued
 			c.queue = append(c.queue, reqItem{job: m.job.ID, g: i})
+			c.opts.Obs.GraphletQueued(m.job.ID, i, len(run.pending))
 		}
 	}
 }
@@ -268,6 +275,7 @@ func (c *Controller) requeue(m *monitor, g int) {
 	}
 	run.status = gQueued
 	c.queue = append(c.queue, reqItem{job: m.job.ID, g: g})
+	c.opts.Obs.GraphletQueued(m.job.ID, g, len(run.pending))
 }
 
 // schedule is the ResourceScheduleLoop: serve the request queue, and if
@@ -564,6 +572,7 @@ func (c *Controller) TaskFinished(ref TaskRef, attempt int) {
 			c.requeue(m, st.graphlet)
 		} else if run.running == 0 && run.status != gDone {
 			run.status = gDone
+			c.opts.Obs.GraphletDone(m.job.ID, st.graphlet)
 		}
 	}
 

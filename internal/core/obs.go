@@ -1,0 +1,68 @@
+package core
+
+import "swift/internal/obs"
+
+// Observability hooks. The controller records alongside emit(): every
+// action the drivers see is also translated into a typed obs event, so the
+// trace is a faithful mirror of the action stream. Detection-side events
+// (task failures, lost outputs, machine death) have no Action — drivers
+// already know, they reported them — and are recorded at the recovery
+// entry points instead. A nil recorder (observability off) costs one nil
+// check per call and cannot perturb any scheduling decision: the recorder
+// only reads.
+
+// String names the start reason for trace labels.
+func (r StartReason) String() string {
+	switch r {
+	case StartFresh:
+		return "fresh"
+	case StartRetry:
+		return "retry"
+	case StartCascade:
+		return "cascade"
+	}
+	return "invalid"
+}
+
+// String names the failure kind for trace labels.
+func (k FailureKind) String() string {
+	switch k {
+	case FailCrash:
+		return "crash"
+	case FailAppError:
+		return "app-error"
+	}
+	return "invalid"
+}
+
+// observe mirrors one emitted action into the recorder.
+func (c *Controller) observe(a Action) {
+	r := c.opts.Obs
+	if r == nil {
+		return
+	}
+	switch a := a.(type) {
+	case ActStartTask:
+		r.TaskStarted(a.Task.Job, a.Task.Stage, a.Task.Index, a.Attempt, a.Graphlet,
+			int(a.Executor), a.Reason.String())
+	case ActAbortTask:
+		r.TaskAborted(a.Task.Job, a.Task.Stage, a.Task.Index, a.Attempt, int(a.Executor))
+	case ActResend:
+		r.Resend(a.To.Job, a.To.Stage, a.To.Index, a.FromStage)
+	case ActJobCompleted:
+		r.JobCompleted(a.Job)
+	case ActJobFailed:
+		r.JobFailed(a.Job, a.Reason)
+	case ActJobRestarted:
+		r.JobRestarted(a.Job)
+	case ActMachineReadOnly:
+		r.MachineReadOnly(int(a.Machine))
+	case ActMachineHealthy:
+		r.MachineHealthy(int(a.Machine))
+	case ActShuffleDegraded:
+		r.ShuffleDegraded(a.Job, a.From, a.To, a.Old.String(), a.New.String())
+	}
+}
+
+// Obs returns the controller's recorder (nil when observability is off).
+func (c *Controller) Obs() *obs.Recorder { return c.opts.Obs }

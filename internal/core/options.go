@@ -3,6 +3,7 @@ package core
 import (
 	"swift/internal/dag"
 	"swift/internal/graphlet"
+	"swift/internal/obs"
 	"swift/internal/shuffle"
 )
 
@@ -127,6 +128,10 @@ type Options struct {
 	// allocation round (0 = no cap), keeping a single huge graphlet from
 	// starving the rest of the queue.
 	MaxGraphletExecutors int
+	// Obs records spans and events for the observability plane. Nil (the
+	// default) disables recording; the controller's decisions are identical
+	// either way.
+	Obs *obs.Recorder
 }
 
 // DefaultOptions returns Swift's production configuration.

@@ -23,6 +23,7 @@ func (c *Controller) TaskFailed(ref TaskRef, attempt int, kind FailureKind) {
 	if st.status[ref.Index] != tRunning || st.attempt[ref.Index] != attempt {
 		return
 	}
+	c.opts.Obs.TaskFailed(ref.Job, ref.Stage, ref.Index, attempt, kind.String())
 
 	if kind == FailAppError {
 		c.failJob(m, fmt.Sprintf("application error in %s", ref))
@@ -201,6 +202,7 @@ func (c *Controller) MachineFailed(id cluster.MachineID) {
 		return victims[a].running && !victims[b].running
 	})
 	c.cl.SetHealth(id, cluster.Failed)
+	c.opts.Obs.MachineFailed(int(id))
 	c.deferSchedule = true
 	for _, v := range victims {
 		m := c.jobs[v.ref.Job]
@@ -260,6 +262,7 @@ func (c *Controller) TaskOutputLost(ref TaskRef) {
 	if c.opts.Recovery == JobRestart {
 		// The baseline policy restarts on any failure; the "no step
 		// taken" shortcut below is Swift's fine-grained intelligence.
+		c.opts.Obs.OutputLost(ref.Job, ref.Stage, ref.Index, "restart")
 		c.restartJob(m)
 		return
 	}
@@ -267,8 +270,10 @@ func (c *Controller) TaskOutputLost(ref TaskRef) {
 		// "No step will be taken" — but remember the loss so a consumer
 		// that later re-enters the pending state revives this producer.
 		st.lost[ref.Index] = true
+		c.opts.Obs.OutputLost(ref.Job, ref.Stage, ref.Index, "no-step")
 		return
 	}
+	c.opts.Obs.OutputLost(ref.Job, ref.Stage, ref.Index, "rerun")
 	// Regenerating a lost output is a retry like any other: without this
 	// bound, an output that keeps getting lost (flapping Cache Worker,
 	// repeatedly crashing machine) re-runs the task forever.
@@ -335,6 +340,7 @@ func (c *Controller) CacheWorkerLost(id cluster.MachineID) {
 			}
 		}
 	}
+	c.opts.Obs.CacheWorkerLost(int(id))
 	c.deferSchedule = true
 	for _, ref := range lost {
 		m := c.jobs[ref.Job]

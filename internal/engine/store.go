@@ -57,6 +57,17 @@ func NewStore(machines int, capacity int64) *Store {
 	return s
 }
 
+// SetStatsSink mirrors every worker's counters into sink under one shared
+// prefix (per-worker attribution stays available via Stats; the sink is
+// for cluster-wide aggregates like an obs.Registry). Nil disables.
+func (s *Store) SetStatsSink(prefix string, sink shuffle.StatsSink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.workers {
+		w.SetStatsSink(prefix, sink)
+	}
+}
+
 // SegmentKey names one shuffle partition: the rows produced by task
 // `producer` of edge from->to destined for consumer task `part`. Built by
 // appending rather than fmt — every shuffle read and write forms one.

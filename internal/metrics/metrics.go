@@ -14,18 +14,41 @@ import (
 // definition 7 (linear interpolation of order statistics; the default of R
 // and the method behind standard quartile reporting). It returns NaN for an
 // empty sample and clamps p into [0,1].
+//
+// NaN policy: NaN observations are stripped before the quantile is
+// computed, so one poisoned measurement cannot corrupt every order
+// statistic (sort.Float64s gives NaNs an arbitrary-looking position).
+// A sample that is entirely NaN behaves like an empty one and returns NaN.
 func Quantile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	s := sortedClean(xs)
+	if len(s) == 0 {
 		return math.NaN()
 	}
+	return quantileSorted(s, p)
+}
+
+// sortedClean returns a sorted copy of xs with NaNs stripped (the shared
+// NaN policy of Quantile and FourQuartiles).
+func sortedClean(xs []float64) []float64 {
+	s := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s = append(s, x)
+		}
+	}
+	sort.Float64s(s)
+	return s
+}
+
+// quantileSorted computes the Hyndman–Fan definition-7 quantile of an
+// already sorted, NaN-free, non-empty sample.
+func quantileSorted(s []float64, p float64) float64 {
 	if p < 0 {
 		p = 0
 	}
 	if p > 1 {
 		p = 1
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	h := (float64(len(s)) - 1) * p
 	lo := int(math.Floor(h))
 	hi := int(math.Ceil(h))
@@ -41,20 +64,31 @@ type Quartiles struct {
 }
 
 // FourQuartiles computes the quartile summary the paper reports cluster
-// averages with (Figs. 3 and 15).
+// averages with (Figs. 3 and 15). The sample is copied and sorted exactly
+// once; all five order statistics come from that one sorted slice, keeping
+// Quantile's contract (Hyndman–Fan definition 7, NaNs stripped) without
+// its five-fold copy-and-sort cost.
 func FourQuartiles(xs []float64) Quartiles {
+	s := sortedClean(xs)
+	if len(s) == 0 {
+		nan := math.NaN()
+		return Quartiles{Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan}
+	}
 	return Quartiles{
-		Min:    Quantile(xs, 0),
-		Q1:     Quantile(xs, 0.25),
-		Median: Quantile(xs, 0.5),
-		Q3:     Quantile(xs, 0.75),
-		Max:    Quantile(xs, 1),
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
 	}
 }
 
-// Mid returns the midhinge-style average of the quartile summary: the mean
-// of Q1, median and Q3, a robust location estimate for skewed samples.
-func (q Quartiles) Mid() float64 { return (q.Q1 + q.Median + q.Q3) / 3 }
+// Mid returns Tukey's trimean of the quartile summary,
+// (Q1 + 2·Median + Q3) / 4 — a robust location estimate for skewed
+// samples that weights the median twice as heavily as the hinges. (An
+// earlier revision averaged Q1, median and Q3 equally, which is neither
+// the midhinge nor the trimean; the estimator is pinned by test now.)
+func (q Quartiles) Mid() float64 { return (q.Q1 + 2*q.Median + q.Q3) / 4 }
 
 // String renders the summary compactly.
 func (q Quartiles) String() string {
@@ -107,6 +141,9 @@ type CDFPoint struct {
 }
 
 // CDF returns the empirical CDF of the sample as sorted points.
+// (Repeated-sort audit: CDF copies and sorts exactly once, and
+// FractionBelow is a single linear scan — neither shares FourQuartiles'
+// old sort-per-quantile shape.)
 func CDF(xs []float64) []CDFPoint {
 	if len(xs) == 0 {
 		return nil
@@ -135,12 +172,18 @@ func FractionBelow(xs []float64, x float64) float64 {
 	return float64(n) / float64(len(xs))
 }
 
-// Histogram counts samples into fixed-width bins covering [lo, hi); values
-// outside the range clamp into the first/last bin.
+// Histogram counts samples into fixed-width bins covering [lo, hi).
+// Out-of-range observations are NOT clamped into the edge bins — clamping
+// silently piles mass onto the first/last bin and distorts Fig. 8-style
+// shapes — they are tallied in Underflow/Overflow instead. Total counts
+// every observation, in range or not.
 type Histogram struct {
 	Lo, Hi float64
 	Counts []int
 	Total  int
+	// Underflow counts observations with x < Lo; Overflow counts x ≥ Hi
+	// (and NaN). Neither appears in Counts.
+	Underflow, Overflow int
 }
 
 // NewHistogram creates a histogram with the given bounds and bin count.
@@ -151,17 +194,20 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
 }
 
-// Add records one observation.
+// Add records one observation. Values outside [Lo, Hi) land in
+// Underflow/Overflow, not in the edge bins.
 func (h *Histogram) Add(x float64) {
-	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
-	if i < 0 {
-		i = 0
+	h.Total++
+	if x < h.Lo {
+		h.Underflow++
+		return
 	}
-	if i >= len(h.Counts) {
-		i = len(h.Counts) - 1
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i >= len(h.Counts) || i < 0 { // i < 0: NaN comparisons are all false
+		h.Overflow++
+		return
 	}
 	h.Counts[i]++
-	h.Total++
 }
 
 // BinCenter returns the midpoint of bin i.
@@ -253,8 +299,12 @@ func (s *Series) Points() []SeriesPoint {
 
 // Sample returns the series value at regular intervals over [0, end],
 // carrying the last value forward; convenient for printing Fig. 10-style
-// rows.
+// rows. step must be positive: a zero or negative step would never advance
+// the sampling clock (an unbounded allocation loop), so it panics.
 func (s *Series) Sample(end, step float64) []SeriesPoint {
+	if step <= 0 || math.IsNaN(step) {
+		panic(fmt.Sprintf("metrics: Series.Sample step %v must be positive", step))
+	}
 	pts := s.Points()
 	var out []SeriesPoint
 	i, cur := 0, 0.0

@@ -115,14 +115,17 @@ func TestHistogram(t *testing.T) {
 	if h.Total != 6 {
 		t.Errorf("Total = %d", h.Total)
 	}
-	if h.Counts[0] != 2 { // 5 and clamped -3
+	if h.Counts[0] != 1 { // just 5; -3 is underflow, not clamped in
 		t.Errorf("bin0 = %d", h.Counts[0])
 	}
 	if h.Counts[1] != 2 {
 		t.Errorf("bin1 = %d", h.Counts[1])
 	}
-	if h.Counts[9] != 2 { // 95 and clamped 250
+	if h.Counts[9] != 1 { // just 95; 250 is overflow, not clamped in
 		t.Errorf("bin9 = %d", h.Counts[9])
+	}
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Errorf("Underflow/Overflow = %d/%d, want 1/1", h.Underflow, h.Overflow)
 	}
 	if got := h.BinCenter(0); got != 5 {
 		t.Errorf("BinCenter(0) = %g", got)
@@ -205,5 +208,136 @@ func TestCDFProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Regression: Series.Sample with a non-positive step used to loop (and
+// allocate) forever because the sampling clock never advanced. It must
+// panic instead of hanging.
+func TestSeriesSampleNonPositiveStepPanics(t *testing.T) {
+	s := NewSeries()
+	s.Delta(1, +1)
+	for _, step := range []float64{0, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sample(10, %v) did not panic", step)
+				}
+			}()
+			s.Sample(10, step)
+		}()
+	}
+}
+
+// Regression: FourQuartiles used to copy and sort the sample once per
+// Quantile call (five times). It must agree with per-quantile computation
+// exactly while sorting only once — pinned by an allocation count.
+func TestFourQuartilesEquivalenceAndAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 50
+		}
+		q := FourQuartiles(xs)
+		want := Quartiles{
+			Min:    Quantile(xs, 0),
+			Q1:     Quantile(xs, 0.25),
+			Median: Quantile(xs, 0.5),
+			Q3:     Quantile(xs, 0.75),
+			Max:    Quantile(xs, 1),
+		}
+		if q != want {
+			t.Fatalf("trial %d: FourQuartiles = %+v, want %+v", trial, q, want)
+		}
+	}
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	// One sorted copy of the sample: exactly one allocation.
+	allocs := testing.AllocsPerRun(20, func() { FourQuartiles(xs) })
+	if allocs > 1 {
+		t.Errorf("FourQuartiles allocates %.0f times per run, want 1 (single sort)", allocs)
+	}
+	empty := FourQuartiles(nil)
+	if !math.IsNaN(empty.Min) || !math.IsNaN(empty.Median) || !math.IsNaN(empty.Max) {
+		t.Errorf("FourQuartiles(nil) = %+v, want all NaN", empty)
+	}
+}
+
+// Regression: Histogram.Add used to clamp out-of-range observations into
+// the first/last bin, silently distorting distribution shapes. They must
+// land in Underflow/Overflow and leave the bins untouched.
+func TestHistogramOutOfRangeNotClamped(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-0.001)
+	h.Add(10) // hi is exclusive
+	h.Add(1e9)
+	h.Add(math.NaN())
+	for i, c := range h.Counts {
+		if c != 0 {
+			t.Errorf("bin %d = %d, want 0 (nothing in range was added)", i, c)
+		}
+	}
+	if h.Underflow != 1 {
+		t.Errorf("Underflow = %d, want 1", h.Underflow)
+	}
+	if h.Overflow != 3 {
+		t.Errorf("Overflow = %d, want 3 (10, 1e9 and NaN)", h.Overflow)
+	}
+	if h.Total != 4 {
+		t.Errorf("Total = %d, want 4", h.Total)
+	}
+	h.Add(0) // lo is inclusive
+	h.Add(9.999)
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Errorf("edge bins = %d/%d, want 1/1", h.Counts[0], h.Counts[4])
+	}
+}
+
+// Regression: Quartiles.Mid is Tukey's trimean (Q1 + 2·Median + Q3) / 4.
+// An earlier revision computed (Q1+Median+Q3)/3, which is neither the
+// midhinge nor the trimean; an asymmetric sample distinguishes them.
+func TestQuartilesMidIsTrimean(t *testing.T) {
+	q := Quartiles{Q1: 2, Median: 3, Q3: 10}
+	want := (2 + 2*3 + 10) / 4.0 // 4.5; the old formula gave 5
+	if got := q.Mid(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mid = %g, want trimean %g", got, want)
+	}
+	// Symmetric sample: trimean equals median.
+	sym := FourQuartiles([]float64{10, 20, 30, 40, 50})
+	if got := sym.Mid(); math.Abs(got-30) > 1e-12 {
+		t.Errorf("symmetric Mid = %g, want 30", got)
+	}
+}
+
+// NaN policy: Quantile and FourQuartiles strip NaN observations before
+// computing order statistics (sort.Float64s gives NaNs an arbitrary
+// position, which used to poison every quartile). All-NaN samples behave
+// like empty ones.
+func TestQuantileNaNPolicy(t *testing.T) {
+	nan := math.NaN()
+	xs := []float64{3, nan, 1, nan, 2}
+	if got := Quantile(xs, 0.5); got != 2 {
+		t.Errorf("median with NaNs = %g, want 2 (NaNs stripped)", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("min with NaNs = %g, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 3 {
+		t.Errorf("max with NaNs = %g, want 3", got)
+	}
+	q := FourQuartiles(xs)
+	if q.Min != 1 || q.Median != 2 || q.Max != 3 {
+		t.Errorf("FourQuartiles with NaNs = %+v", q)
+	}
+	if !math.IsNaN(Quantile([]float64{nan, nan}, 0.5)) {
+		t.Error("all-NaN sample should give NaN")
+	}
+	allNaN := FourQuartiles([]float64{nan})
+	if !math.IsNaN(allNaN.Median) {
+		t.Errorf("FourQuartiles(all-NaN) = %+v, want NaN", allNaN)
 	}
 }

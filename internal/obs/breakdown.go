@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Per-job critical-path breakdown: where did each job's wall-clock time
+// go? The walk runs backwards from job completion, repeatedly jumping to
+// the latest finished task attempt that ends at or before the current
+// point. A first-execution attempt's span is split using its recorded
+// phase breakdown (launch / read / process / write); a re-execution
+// (retry/cascade launch reason) is repeated work that only exists because
+// something failed, so its whole span counts as recovery, and everything
+// before a job restart is a discarded incarnation, recovery wholesale.
+// Gaps between attempts are scheduling queue time, unless a recovery
+// marker (task failure, output loss, abort, job restart) falls inside the
+// gap, in which case the gap is recovery too. This is a lower-bound
+// critical path — it
+// follows finish times, not data dependencies — but it is deterministic
+// and it answers the Fig.-style question "queue vs. launch vs. compute vs.
+// shuffle vs. recovery" per job.
+
+// JobBreakdown is one job's time attribution, all columns in seconds.
+// Total = Queue + Launch + Shuffle + Compute + Wait + Recovery (up to
+// rounding): Queue is time with no attempt running on the walked path,
+// Launch is executor launch, Shuffle is read+write, Compute is process,
+// Wait is within-attempt time not covered by the recorded phases (model
+// idle), Recovery is discarded-incarnation time (before the last job
+// restart), re-execution spans, and gap time containing recovery markers.
+type JobBreakdown struct {
+	Job    string
+	Result string
+	Total, Queue, Launch, Shuffle,
+	Compute, Wait, Recovery float64
+}
+
+// attempt is one closed task attempt on a job's timeline.
+type attempt struct {
+	start, finish                int64 // microseconds
+	launch, read, process, write float64
+	rerun                        bool // launched for retry/cascade
+}
+
+// Breakdowns computes the per-job attribution for every job in the
+// stream, in first-appearance order. Nil recorders return nil.
+func (r *Recorder) Breakdowns() []JobBreakdown {
+	if r == nil {
+		return nil
+	}
+	var traceEnd int64
+	for i := range r.events {
+		if ts := int64(r.events[i].T); ts > traceEnd {
+			traceEnd = ts
+		}
+	}
+	type openStart struct {
+		at    int64
+		rerun bool
+	}
+	type jobAcc struct {
+		submit    int64
+		hasSubmit bool
+		end       int64
+		result    string
+		attempts  []attempt
+		open      map[string]openStart // task key -> start
+		markers   []int64              // recovery marker timestamps, in order
+		restarts  []int64              // job restart timestamps
+	}
+	accs := make(map[string]*jobAcc)
+	var order []string
+	acc := func(job string) *jobAcc {
+		a, ok := accs[job]
+		if !ok {
+			a = &jobAcc{end: traceEnd, result: "unfinished", open: make(map[string]openStart)}
+			accs[job] = a
+			order = append(order, job)
+		}
+		return a
+	}
+	key := func(e *Event) string {
+		return fmt.Sprintf("%s|%d|%d", e.Stage, e.Index, e.Attempt)
+	}
+	for i := range r.events {
+		e := &r.events[i]
+		switch e.Kind {
+		case EvJobSubmit:
+			a := acc(e.Job)
+			a.submit, a.hasSubmit = int64(e.T), true
+		case EvJobDone:
+			a := acc(e.Job)
+			a.end, a.result = int64(e.T), "completed"
+		case EvJobFail:
+			a := acc(e.Job)
+			a.end, a.result = int64(e.T), "failed"
+			a.markers = append(a.markers, int64(e.T))
+		case EvTaskStart:
+			acc(e.Job).open[key(e)] = openStart{at: int64(e.T), rerun: e.Label != "fresh"}
+		case EvTaskFinish:
+			a := acc(e.Job)
+			if s, ok := a.open[key(e)]; ok {
+				delete(a.open, key(e))
+				a.attempts = append(a.attempts, attempt{start: s.at, finish: int64(e.T),
+					launch: e.Launch, read: e.Read, process: e.Process, write: e.Write,
+					rerun: s.rerun})
+			}
+		case EvTaskAbort, EvTaskFail:
+			a := acc(e.Job)
+			delete(a.open, key(e))
+			a.markers = append(a.markers, int64(e.T))
+		case EvOutputLost:
+			a := acc(e.Job)
+			a.markers = append(a.markers, int64(e.T))
+		case EvJobRestart:
+			a := acc(e.Job)
+			a.markers = append(a.markers, int64(e.T))
+			a.restarts = append(a.restarts, int64(e.T))
+		default:
+			// Graphlet, shuffle, machine, cache-worker and fault events
+			// carry no per-job critical-path information.
+		}
+	}
+
+	out := make([]JobBreakdown, 0, len(order))
+	for _, job := range order {
+		a := accs[job]
+		bd := walkCriticalPath(job, a.submit, a.end, a.result, a.attempts, a.markers, a.restarts)
+		out = append(out, bd)
+	}
+	return out
+}
+
+// walkCriticalPath runs the backward walk for one job.
+func walkCriticalPath(job string, submit, end int64, result string, attempts []attempt, markers, restarts []int64) JobBreakdown {
+	const usec = 1e-6
+	bd := JobBreakdown{Job: job, Result: result, Total: float64(end-submit) * usec}
+	// Everything before the last job restart belongs to a discarded
+	// incarnation: the surviving run starts over from scratch, so that
+	// whole prefix is recovery overhead. The walk covers [base, end].
+	base := submit
+	for _, rt := range restarts {
+		if rt > base && rt <= end {
+			base = rt
+		}
+	}
+	if base > submit {
+		bd.Recovery += float64(base-submit) * usec
+	}
+	// Latest-finish-first; ties broken by later start, then earlier slice
+	// position (stable), keeping the walk deterministic.
+	sort.SliceStable(attempts, func(i, j int) bool {
+		if attempts[i].finish != attempts[j].finish {
+			return attempts[i].finish > attempts[j].finish
+		}
+		return attempts[i].start > attempts[j].start
+	})
+	hasMarker := func(from, to int64) bool {
+		for _, m := range markers {
+			if m > from && m <= to {
+				return true
+			}
+		}
+		return false
+	}
+	gap := func(from, to int64) {
+		if to <= from {
+			return
+		}
+		d := float64(to-from) * usec
+		if hasMarker(from, to) {
+			bd.Recovery += d
+		} else {
+			bd.Queue += d
+		}
+	}
+	t := end
+	i := 0
+	for t > base {
+		// Next hop: latest attempt finishing at or before t and starting
+		// strictly before it (progress guarantee).
+		for i < len(attempts) && (attempts[i].finish > t || attempts[i].start >= t) {
+			i++
+		}
+		if i == len(attempts) {
+			gap(base, t)
+			break
+		}
+		at := attempts[i]
+		if at.finish <= base {
+			// Only discarded-incarnation attempts remain below t.
+			gap(base, t)
+			break
+		}
+		gap(at.finish, t)
+		hi := t
+		if at.finish < hi {
+			hi = at.finish
+		}
+		lo := at.start
+		if lo < base {
+			lo = base
+		}
+		span := float64(hi-lo) * usec
+		if at.rerun {
+			// A retry/cascade re-execution is pure recovery overhead: the
+			// work it repeats was (or would have been) done already.
+			bd.Recovery += span
+			t = lo
+			i++
+			continue
+		}
+		work := at.launch + at.read + at.process + at.write
+		scale := 1.0
+		if work > span && work > 0 {
+			// The model can overlap phases; never attribute more than the
+			// span itself.
+			scale = span / work
+		}
+		bd.Launch += at.launch * scale
+		bd.Shuffle += (at.read + at.write) * scale
+		bd.Compute += at.process * scale
+		if idle := span - work*scale; idle > 0 {
+			bd.Wait += idle
+		}
+		t = lo
+		i++
+	}
+	return bd
+}
+
+// WriteBreakdown renders the per-job table as plain text. A nil recorder
+// writes a disabled notice.
+func (r *Recorder) WriteBreakdown(w io.Writer) error {
+	var b bytes.Buffer
+	if r == nil {
+		b.WriteString("obs: recording disabled\n")
+	} else {
+		bds := r.Breakdowns()
+		b.WriteString("per-job critical path (seconds):\n")
+		fmt.Fprintf(&b, "  %-14s %9s %9s %9s %9s %9s %9s %9s  %s\n",
+			"job", "total", "queue", "launch", "shuffle", "compute", "wait", "recovery", "result")
+		for _, bd := range bds {
+			fmt.Fprintf(&b, "  %-14s %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f  %s\n",
+				bd.Job, bd.Total, bd.Queue, bd.Launch, bd.Shuffle, bd.Compute, bd.Wait, bd.Recovery, bd.Result)
+		}
+	}
+	if _, err := w.Write(b.Bytes()); err != nil {
+		return fmt.Errorf("obs: write breakdown: %w", err)
+	}
+	return nil
+}

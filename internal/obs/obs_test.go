@@ -1,0 +1,365 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"swift/internal/baseline"
+	"swift/internal/chaos"
+	"swift/internal/cluster"
+	"swift/internal/core"
+	"swift/internal/obs"
+	"swift/internal/sim"
+	"swift/internal/simrun"
+	"swift/internal/tpch"
+)
+
+// failMachine injects a machine crash at 20 s of virtual time — with the
+// small cluster saturated by q9, this reliably kills running tasks and
+// exercises the whole recovery path. failMachineLate crashes the machine
+// near the end of the run (q9 on this cluster finishes around 284 s), so
+// the killed tail tasks re-run last and the recovery lands on the
+// critical path.
+const (
+	failMachine     = "machine"
+	failMachineLate = "machine-late"
+)
+
+// runQ9 executes one q9 simulation with an optional injected fault
+// ("machine" crashes machine 3; any other non-empty value names a stage for
+// a task failure), returning the results (nil rec runs with obs off).
+func runQ9(t *testing.T, seed int64, rec *obs.Recorder, fail string) *simrun.Results {
+	t.Helper()
+	job := tpch.Query(9)
+	opts := baseline.Swift()
+	opts.Obs = rec
+	r := simrun.New(simrun.Config{
+		Cluster: cluster.Config{Machines: 20, ExecutorsPerMachine: 8, Model: cluster.DefaultModel()},
+		Options: opts,
+		Seed:    seed,
+	})
+	r.SubmitAt(0, job)
+	switch fail {
+	case "":
+	case failMachine:
+		r.InjectMachineFailureAt(20*sim.Second, 3)
+	case failMachineLate:
+		r.InjectMachineFailureAt(275*sim.Second, 3)
+	default:
+		r.InjectTaskFailureAt(20*sim.Second, job.ID, fail, core.FailCrash)
+	}
+	res := r.Run()
+	if jr := res.Jobs[job.ID]; jr == nil || !jr.Completed {
+		t.Fatalf("q9 did not complete (seed %d, fail %q)", seed, fail)
+	}
+	return res
+}
+
+func chromeJSON(t *testing.T, rec *obs.Recorder) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := rec.WriteChromeTrace(&b); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	return b.Bytes()
+}
+
+// TestTraceDeterminism is the hard contract: two runs of the same seed
+// produce the identical event stream — equal FNV hashes and byte-identical
+// Chrome trace, registry snapshot and breakdown table.
+func TestTraceDeterminism(t *testing.T) {
+	recs := [2]*obs.Recorder{obs.New(), obs.New()}
+	for _, rec := range recs {
+		runQ9(t, 7, rec, failMachine)
+	}
+	if h0, h1 := recs[0].StreamHash(), recs[1].StreamHash(); h0 != h1 {
+		t.Fatalf("stream hashes differ across same-seed runs: %016x != %016x", h0, h1)
+	}
+	if len(recs[0].Events()) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if j0, j1 := chromeJSON(t, recs[0]), chromeJSON(t, recs[1]); !bytes.Equal(j0, j1) {
+		t.Fatal("chrome traces not byte-identical across same-seed runs")
+	}
+	if s0, s1 := recs[0].Registry().Snapshot(), recs[1].Registry().Snapshot(); s0 != s1 {
+		t.Fatalf("registry snapshots differ:\n%s\n---\n%s", s0, s1)
+	}
+	var b0, b1 bytes.Buffer
+	if err := recs[0].WriteBreakdown(&b0); err != nil {
+		t.Fatal(err)
+	}
+	if err := recs[1].WriteBreakdown(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if b0.String() != b1.String() {
+		t.Fatal("breakdown tables differ across same-seed runs")
+	}
+}
+
+// TestRecordingDoesNotPerturb asserts the observer effect is zero: every
+// Results field is identical with recording on and off.
+func TestRecordingDoesNotPerturb(t *testing.T) {
+	for _, failStage := range []string{"", failMachine} {
+		off := runQ9(t, 11, nil, failStage)
+		on := runQ9(t, 11, obs.New(), failStage)
+		if off.Makespan != on.Makespan {
+			t.Fatalf("failStage=%q: makespan changed with recording on: %v != %v", failStage, off.Makespan, on.Makespan)
+		}
+		offJobs, onJobs := off.SortedJobs(), on.SortedJobs()
+		if len(offJobs) != len(onJobs) {
+			t.Fatalf("failStage=%q: job count changed", failStage)
+		}
+		for i := range offJobs {
+			a, b := offJobs[i], onJobs[i]
+			if a.ID != b.ID || a.Submit != b.Submit || a.Finish != b.Finish ||
+				a.Completed != b.Completed || a.Failed != b.Failed ||
+				a.Restarts != b.Restarts || a.Resends != b.Resends ||
+				len(a.Samples) != len(b.Samples) {
+				t.Fatalf("failStage=%q: job %s summary changed with recording on", failStage, a.ID)
+			}
+			if !reflect.DeepEqual(a.Samples, b.Samples) {
+				t.Fatalf("failStage=%q: job %s task samples changed with recording on", failStage, a.ID)
+			}
+			if !reflect.DeepEqual(a.Phases, b.Phases) {
+				t.Fatalf("failStage=%q: job %s phase records changed with recording on", failStage, a.ID)
+			}
+		}
+		if !reflect.DeepEqual(off.ExecSeries.Points(), on.ExecSeries.Points()) {
+			t.Fatalf("failStage=%q: executor series changed with recording on", failStage)
+		}
+	}
+}
+
+// TestChromeTraceWellFormed checks the export parses as JSON and carries
+// the span/event structure the ISSUE requires: job, graphlet and
+// task-attempt spans, shuffle-mode instants, and recovery instants when a
+// failure was injected.
+func TestChromeTraceWellFormed(t *testing.T) {
+	rec := obs.New()
+	runQ9(t, 3, rec, failMachine)
+	raw := chromeJSON(t, rec)
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spans := map[string]int{}
+	instants := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ts < 0 || e.Dur < 0 {
+			t.Fatalf("negative ts/dur in event %q", e.Name)
+		}
+		switch e.Ph {
+		case "X":
+			spans[e.Cat]++
+		case "i":
+			instants[e.Cat]++
+		case "M":
+		default:
+			t.Fatalf("unexpected phase %q in event %q", e.Ph, e.Name)
+		}
+	}
+	for _, cat := range []string{"job", "graphlet", "task"} {
+		if spans[cat] == 0 {
+			t.Fatalf("no %q spans in trace (spans: %v)", cat, spans)
+		}
+	}
+	if instants["shuffle"] == 0 {
+		t.Fatalf("no shuffle-mode instants in trace (instants: %v)", instants)
+	}
+	if instants["recovery"] == 0 {
+		t.Fatalf("no recovery instants despite injected failure (instants: %v)", instants)
+	}
+	job := tpch.Query(9)
+	if got := spans["task"]; got < job.NumTasks() {
+		t.Fatalf("fewer task spans (%d) than tasks (%d)", got, job.NumTasks())
+	}
+}
+
+// TestNilRecorderSafe exercises every recorder and registry method on nil
+// receivers: all must no-op and the exports must still produce output.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *obs.Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.SetClock(func() sim.Time { return 0 })
+	r.JobSubmitted("j", 1, 1, 1)
+	r.JobCompleted("j")
+	r.JobFailed("j", "x")
+	r.JobRestarted("j")
+	r.GraphletQueued("j", 0, 1)
+	r.GraphletDone("j", 0)
+	r.TaskStarted("j", "s", 0, 1, 0, 0, "fresh")
+	r.TaskFinished("j", "s", 0, 1, 0, 1, 2, 3, 4)
+	r.TaskAborted("j", "s", 0, 1, 0)
+	r.TaskFailed("j", "s", 0, 1, "crash")
+	r.OutputLost("j", "s", 0, "no-step")
+	r.Resend("j", "s", 0, "p")
+	r.ShuffleModeSelected("j", "a", "b", "Direct", 4, 100)
+	r.ShuffleDegraded("j", "a", "b", "Local", "Direct")
+	r.MachineFailed(0)
+	r.MachineReadOnly(0)
+	r.MachineHealthy(0)
+	r.CacheWorkerLost(0)
+	r.Fault("straggler", "t")
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder holds events: %v", got)
+	}
+	var b bytes.Buffer
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("nil recorder trace is not valid JSON: %s", b.String())
+	}
+	b.Reset()
+	if err := r.WriteBreakdown(&b); err != nil {
+		t.Fatalf("nil WriteBreakdown: %v", err)
+	}
+	if r.Registry() != nil {
+		t.Fatal("nil recorder returned a registry")
+	}
+	r.Registry().Count("x", 1)
+	r.Registry().Gauge("g", 1)
+	r.Registry().Observe("h", 0, 1, 4, 0.5)
+	if got := r.Registry().Snapshot(); got == "" {
+		t.Fatal("nil registry snapshot empty")
+	}
+	if r.StreamHash() != (*obs.Recorder)(nil).StreamHash() {
+		t.Fatal("nil stream hash unstable")
+	}
+}
+
+// TestBreakdownAccountsForJobTime pins the critical-path invariants: the
+// per-job total matches the job's measured latency, and the attributed
+// columns sum back to the total.
+func TestBreakdownAccountsForJobTime(t *testing.T) {
+	rec := obs.New()
+	res := runQ9(t, 5, rec, "")
+	bds := rec.Breakdowns()
+	if len(bds) != 1 {
+		t.Fatalf("want 1 job breakdown, got %d", len(bds))
+	}
+	bd := bds[0]
+	jr := res.Jobs[bd.Job]
+	if jr == nil {
+		t.Fatalf("breakdown names unknown job %q", bd.Job)
+	}
+	if diff := math.Abs(bd.Total - jr.Duration()); diff > 1e-6 {
+		t.Fatalf("breakdown total %.6fs != job duration %.6fs", bd.Total, jr.Duration())
+	}
+	sum := bd.Queue + bd.Launch + bd.Shuffle + bd.Compute + bd.Wait + bd.Recovery
+	if diff := math.Abs(sum - bd.Total); diff > 1e-3 {
+		t.Fatalf("columns sum to %.6fs, total is %.6fs", sum, bd.Total)
+	}
+	if bd.Compute <= 0 || bd.Shuffle <= 0 {
+		t.Fatalf("clean q9 run should attribute compute and shuffle time: %+v", bd)
+	}
+	if bd.Recovery != 0 {
+		t.Fatalf("clean run attributed recovery time: %+v", bd)
+	}
+	if bd.Result != "completed" {
+		t.Fatalf("result = %q, want completed", bd.Result)
+	}
+}
+
+// TestBreakdownAttributesRecovery checks an injected machine crash surfaces
+// in the attribution. The crash lands near the end of the run so the
+// killed tail tasks re-execute on the critical path: the walk must
+// attribute their re-run spans (and any marker-bearing gaps) to recovery.
+func TestBreakdownAttributesRecovery(t *testing.T) {
+	clean := obs.New()
+	cleanRes := runQ9(t, 5, clean, "")
+	rec := obs.New()
+	res := runQ9(t, 5, rec, failMachineLate)
+	found := false
+	for _, e := range rec.Events() {
+		if e.Kind == obs.EvTaskFail || e.Kind == obs.EvOutputLost {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("machine crash on a saturated cluster recorded no failure events")
+	}
+	bd := rec.Breakdowns()[0]
+	cleanDur := cleanRes.SortedJobs()[0].Duration()
+	faultDur := res.SortedJobs()[0].Duration()
+	if faultDur <= cleanDur {
+		t.Fatalf("machine crash did not slow the job (%.3fs vs clean %.3fs)", faultDur, cleanDur)
+	}
+	if bd.Recovery <= 0 {
+		t.Fatalf("failure events present but recovery column is %.6fs (%+v)", bd.Recovery, bd)
+	}
+}
+
+// TestChaosObsDeterminism runs a small chaos soak twice with fresh
+// recorders: equal stream hashes, and the recorder must not change the
+// auditor's trace hash either.
+func TestChaosObsDeterminism(t *testing.T) {
+	run := func(rec *obs.Recorder) *chaos.Result {
+		opts := core.DefaultOptions()
+		opts.Obs = rec
+		return chaos.Run(chaos.Config{Seed: 4, Jobs: 5, Options: &opts})
+	}
+	r0, r1 := obs.New(), obs.New()
+	c0, c1 := run(r0), run(r1)
+	if h0, h1 := r0.StreamHash(), r1.StreamHash(); h0 != h1 {
+		t.Fatalf("chaos obs streams differ: %016x != %016x", h0, h1)
+	}
+	if c0.TraceHash != c1.TraceHash {
+		t.Fatalf("chaos trace hashes differ: %016x != %016x", c0.TraceHash, c1.TraceHash)
+	}
+	plain := chaos.Run(chaos.Config{Seed: 4, Jobs: 5})
+	if plain.TraceHash != c0.TraceHash {
+		t.Fatalf("recording changed the chaos trace hash: %016x != %016x", plain.TraceHash, c0.TraceHash)
+	}
+	faults := false
+	for _, e := range r0.Events() {
+		if e.Kind == obs.EvFault {
+			faults = true
+			break
+		}
+	}
+	if !faults {
+		t.Fatal("chaos soak recorded no fault events")
+	}
+}
+
+// TestRegistrySnapshot pins the deterministic snapshot format: sections in
+// counter/gauge/histogram order, names sorted, under/overflow reported.
+func TestRegistrySnapshot(t *testing.T) {
+	g := obs.NewRegistry()
+	g.Count("b.count", 2)
+	g.Count("a.count", 1)
+	g.Gauge("z.gauge", 1.5)
+	g.Observe("lat", 0, 10, 10, 3.2)
+	g.Observe("lat", 0, 10, 10, -1) // underflow
+	g.Observe("lat", 0, 10, 10, 99) // overflow
+	want := "counters:\n" +
+		"  a.count                          1\n" +
+		"  b.count                          2\n" +
+		"gauges:\n" +
+		"  z.gauge                          1.5\n" +
+		"histograms:\n" +
+		"  lat: range=[0,10) total=3 under=1 over=1\n" +
+		"    bins 3.5:1\n"
+	if got := g.Snapshot(); got != want {
+		t.Fatalf("snapshot mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -24,6 +24,19 @@ type CacheWorker struct {
 	segs     map[string]*segment
 
 	stats CacheStats
+
+	// sink, when set, receives live counter increments mirroring the
+	// CacheStats fields (prefix + "puts", "spill_bytes", ...). It exists so
+	// an observability registry can aggregate across workers without this
+	// package knowing about it (the obs.Registry satisfies StatsSink
+	// structurally).
+	sink       StatsSink
+	sinkPrefix string
+}
+
+// StatsSink receives named counter increments from a Cache Worker.
+type StatsSink interface {
+	Count(name string, delta int64)
 }
 
 type segment struct {
@@ -59,6 +72,18 @@ func NewCacheWorker(capacity int64) *CacheWorker {
 		capacity: capacity,
 		lru:      list.New(),
 		segs:     make(map[string]*segment),
+	}
+}
+
+// SetStatsSink installs a counter sink; nil disables mirroring. The prefix
+// is prepended to every counter name (e.g. "shuffle.cache.").
+func (w *CacheWorker) SetStatsSink(prefix string, sink StatsSink) {
+	w.sinkPrefix, w.sink = prefix, sink
+}
+
+func (w *CacheWorker) count(name string, delta int64) {
+	if w.sink != nil {
+		w.sink.Count(w.sinkPrefix+name, delta)
 	}
 }
 
@@ -101,6 +126,8 @@ func (w *CacheWorker) Put(key string, size int64, payload [][]byte, refs int) (s
 	w.segs[key] = s
 	w.used += size
 	w.stats.Puts++
+	w.count("puts", 1)
+	w.count("put_bytes", size)
 	if w.used > w.stats.PeakUsed {
 		w.stats.PeakUsed = w.used
 	}
@@ -127,6 +154,8 @@ func (w *CacheWorker) evictTo(limit int64) int64 {
 			spilled += s.size
 			w.stats.SpillEvents++
 			w.stats.SpillBytes += s.size
+			w.count("spill_events", 1)
+			w.count("spill_bytes", s.size)
 		}
 	}
 	return spilled
@@ -140,14 +169,17 @@ func (w *CacheWorker) Get(key string) (payload [][]byte, wasSpilled, ok bool) {
 	s, ok := w.segs[key]
 	if !ok {
 		w.stats.Misses++
+		w.count("misses", 1)
 		return nil, false, false
 	}
 	w.stats.Gets++
+	w.count("gets", 1)
 	wasSpilled = s.spilled
 	if s.spilled {
 		s.spilled = false
 		w.used += s.size
 		w.stats.LoadBytes += s.size
+		w.count("load_bytes", s.size)
 		if w.used > w.stats.PeakUsed {
 			w.stats.PeakUsed = w.used
 		}
@@ -188,6 +220,7 @@ func (w *CacheWorker) Consume(key string) bool {
 	}
 	w.remove(s)
 	w.stats.Freed++
+	w.count("freed", 1)
 	return true
 }
 
@@ -218,5 +251,6 @@ func (w *CacheWorker) FailAll() []string {
 	w.segs = make(map[string]*segment)
 	w.lru.Init()
 	w.used = 0
+	w.count("lost_segments", int64(len(keys)))
 	return keys
 }

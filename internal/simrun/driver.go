@@ -168,6 +168,10 @@ func (r *Runner) armFinish(jr *jobRun, rt *runningTask, finishAt sim.Time) {
 			Attempt:    attempt,
 		})
 		r.recordPhases(jr, ref.Stage, cur.launch, cur.read, cur.process, cur.write)
+		// The driver owns the finish event — only it knows the phase
+		// breakdown — while the controller records everything else.
+		r.ctrl.Obs().TaskFinished(ref.Job, ref.Stage, ref.Index, attempt,
+			int(cur.act.Executor), cur.launch, cur.read, cur.process, cur.write)
 		r.ctrl.TaskFinished(ref, attempt)
 		r.handleActions()
 		r.onStageProgress(jr, ref.Stage)

@@ -185,7 +185,7 @@ func New(cfg Config) *Runner {
 		cfg.ProcessJitter = 0.05
 	}
 	cl := cluster.New(cfg.Cluster)
-	return &Runner{
+	r := &Runner{
 		cfg:     cfg,
 		eng:     sim.NewEngine(cfg.Seed),
 		cl:      cl,
@@ -197,6 +197,10 @@ func New(cfg Config) *Runner {
 		series:  metrics.NewSeries(),
 		results: &Results{Jobs: make(map[string]*JobResult)},
 	}
+	// Observability events are stamped with the engine's virtual clock, so
+	// the trace lives in the same timeline as the results (nil-safe).
+	cfg.Options.Obs.SetClock(r.eng.Now)
+	return r
 }
 
 // Engine exposes the simulation engine (for custom event injection).

@@ -39,6 +39,15 @@ go test -race ./...
 echo "== chaos soak ($SEEDS seeds)"
 go test ./internal/chaos/ -run 'TestSoak$|TestSoakDeterminism' -chaos.seeds="$SEEDS" -count=1
 
+echo "== trace determinism smoke (two seeded runs, byte-identical)"
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+go run ./cmd/swiftsim -job q9 -machines 20 -executors 8 -seed 7 \
+    -trace "$TRACE_TMP/a.json" > /dev/null
+go run ./cmd/swiftsim -job q9 -machines 20 -executors 8 -seed 7 \
+    -trace "$TRACE_TMP/b.json" > /dev/null
+cmp "$TRACE_TMP/a.json" "$TRACE_TMP/b.json"
+
 echo "== fuzz targets build"
 go test -run '^$' -c -o /dev/null ./internal/sqlparse/
 go test -run '^$' -c -o /dev/null ./internal/rpc/
