@@ -8,10 +8,14 @@
 //
 //	swiftchaos -seeds 64
 //	swiftchaos -seed 7 -jobs 40 -machines 50 -v
-//	swiftchaos -seeds 8 -verify   # re-run each seed, compare trace hashes
+//	swiftchaos -seeds 8 -verify     # re-run each seed, compare trace hashes
+//	swiftchaos -seeds 64 -workers 0 # fan seeds across GOMAXPROCS workers
 //
 // Exit status is non-zero if any seed reports an invariant violation, an
 // unfinished job at the horizon, or (with -verify) a determinism mismatch.
+// Every soak is an isolated simulation, so -workers changes wall-clock
+// time only: results print in seed order and are byte-identical to a
+// serial run.
 package main
 
 import (
@@ -21,9 +25,18 @@ import (
 
 	"swift/internal/chaos"
 	"swift/internal/core"
+	"swift/internal/exp"
 	"swift/internal/obs"
 	"swift/internal/sim"
 )
+
+// seedOutcome carries one soak's results out of the worker pool; printing
+// stays sequential (and in seed order) in main.
+type seedOutcome struct {
+	res   *chaos.Result
+	rec   *obs.Recorder // first seed only, when -trace/-stats ask for it
+	again *chaos.Result // the -verify re-run, nil without -verify
+}
 
 func main() {
 	seeds := flag.Int("seeds", 8, "number of consecutive seeds to soak (starting at -seed)")
@@ -33,15 +46,15 @@ func main() {
 	execs := flag.Int("executors", 4, "executors per machine")
 	horizon := flag.Float64("horizon", 3600, "bounded-termination deadline (virtual seconds)")
 	verify := flag.Bool("verify", false, "run every seed twice and compare trace hashes")
+	workers := flag.Int("workers", 1, "parallel soak workers (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print violations as they are found")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the first seed's soak")
 	stats := flag.Bool("stats", false, "print the first seed's observability snapshot")
 	flag.Parse()
 
-	failed := 0
-	for s := *seed; s < *seed+int64(*seeds); s++ {
+	outcomes := exp.Sweep(*seeds, *workers, func(i int) seedOutcome {
 		cfg := chaos.Config{
-			Seed:                s,
+			Seed:                *seed + int64(i),
 			Jobs:                *jobs,
 			Machines:            *machines,
 			ExecutorsPerMachine: *execs,
@@ -49,34 +62,43 @@ func main() {
 		}
 		// Observe the first seed only: each soak needs its own recorder.
 		var rec *obs.Recorder
-		if (*tracePath != "" || *stats) && s == *seed {
+		if (*tracePath != "" || *stats) && i == 0 {
 			rec = obs.New()
 			o := core.DefaultOptions()
 			o.Obs = rec
 			cfg.Options = &o
 		}
-		res := chaos.Run(cfg)
+		out := seedOutcome{res: chaos.Run(cfg), rec: rec}
+		if *verify {
+			// The re-run must not share (and re-append to) the first run's
+			// recorder; default options drop it.
+			cfg.Options = nil
+			out.again = chaos.Run(cfg)
+		}
+		return out
+	})
+
+	failed := 0
+	for i, o := range outcomes {
+		s := *seed + int64(i)
+		res := o.res
 		fmt.Println(res)
 		if *verbose {
 			for _, v := range res.Violations {
 				fmt.Println("  violation:", v)
 			}
 		}
-		if rec != nil {
-			if err := dumpObs(rec, *tracePath, *stats); err != nil {
+		if o.rec != nil {
+			if err := dumpObs(o.rec, *tracePath, *stats); err != nil {
 				fmt.Fprintln(os.Stderr, "swiftchaos:", err)
 				os.Exit(1)
 			}
 		}
 		ok := len(res.Violations) == 0
-		if *verify {
-			// The re-run must not share (and re-append to) the first run's
-			// recorder; default options drop it.
-			cfg.Options = nil
-			again := chaos.Run(cfg)
-			if again.TraceHash != res.TraceHash {
+		if o.again != nil {
+			if o.again.TraceHash != res.TraceHash {
 				ok = false
-				fmt.Printf("  DETERMINISM MISMATCH: seed %d hashes %016x != %016x\n", s, res.TraceHash, again.TraceHash)
+				fmt.Printf("  DETERMINISM MISMATCH: seed %d hashes %016x != %016x\n", s, res.TraceHash, o.again.TraceHash)
 			} else if *verbose {
 				fmt.Printf("  verified: re-run reproduced hash %016x\n", res.TraceHash)
 			}

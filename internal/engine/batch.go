@@ -11,6 +11,14 @@ import "fmt"
 type Batch struct {
 	Cols []Column
 	Len  int // row count; every column holds exactly Len values
+	// Sel is the batch's selection vector: when non-nil, the batch is a
+	// lazy view over its columns' physical vectors and logical row j lives
+	// at physical row Sel[j] (Len == len(Sel)). FilterBatch produces these
+	// views so a filter costs one index vector instead of a full gather;
+	// the batch kernels consume them in place and Materialize (or any
+	// emit/codec boundary) densifies. A nil Sel is the dense case: logical
+	// and physical rows coincide.
+	Sel []int32
 }
 
 // ColType identifies a column's physical vector type.
@@ -25,6 +33,13 @@ const (
 	TString
 	TBool
 	TAny
+	// TDict is a dictionary-encoded string column: Codes[i] indexes Dict.
+	// Value-wise it is indistinguishable from a TString column (hashes,
+	// comparisons and boxed reads all see the dictionary strings), but a
+	// low-cardinality column encodes as the dictionary plus bit-packed
+	// codes instead of one length-prefixed string per row. DictifyBatch
+	// builds these at encode-side boundaries when the coding pays.
+	TDict
 )
 
 func (t ColType) String() string {
@@ -39,6 +54,8 @@ func (t ColType) String() string {
 		return "bool"
 	case TAny:
 		return "any"
+	case TDict:
+		return "dict"
 	}
 	return fmt.Sprintf("ColType(%d)", uint8(t))
 }
@@ -54,6 +71,11 @@ type Column struct {
 	Strs   []string
 	Bools  []bool
 	Anys   []Value
+	// TDict payload: row i holds the string Dict[Codes[i]]. NULL slots
+	// carry a valid (zeroth-entry) code, exactly as NULL TString slots
+	// carry ""; the bitmap stays authoritative.
+	Dict  []string
+	Codes []uint32
 }
 
 // Typed column constructors (null-free).
@@ -69,6 +91,13 @@ func StringCol(vals []string) Column { return Column{Type: TString, Strs: vals} 
 
 // BoolCol wraps vals as a TBool column.
 func BoolCol(vals []bool) Column { return Column{Type: TBool, Bools: vals} }
+
+// DictCol wraps a dictionary and code vector as a TDict column. Every code
+// must index dict; DictifyBatch is the checked builder for arbitrary
+// string columns.
+func DictCol(dict []string, codes []uint32) Column {
+	return Column{Type: TDict, Dict: dict, Codes: codes}
+}
 
 func bitGet(bm []uint64, i int) bool { return bm[i>>6]&(1<<(uint(i)&63)) != 0 }
 
@@ -115,8 +144,18 @@ func (c *Column) Value(i int) Value {
 		return c.Bools[i]
 	case TAny:
 		return c.Anys[i]
+	case TDict:
+		return c.Dict[c.Codes[i]]
 	}
 	return c.Anys[i]
+}
+
+// strAt reads the string at row i of a TString or TDict column.
+func (c *Column) strAt(i int) string {
+	if c.Type == TDict {
+		return c.Dict[c.Codes[i]]
+	}
+	return c.Strs[i]
 }
 
 // length returns the column's value count.
@@ -132,6 +171,8 @@ func (c *Column) length() int {
 		return len(c.Bools)
 	case TAny:
 		return len(c.Anys)
+	case TDict:
+		return len(c.Codes)
 	}
 	return len(c.Anys)
 }
@@ -155,11 +196,31 @@ func NewBatch(cols ...Column) *Batch {
 // NumCols returns the column count.
 func (b *Batch) NumCols() int { return len(b.Cols) }
 
-// Value boxes cell (col, row) — nil for NULL.
-func (b *Batch) Value(col, row int) Value { return b.Cols[col].Value(row) }
+// physical maps logical row j to its physical row in the column vectors.
+func (b *Batch) physical(j int) int {
+	if b.Sel == nil {
+		return j
+	}
+	return int(b.Sel[j])
+}
+
+// Materialize densifies a selection-vector view into a batch whose columns
+// hold exactly its logical rows (one typed gather). Dense batches return
+// unchanged — the call is free on the common path, so boundaries
+// (codec, store, row adapter) invoke it unconditionally.
+func (b *Batch) Materialize() *Batch {
+	if b == nil || b.Sel == nil {
+		return b
+	}
+	return b.Gather(b.Sel)
+}
+
+// Value boxes cell (col, row) — nil for NULL. Row is logical (selection
+// vectors are applied).
+func (b *Batch) Value(col, row int) Value { return b.Cols[col].Value(b.physical(row)) }
 
 // IsNull reports whether cell (col, row) is NULL.
-func (b *Batch) IsNull(col, row int) bool { return b.Cols[col].IsNull(row) }
+func (b *Batch) IsNull(col, row int) bool { return b.Cols[col].IsNull(b.physical(row)) }
 
 // BatchFromRows converts rows into a batch: each column becomes the
 // narrowest typed vector that holds every value (nil values are NULL bits),
@@ -228,6 +289,8 @@ func columnFromRows(rows []Row, c int) Column {
 		col.Bools = make([]bool, n)
 	case TAny:
 		col.Anys = make([]Value, n)
+	case TDict:
+		panic("engine: rows never infer dictionary columns")
 	}
 	for i, r := range rows {
 		if c >= len(r) || r[c] == nil {
@@ -245,6 +308,8 @@ func columnFromRows(rows []Row, c int) Column {
 			col.Bools[i] = r[c].(bool)
 		case TAny:
 			col.Anys[i] = r[c]
+		case TDict:
+			panic("engine: rows never infer dictionary columns")
 		}
 	}
 	return col
@@ -264,28 +329,31 @@ func (b *Batch) AppendRows(dst []Row) []Row {
 	var arena rowArena
 	nc := len(b.Cols)
 	for i := 0; i < b.Len; i++ {
+		p := b.physical(i)
 		r := arena.alloc(nc)
 		for c := range b.Cols {
-			r[c] = b.Cols[c].Value(i)
+			r[c] = b.Cols[c].Value(p)
 		}
 		dst = append(dst, r)
 	}
 	return dst
 }
 
-// RowAt materialises row i.
+// RowAt materialises (logical) row i.
 func (b *Batch) RowAt(i int) Row {
+	p := b.physical(i)
 	r := make(Row, len(b.Cols))
 	for c := range b.Cols {
-		r[c] = b.Cols[c].Value(i)
+		r[c] = b.Cols[c].Value(p)
 	}
 	return r
 }
 
 // Project returns a batch holding the selected columns. Column vectors are
-// shared, not copied — projection is free in the columnar model.
+// shared, not copied — projection is free in the columnar model — and a
+// selection vector is shared along with them.
 func (b *Batch) Project(cols []int) *Batch {
-	out := &Batch{Cols: make([]Column, len(cols)), Len: b.Len}
+	out := &Batch{Cols: make([]Column, len(cols)), Len: b.Len, Sel: b.Sel}
 	for i, c := range cols {
 		out.Cols[i] = b.Cols[c]
 	}
@@ -293,20 +361,24 @@ func (b *Batch) Project(cols []int) *Batch {
 }
 
 // WithCol returns the batch extended by one more column (shared vectors).
-// The new column must have exactly Len values.
+// The new column must have exactly Len values; a selection view
+// materialises first so the new dense column lines up with the old ones.
 func (b *Batch) WithCol(col Column) *Batch {
 	if col.length() != b.Len {
 		panic(fmt.Sprintf("engine: WithCol: %d values for %d-row batch", col.length(), b.Len))
 	}
+	b = b.Materialize()
 	cols := make([]Column, len(b.Cols)+1)
 	copy(cols, b.Cols)
 	cols[len(b.Cols)] = col
 	return &Batch{Cols: cols, Len: b.Len}
 }
 
-// Gather returns a new batch holding rows sel (in that order). Each column
-// dispatches on its type once and copies with a typed loop — the shared
-// kernel behind batch filter, sort and join materialisation.
+// Gather returns a new dense batch holding the physical rows sel (in that
+// order). Each column dispatches on its type once and copies with a typed
+// loop — the shared kernel behind batch filter, sort and join
+// materialisation. Indices address the column vectors directly; callers
+// composing over a selection view map logical indices through Sel first.
 func (b *Batch) Gather(sel []int32) *Batch {
 	out := &Batch{Cols: make([]Column, len(b.Cols)), Len: len(sel)}
 	for c := range b.Cols {
@@ -344,6 +416,12 @@ func gatherCol(src *Column, sel []int32) Column {
 		for i, s := range sel {
 			out.Anys[i] = src.Anys[s]
 		}
+	case TDict:
+		out.Dict = src.Dict
+		out.Codes = make([]uint32, n)
+		for i, s := range sel {
+			out.Codes[i] = src.Codes[s]
+		}
 	}
 	if src.Nulls != nil {
 		for i, s := range sel {
@@ -357,9 +435,23 @@ func gatherCol(src *Column, sel []int32) Column {
 
 // ConcatBatches concatenates runs into one batch (the batch counterpart of
 // flattening Input runs). Columns with matching types append typed;
-// mismatched types degrade that column to TAny, preserving each value's
-// boxed kind. Runs must agree on column count (empty runs are skipped).
+// dictionary runs widen back to plain strings (different runs carry
+// different dictionaries) and genuinely mismatched types degrade that
+// column to TAny, preserving each value's boxed kind. Runs must agree on
+// column count (empty runs are skipped; selection views materialise).
 func ConcatBatches(runs []*Batch) *Batch {
+	for _, r := range runs {
+		if r != nil && r.Sel != nil {
+			// Densify lazily-filtered runs on a copy of the slice, so the
+			// caller's runs are left untouched.
+			dense := make([]*Batch, len(runs))
+			for i, rr := range runs {
+				dense[i] = rr.Materialize()
+			}
+			runs = dense
+			break
+		}
+	}
 	total, ncols := 0, -1
 	for _, r := range runs {
 		if r == nil || r.Len == 0 {
@@ -390,6 +482,12 @@ func concatCol(runs []*Batch, c, total int) Column {
 			continue
 		}
 		rt := r.Cols[c].Type
+		if rt == TDict {
+			// Dictionary runs widen to plain strings: each run carries its
+			// own dictionary, and re-dictionarisation happens (when it
+			// pays) at the next encode boundary.
+			rt = TString
+		}
 		if !typed {
 			t, typed = rt, true
 		} else if rt != t {
@@ -418,6 +516,8 @@ func concatCol(runs []*Batch, c, total int) Column {
 		out.Bools = make([]bool, 0, total)
 	case TAny:
 		out.Anys = make([]Value, 0, total)
+	case TDict:
+		// never the merged type: dictionary runs widen to TString above
 	}
 	off := 0
 	for _, r := range runs {
@@ -425,18 +525,25 @@ func concatCol(runs []*Batch, c, total int) Column {
 			continue
 		}
 		src := &r.Cols[c]
-		if src.Type == t && t != TAny {
+		if (src.Type == t || (src.Type == TDict && t == TString)) && t != TAny {
 			switch t {
 			case TInt64:
 				out.Ints = append(out.Ints, src.Ints...)
 			case TFloat64:
 				out.Floats = append(out.Floats, src.Floats...)
 			case TString:
-				out.Strs = append(out.Strs, src.Strs...)
+				if src.Type == TDict {
+					for _, code := range src.Codes {
+						out.Strs = append(out.Strs, src.Dict[code])
+					}
+				} else {
+					out.Strs = append(out.Strs, src.Strs...)
+				}
 			case TBool:
 				out.Bools = append(out.Bools, src.Bools...)
-			case TAny:
-				// excluded by the t != TAny guard on this branch
+			case TAny, TDict:
+				// TAny is excluded by the t != TAny guard on this branch;
+				// TDict never survives the type merge above.
 			}
 			if src.Nulls != nil {
 				for i := 0; i < r.Len; i++ {
@@ -461,6 +568,8 @@ func concatCol(runs []*Batch, c, total int) Column {
 					out.Bools = append(out.Bools, false)
 				case TAny:
 					out.Anys = append(out.Anys, v)
+				case TDict:
+					// never the merged type: dictionary runs widen to TString
 				}
 				if v == nil {
 					out.setNull(off+i, total)

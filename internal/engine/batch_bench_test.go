@@ -107,6 +107,85 @@ func BenchmarkBatchCodecDecode(b *testing.B) {
 	b.SetBytes(int64(len(enc)))
 }
 
+func BenchmarkBatchCodecDecodePooled(b *testing.B) {
+	enc := EncodeBatch(BatchFromRows(benchRows(8000, 4000, 10)))
+	pool := NewBatchPool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := pool.Decode(enc)
+		if err != nil || out.Len != 8000 {
+			b.Fatal("bad decode")
+		}
+		pool.Put(out)
+	}
+	b.SetBytes(int64(len(enc)))
+}
+
+func BenchmarkBatchCodecDecodeDict(b *testing.B) {
+	// Low key domain so the string column dictifies (the shuffle-boundary
+	// shape DictifyBatch targets).
+	enc := EncodeBatch(DictifyBatch(BatchFromRows(benchRows(8000, 50, 10))))
+	pool := NewBatchPool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := pool.Decode(enc)
+		if err != nil || out.Len != 8000 {
+			b.Fatal("bad decode")
+		}
+		pool.Put(out)
+	}
+	b.SetBytes(int64(len(enc)))
+}
+
+func BenchmarkDictifyBatch(b *testing.B) {
+	batch := BatchFromRows(benchRows(8000, 50, 12))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := DictifyBatch(batch); out == batch {
+			b.Fatal("did not dictify")
+		}
+	}
+}
+
+// BenchmarkBatchFilterChain measures a filter flowing into downstream
+// kernels — the case selection vectors exist for: the lazy view feeds
+// hashing/aggregation directly instead of gathering half the batch first.
+func BenchmarkBatchFilterChain(b *testing.B) {
+	batch := BatchFromRows(benchRows(8000, 200, 9))
+	ints := batch.Cols[0].Ints
+	aggs := []Agg{{AggSum, 2}, {AggCount, 0}}
+	b.Run("aggregate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f := FilterBatch(batch, func(i int) bool { return ints[i]&1 == 0 })
+			if out := HashAggregateBatch(f, []int{1}, aggs); out.Len == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	})
+	b.Run("partition", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f := FilterBatch(batch, func(i int) bool { return ints[i]&1 == 0 })
+			if parts := PartitionBatchByKey(f, []int{1}, 16); len(parts) != 16 {
+				b.Fatal("wrong fan-out")
+			}
+		}
+	})
+	b.Run("sort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f := FilterBatch(batch, func(i int) bool { return ints[i]&1 == 0 })
+			if out := SortBatch(f, []int{1, 0}); out.Len != f.Len {
+				b.Fatal("lost rows")
+			}
+		}
+	})
+}
+
 func BenchmarkHashBatchInto(b *testing.B) {
 	batch := BatchFromRows(benchRows(8000, 4000, 11))
 	dst := make([]uint64, batch.Len)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Column codec: the wire format shuffle segments travel in (internal/rpc
@@ -19,10 +20,18 @@ import (
 //	    TString:           per value uvarint length + bytes
 //	    TBool:             ceil(rows/8) packed bytes
 //	    TAny:              per value 1 kind byte + payload (see anyKind*)
+//	    TDict:             uvarint dict size, per entry uvarint length +
+//	                       bytes, then rows × dictBits(size) code bits
+//	                       packed LSB-first
 //
 // Typed vectors are length-prefixed by the header's row count — no gob, no
 // interface registration, no per-cell reflection. NULL slots encode their
 // zero value; the bitmap is authoritative.
+//
+// Decoding copies each column's string region out of the input as a single
+// slab and slices the individual values from it, so the input buffer may be
+// reused while decoded strings stay alive together. Selection vectors never
+// travel: encoding materializes a lazy batch first.
 
 // TAny per-value kind bytes.
 const (
@@ -37,14 +46,26 @@ const (
 	anyKindOther = 5
 )
 
-// maxCountOnlyRows caps the row count of a decoded column-less batch; with
-// no per-row payload to bound it, the header alone could otherwise claim an
-// arbitrarily expensive batch.
+// maxCountOnlyRows caps the decoded row count whenever the payload length
+// cannot bound it: column-less (count-only) batches, which carry no per-row
+// bytes at all, and batches whose columns may cost under a bit per row
+// (single-entry dictionaries pack rows at zero code bits).
 const maxCountOnlyRows = 1 << 20
+
+// dictBits returns the packed code width for a dictionary of n entries:
+// enough bits to address every entry, zero when one entry (or none) makes
+// every code trivially 0.
+func dictBits(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
 
 // EncodedBatchSize returns the exact byte length AppendBatch would produce
 // — the shared size helper behind Store.Put accounting.
 func EncodedBatchSize(b *Batch) int {
+	b = b.Materialize()
 	if b == nil {
 		return uvarintLen(0) + uvarintLen(0)
 	}
@@ -73,6 +94,12 @@ func encodedColSize(c *Column, rows int) int {
 		for i := range c.Anys {
 			n += 1 + anyValueSize(c.Anys[i])
 		}
+	case TDict:
+		n += uvarintLen(uint64(len(c.Dict)))
+		for _, s := range c.Dict {
+			n += uvarintLen(uint64(len(s))) + len(s)
+		}
+		n += (len(c.Codes)*dictBits(len(c.Dict)) + 7) / 8
 	}
 	return n
 }
@@ -104,12 +131,14 @@ func uvarintLen(v uint64) int {
 
 // EncodeBatch encodes the batch into a fresh exact-size buffer.
 func EncodeBatch(b *Batch) []byte {
+	b = b.Materialize()
 	return AppendBatch(make([]byte, 0, EncodedBatchSize(b)), b)
 }
 
 // AppendBatch appends the batch's encoding to dst (zero allocations when
-// dst has capacity).
+// dst has capacity and the batch is dense).
 func AppendBatch(dst []byte, b *Batch) []byte {
+	b = b.Materialize()
 	if b == nil {
 		return binary.AppendUvarint(binary.AppendUvarint(dst, 0), 0)
 	}
@@ -164,6 +193,13 @@ func appendCol(dst []byte, c *Column, rows int) []byte {
 		for _, v := range c.Anys {
 			dst = appendAnyValue(dst, v)
 		}
+	case TDict:
+		dst = binary.AppendUvarint(dst, uint64(len(c.Dict)))
+		for _, s := range c.Dict {
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		}
+		dst = appendPackedCodes(dst, c.Codes, dictBits(len(c.Dict)))
 	}
 	return dst
 }
@@ -193,6 +229,62 @@ func appendAnyValue(dst []byte, v Value) []byte {
 		dst = append(dst, anyKindOther)
 		dst = binary.AppendUvarint(dst, uint64(len(s)))
 		return append(dst, s...)
+	}
+}
+
+// appendPackedCodes packs each code into w bits, LSB-first across bytes.
+// Codes are masked to w bits, so padding bits in the final byte are always
+// zero — the canonical form the fuzz fixpoint relies on.
+func appendPackedCodes(dst []byte, codes []uint32, w int) []byte {
+	if w == 0 {
+		return dst
+	}
+	nb := (len(codes)*w + 7) / 8
+	start := len(dst)
+	dst = append(dst, make([]byte, nb)...)
+	mask := uint32(1)<<uint(w) - 1
+	bit := 0
+	for _, code := range codes {
+		v := code & mask
+		rem := w
+		for rem > 0 {
+			sh := uint(bit % 8)
+			took := 8 - int(sh)
+			if took > rem {
+				took = rem
+			}
+			dst[start+bit/8] |= byte(v << sh)
+			v >>= uint(took)
+			bit += took
+			rem -= took
+		}
+	}
+	return dst
+}
+
+// unpackCodes reads len(codes) w-bit values from raw, LSB-first.
+func unpackCodes(codes []uint32, raw []byte, w int) {
+	if w == 0 {
+		for i := range codes {
+			codes[i] = 0
+		}
+		return
+	}
+	bit := 0
+	for i := range codes {
+		var v uint32
+		got := 0
+		for got < w {
+			sh := uint(bit % 8)
+			took := 8 - int(sh)
+			if took > w-got {
+				took = w - got
+			}
+			v |= uint32((raw[bit/8]>>sh)&byte(uint(1)<<uint(took)-1)) << uint(got)
+			bit += took
+			got += took
+		}
+		codes[i] = v
 	}
 }
 
@@ -230,44 +322,115 @@ func (d *decoder) byte() (byte, error) {
 	return b[0], nil
 }
 
-// DecodeBatch decodes one batch, requiring the input to be fully consumed.
-// Strings are copied out of data, so the input buffer may be reused.
+func (d *decoder) remaining() int { return len(d.data) - d.off }
+
+// DecodeBatch decodes one batch into fresh storage, requiring the input to
+// be fully consumed. Strings are copied out of data (one slab per column),
+// so the input buffer may be reused.
 func DecodeBatch(data []byte) (*Batch, error) {
+	b := &Batch{}
+	if err := decodeBatchInto(b, data); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// decodeBatchInto decodes into b, reusing b's column vectors when their
+// capacity suffices — the BatchPool fast path. Every reused field is fully
+// overwritten or cleared, so a recycled batch cannot leak stale rows, null
+// bitmaps or selection vectors.
+func decodeBatchInto(b *Batch, data []byte) error {
 	d := &decoder{data: data}
 	rows64, err := d.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	cols64, err := d.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	// A column costs ≥2 bytes and a row ≥1 bit of some column, which bounds
-	// both counts by the payload length before any allocation happens.
-	// Column-less (count-only) batches carry no per-row bytes, so their row
-	// count gets a fixed cap instead — a tiny frame claiming billions of
-	// rows would otherwise cost the receiver that much work the moment the
-	// row adapter walks it.
+	// A column costs ≥2 bytes, which bounds the column count by the payload
+	// length before any allocation happens. Most column types cost ≥1 bit
+	// per row, bounding rows by 8× the payload — but dictionary columns
+	// pack rows at dictBits(size) bits, which is zero for a single-entry
+	// dictionary, so row counts up to the fixed maxCountOnlyRows cap are
+	// admitted regardless of payload length. Column-less (count-only)
+	// batches carry no per-row bytes either and get the same cap.
 	if cols64 > uint64(len(data)) {
-		return nil, fmt.Errorf("engine: batch codec: %d columns in %d bytes", cols64, len(data))
+		return fmt.Errorf("engine: batch codec: %d columns in %d bytes", cols64, len(data))
 	}
-	if cols64 > 0 && rows64 > 8*uint64(len(data)) {
-		return nil, fmt.Errorf("engine: batch codec: %d rows in %d bytes", rows64, len(data))
-	}
-	if cols64 == 0 && rows64 > maxCountOnlyRows {
-		return nil, fmt.Errorf("engine: batch codec: %d rows without columns", rows64)
+	if rows64 > 8*uint64(len(data)) && rows64 > maxCountOnlyRows {
+		return fmt.Errorf("engine: batch codec: %d rows in %d bytes", rows64, len(data))
 	}
 	rows, cols := int(rows64), int(cols64)
-	b := &Batch{Cols: make([]Column, cols), Len: rows}
+	if cap(b.Cols) >= cols {
+		b.Cols = b.Cols[:cols]
+	} else {
+		b.Cols = make([]Column, cols)
+	}
+	b.Len = rows
+	b.Sel = nil
 	for c := 0; c < cols; c++ {
 		if err := d.decodeCol(&b.Cols[c], rows); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if d.off != len(data) {
-		return nil, fmt.Errorf("engine: batch codec: %d trailing bytes", len(data)-d.off)
+		return fmt.Errorf("engine: batch codec: %d trailing bytes", len(data)-d.off)
 	}
-	return b, nil
+	return nil
+}
+
+// resizeStrs and friends reuse a recycled vector when its capacity covers n
+// rows; each caller overwrites all n slots.
+func resizeStrs(s []string, n int) []string {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]string, n)
+}
+
+func resizeUint32(s []uint32, n int) []uint32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint32, n)
+}
+
+func resizeUint64(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint64, n)
+}
+
+// stringRegion validates n uvarint-length-prefixed values in place (pass
+// one), then copies the whole region — length prefixes included — as a
+// single slab and slices each value from it (pass two). One allocation per
+// region instead of one per string; the handful of prefix bytes kept alive
+// inside the slab is the price of not building an offsets array.
+func (d *decoder) stringRegion(out []string, n int) ([]string, error) {
+	start := d.off
+	for i := 0; i < n; i++ {
+		ln, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.bytes(int(ln)); err != nil {
+			return nil, err
+		}
+	}
+	region := d.data[start:d.off]
+	blob := string(region)
+	out = resizeStrs(out, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		ln, sz := binary.Uvarint(region[pos:])
+		pos += sz
+		out[i] = blob[pos : pos+int(ln)]
+		pos += int(ln)
+	}
+	return out, nil
 }
 
 func (d *decoder) decodeCol(c *Column, rows int) error {
@@ -275,7 +438,7 @@ func (d *decoder) decodeCol(c *Column, rows int) error {
 	if err != nil {
 		return err
 	}
-	if tb > byte(TAny) {
+	if tb > byte(TDict) {
 		return fmt.Errorf("engine: batch codec: unknown column type %d", tb)
 	}
 	c.Type = ColType(tb)
@@ -292,10 +455,13 @@ func (d *decoder) decodeCol(c *Column, rows int) error {
 		if err != nil {
 			return err
 		}
-		c.Nulls = make([]uint64, words)
+		c.Nulls = resizeUint64(c.Nulls, words)
 		for w := 0; w < words; w++ {
 			c.Nulls[w] = binary.LittleEndian.Uint64(raw[w*8:])
 		}
+	} else {
+		// A recycled column may carry the previous batch's bitmap.
+		c.Nulls = nil
 	}
 	switch c.Type {
 	case TInt64:
@@ -303,7 +469,11 @@ func (d *decoder) decodeCol(c *Column, rows int) error {
 		if err != nil {
 			return err
 		}
-		c.Ints = make([]int64, rows)
+		if cap(c.Ints) >= rows {
+			c.Ints = c.Ints[:rows]
+		} else {
+			c.Ints = make([]int64, rows)
+		}
 		for i := range c.Ints {
 			c.Ints[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
 		}
@@ -312,40 +482,78 @@ func (d *decoder) decodeCol(c *Column, rows int) error {
 		if err != nil {
 			return err
 		}
-		c.Floats = make([]float64, rows)
+		if cap(c.Floats) >= rows {
+			c.Floats = c.Floats[:rows]
+		} else {
+			c.Floats = make([]float64, rows)
+		}
 		for i := range c.Floats {
 			c.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
 		}
 	case TString:
-		c.Strs = make([]string, rows)
-		for i := range c.Strs {
-			n, err := d.uvarint()
-			if err != nil {
-				return err
-			}
-			raw, err := d.bytes(int(n))
-			if err != nil {
-				return err
-			}
-			c.Strs[i] = string(raw)
+		c.Strs, err = d.stringRegion(c.Strs, rows)
+		if err != nil {
+			return err
 		}
 	case TBool:
 		raw, err := d.bytes((rows + 7) / 8)
 		if err != nil {
 			return err
 		}
-		c.Bools = make([]bool, rows)
+		if cap(c.Bools) >= rows {
+			c.Bools = c.Bools[:rows]
+		} else {
+			c.Bools = make([]bool, rows)
+		}
 		for i := range c.Bools {
 			c.Bools[i] = raw[i/8]&(1<<(uint(i)%8)) != 0
 		}
 	case TAny:
-		c.Anys = make([]Value, rows)
+		// Each TAny value costs at least its kind byte, so the remaining
+		// payload bounds the vector before it is allocated.
+		if rows > d.remaining() {
+			return fmt.Errorf("engine: batch codec: %d any values in %d bytes", rows, d.remaining())
+		}
+		if cap(c.Anys) >= rows {
+			c.Anys = c.Anys[:rows]
+		} else {
+			c.Anys = make([]Value, rows)
+		}
 		for i := range c.Anys {
 			v, err := d.decodeAnyValue()
 			if err != nil {
 				return err
 			}
 			c.Anys[i] = v
+		}
+	case TDict:
+		size64, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		// Each dictionary entry costs at least its length prefix.
+		if size64 > uint64(d.remaining()) {
+			return fmt.Errorf("engine: batch codec: dictionary of %d entries in %d bytes", size64, d.remaining())
+		}
+		if size64 == 0 && rows > 0 {
+			return fmt.Errorf("engine: batch codec: %d dictionary rows with empty dictionary", rows)
+		}
+		size := int(size64)
+		c.Dict, err = d.stringRegion(c.Dict, size)
+		if err != nil {
+			return err
+		}
+		w := dictBits(size)
+		raw, err := d.bytes((rows*w + 7) / 8)
+		if err != nil {
+			return err
+		}
+		c.Codes = resizeUint32(c.Codes, rows)
+		unpackCodes(c.Codes, raw, w)
+		for _, code := range c.Codes {
+			if code >= uint32(size) {
+				return fmt.Errorf("engine: batch codec: dictionary code %d out of range %d", code, size)
+			}
 		}
 	}
 	return nil

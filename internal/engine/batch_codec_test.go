@@ -7,14 +7,17 @@ import (
 
 // batchesEqual compares semantically: same shape, types, and per-cell
 // value/nullness (bitmap storage may differ, e.g. nil vs all-zero words).
+// TString and TDict are the same logical type — two representations of a
+// string column — so they compare equal cell-by-cell.
 func batchesEqual(t *testing.T, what string, got, want *Batch) {
 	t.Helper()
 	if got.Len != want.Len || got.NumCols() != want.NumCols() {
 		t.Fatalf("%s: %dx%d, want %dx%d", what, got.Len, got.NumCols(), want.Len, want.NumCols())
 	}
+	isStr := func(ct ColType) bool { return ct == TString || ct == TDict }
 	for c := range want.Cols {
-		if got.Cols[c].Type != want.Cols[c].Type {
-			t.Fatalf("%s: col %d type %v, want %v", what, c, got.Cols[c].Type, want.Cols[c].Type)
+		if gt, wt := got.Cols[c].Type, want.Cols[c].Type; gt != wt && !(isStr(gt) && isStr(wt)) {
+			t.Fatalf("%s: col %d type %v, want %v", what, c, gt, wt)
 		}
 		for i := 0; i < want.Len; i++ {
 			if got.IsNull(c, i) != want.IsNull(c, i) || got.Value(c, i) != want.Value(c, i) {

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestDictifyBatchEquivalence pins DictifyBatch to the plain representation:
+// a dictified batch is cell-for-cell the same batch — same values, same
+// nulls, bit-identical row hashes — and survives the codec unchanged.
+func TestDictifyBatchEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(60))
+	b := BatchFromRows(randRows(r, 200)) // string col: 6 distinct values, ~15% NULLs
+	d := DictifyBatch(b)
+	if d == b {
+		t.Fatal("low-cardinality string column did not dictify")
+	}
+	if d.Cols[2].Type != TDict {
+		t.Fatalf("col 2 type = %v, want TDict", d.Cols[2].Type)
+	}
+	batchesEqual(t, "dictified cells", d, b)
+
+	// Row hashes must be bit-identical so dictified segments co-partition
+	// with plain ones.
+	keys := []int{0, 2, 4}
+	hb := make([]uint64, b.Len)
+	hd := make([]uint64, d.Len)
+	HashBatchInto(b, keys, hb)
+	HashBatchInto(d, keys, hd)
+	for i := range hb {
+		if hb[i] != hd[i] {
+			t.Fatalf("row %d hash %x (plain) != %x (dict)", i, hb[i], hd[i])
+		}
+	}
+
+	// Dictified batches round-trip the codec and come back smaller.
+	encPlain, encDict := EncodeBatch(b), EncodeBatch(d)
+	if len(encDict) >= len(encPlain) {
+		t.Fatalf("dict encoding %dB not smaller than plain %dB", len(encDict), len(encPlain))
+	}
+	dec, err := DecodeBatch(encDict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchesEqual(t, "dict round trip", dec, b)
+
+	// A batch with nothing worth dictifying comes back unchanged.
+	hi := BatchFromRows(benchRows(500, 500, 61)) // ~500 distinct strings
+	if DictifyBatch(hi) != hi {
+		t.Error("high-cardinality batch was rewritten")
+	}
+	// ... and so does a tiny all-distinct column, where the dictionary
+	// costs more than it saves.
+	tiny := NewBatch(StringCol([]string{"a", "b", "c"}))
+	if DictifyBatch(tiny) != tiny {
+		t.Error("all-distinct column was rewritten")
+	}
+}
+
+// TestDictKernelEquivalence runs every string-touching kernel over the
+// dictified and plain forms of one batch and requires identical output.
+func TestDictKernelEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	plain := BatchFromRows(randRows(r, 300))
+	dict := DictifyBatch(plain)
+
+	batchesEqual(t, "sort", SortBatch(dict, []int{2, 0}), SortBatch(plain, []int{2, 0}))
+
+	f := func(b *Batch) *Batch {
+		return FilterBatch(b, func(i int) bool { return !b.Cols[0].IsNull(i) && b.Cols[0].Ints[i]%3 == 0 }).Materialize()
+	}
+	batchesEqual(t, "filter", f(dict), f(plain))
+
+	pd := PartitionBatchByKey(dict, []int{2}, 4)
+	pp := PartitionBatchByKey(plain, []int{2}, 4)
+	for p := range pp {
+		batchesEqual(t, "partition", pd[p], pp[p])
+	}
+
+	aggs := []Agg{{AggCount, 0}, {AggSum, 0}, {AggMin, 2}, {AggMax, 2}}
+	batchesEqual(t, "aggregate",
+		HashAggregateBatch(dict, []int{2}, aggs),
+		HashAggregateBatch(plain, []int{2}, aggs))
+
+	probe := BatchFromRows(randRows(rand.New(rand.NewSource(63)), 150))
+	batchesEqual(t, "join",
+		HashJoinBatch(dict, []int{2}, DictifyBatch(probe), []int{2}),
+		HashJoinBatch(plain, []int{2}, probe, []int{2}))
+}
+
+// TestDictCodecWidths round-trips dictionary columns across code widths:
+// 0 bits (single entry), 1, 2, full-byte and just-past-a-byte dictionaries,
+// empty strings and NULL slots included.
+func TestDictCodecWidths(t *testing.T) {
+	dicts := [][]string{
+		{""},
+		{"a", ""},
+		{"x", "y", "z"},
+		make([]string, 255),
+		make([]string, 256),
+	}
+	for _, d := range dicts {
+		for i := range d {
+			if d[i] == "" && len(d) > 3 {
+				d[i] = strings.Repeat("v", i%7) + string(rune('0'+i%10))
+			}
+		}
+		const rows = 100
+		codes := make([]uint32, rows)
+		for i := range codes {
+			codes[i] = uint32(i*7) % uint32(len(d))
+		}
+		col := DictCol(d, codes)
+		col.setNull(3, rows)
+		b := &Batch{Cols: []Column{col}, Len: rows}
+		enc := EncodeBatch(b)
+		if len(enc) != EncodedBatchSize(b) {
+			t.Fatalf("dict %d entries: encoded %dB, size helper %dB", len(d), len(enc), EncodedBatchSize(b))
+		}
+		dec, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("dict %d entries: %v", len(d), err)
+		}
+		batchesEqual(t, "dict widths", dec, b)
+		if dec.Cols[0].Type != TDict {
+			t.Fatalf("dict %d entries decoded as %v", len(d), dec.Cols[0].Type)
+		}
+		// Canonical form: re-encoding the decoded batch is a fixpoint.
+		if !bytes.Equal(EncodeBatch(dec), enc) {
+			t.Fatalf("dict %d entries: re-encode differs", len(d))
+		}
+	}
+	// Zero rows with a non-empty dictionary is legal.
+	b := &Batch{Cols: []Column{DictCol([]string{"only"}, nil)}}
+	dec, err := DecodeBatch(EncodeBatch(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchesEqual(t, "zero-row dict", dec, b)
+}
+
+// TestDecodeBatchDictRowBound is the satellite regression for the row-count
+// bound: a width-0 dictionary column carries thousands of rows in a handful
+// of bytes — legitimately under one byte per row — so the old
+// rows ≤ 8×payload rejection must not fire; genuinely absurd claims must
+// still die before allocation.
+func TestDecodeBatchDictRowBound(t *testing.T) {
+	const rows = 5000
+	codes := make([]uint32, rows)
+	b := &Batch{Cols: []Column{DictCol([]string{"x"}, codes)}, Len: rows}
+	enc := EncodeBatch(b)
+	if rows <= 8*len(enc) {
+		t.Fatalf("test vector too fat: %d rows in %d bytes", rows, len(enc))
+	}
+	dec, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatalf("sound sub-byte-per-row batch rejected: %v", err)
+	}
+	batchesEqual(t, "dict row bound", dec, b)
+
+	// Hostile: a tiny frame claiming more rows than the fixed cap.
+	h := binary.AppendUvarint(nil, maxCountOnlyRows+1)
+	h = binary.AppendUvarint(h, 1)
+	h = append(h, byte(TDict), 0, 1, 1, 'x')
+	if _, err := DecodeBatch(h); err == nil {
+		t.Error("over-cap dict row count accepted")
+	}
+
+	// Hostile: rows with an empty dictionary have no representable value.
+	if _, err := DecodeBatch([]byte{3, 1, byte(TDict), 0, 0}); err == nil {
+		t.Error("rows with empty dictionary accepted")
+	}
+
+	// Hostile: a code outside the dictionary (3-entry dict packs at 2 bits,
+	// so the bit pattern 3 is representable but unassigned).
+	bad := []byte{1, 1, byte(TDict), 0, 3, 1, 'a', 1, 'b', 1, 'c', 0b11}
+	if _, err := DecodeBatch(bad); err == nil {
+		t.Error("out-of-range dictionary code accepted")
+	}
+
+	// Hostile: a dictionary claiming more entries than the payload holds.
+	short := []byte{0, 1, byte(TDict), 0, 0xff, 0x7f}
+	if _, err := DecodeBatch(short); err == nil {
+		t.Error("oversized dictionary claim accepted")
+	}
+
+	// Sloppy-but-decodable: set padding bits in the code block decode fine
+	// and one re-encode canonicalises them away (the fuzz fixpoint).
+	pad := []byte{1, 1, byte(TDict), 0, 2, 1, 'a', 1, 'b', 0xff}
+	dec2, err := DecodeBatch(pad)
+	if err != nil {
+		t.Fatalf("padding bits rejected: %v", err)
+	}
+	if got := dec2.Value(0, 0); got != "b" {
+		t.Fatalf("padded code decoded to %v, want b", got)
+	}
+	canon := EncodeBatch(dec2)
+	dec3, err := DecodeBatch(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeBatch(dec3), canon) {
+		t.Error("re-encode of canonical form is not a fixpoint")
+	}
+}

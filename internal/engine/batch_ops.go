@@ -12,75 +12,160 @@ import (
 // unpacking an interface per cell, which is where the row kernels spend
 // their time. Every kernel is pinned to its row counterpart by equivalence
 // property tests in batch_test.go.
+//
+// Kernels consume lazy (selection-vector) batches directly: logical row j
+// reads physical row Sel[j], so a filter's output flows into hashing,
+// sorting, joining, aggregation and partitioning without materializing.
+// Dictionary columns (TDict) take the same typed lanes as plain strings and
+// hash bit-identically to them.
 
 // ---- hashing ----
 
 // HashBatchInto computes Hash for every row of the batch into dst
-// (len(dst) == b.Len), column-at-a-time. The result is bit-identical to
-// calling Hash on the materialised rows, so row-emitted and batch-emitted
-// segments co-partition.
+// (len(dst) == b.Len, the logical length), column-at-a-time. The result is
+// bit-identical to calling Hash on the materialised rows — dictionary
+// columns hash their dictionary strings — so row-emitted, batch-emitted and
+// dictified segments all co-partition.
 func HashBatchInto(b *Batch, keys []int, dst []uint64) {
 	for i := range dst {
 		dst[i] = fnvOffset64
 	}
 	for _, k := range keys {
-		hashColInto(&b.Cols[k], dst)
+		hashColInto(&b.Cols[k], b.Sel, dst)
 		for i := range dst {
 			dst[i] ^= fnvPrime64 // column separator, as in Hash
 		}
 	}
 }
 
-func hashColInto(c *Column, dst []uint64) {
+// hashFloatValue mirrors Hash's numeric folding: integral floats hash as
+// their int64 value so 1.0 and int64(1) collide on purpose.
+func hashFloatValue(h uint64, v float64) uint64 {
+	h = hashByte(h, tagNumber)
+	if v == math.Trunc(v) && v >= -9223372036854775808 && v < 9223372036854775808 {
+		return hashUint64(h, uint64(int64(v)))
+	}
+	return hashUint64(h, math.Float64bits(v))
+}
+
+// hashColInto folds one key column into the row hashes. sel maps logical
+// slot j to physical row sel[j]; nil means dense. The dense lanes stay
+// branch-free over the vectors, which is what keeps HashBatchInto
+// allocation- and indirection-free on the hot path.
+func hashColInto(c *Column, sel []int32, dst []uint64) {
 	nulls := c.Nulls
 	switch c.Type {
 	case TInt64:
-		for i, v := range c.Ints {
-			if nulls != nil && bitGet(nulls, i) {
-				dst[i] = hashByte(dst[i], tagNull)
-				continue
+		if sel == nil {
+			for i, v := range c.Ints {
+				if nulls != nil && bitGet(nulls, i) {
+					dst[i] = hashByte(dst[i], tagNull)
+					continue
+				}
+				dst[i] = hashUint64(hashByte(dst[i], tagNumber), uint64(v))
 			}
-			dst[i] = hashUint64(hashByte(dst[i], tagNumber), uint64(v))
+		} else {
+			for j, s := range sel {
+				if nulls != nil && bitGet(nulls, int(s)) {
+					dst[j] = hashByte(dst[j], tagNull)
+					continue
+				}
+				dst[j] = hashUint64(hashByte(dst[j], tagNumber), uint64(c.Ints[s]))
+			}
 		}
 	case TFloat64:
-		for i, v := range c.Floats {
-			if nulls != nil && bitGet(nulls, i) {
-				dst[i] = hashByte(dst[i], tagNull)
-				continue
+		if sel == nil {
+			for i, v := range c.Floats {
+				if nulls != nil && bitGet(nulls, i) {
+					dst[i] = hashByte(dst[i], tagNull)
+					continue
+				}
+				dst[i] = hashFloatValue(dst[i], v)
 			}
-			h := hashByte(dst[i], tagNumber)
-			if v == math.Trunc(v) && v >= -9223372036854775808 && v < 9223372036854775808 {
-				h = hashUint64(h, uint64(int64(v)))
-			} else {
-				h = hashUint64(h, math.Float64bits(v))
+		} else {
+			for j, s := range sel {
+				if nulls != nil && bitGet(nulls, int(s)) {
+					dst[j] = hashByte(dst[j], tagNull)
+					continue
+				}
+				dst[j] = hashFloatValue(dst[j], c.Floats[s])
 			}
-			dst[i] = h
 		}
 	case TString:
-		for i, v := range c.Strs {
-			if nulls != nil && bitGet(nulls, i) {
-				dst[i] = hashByte(dst[i], tagNull)
-				continue
+		if sel == nil {
+			for i, v := range c.Strs {
+				if nulls != nil && bitGet(nulls, i) {
+					dst[i] = hashByte(dst[i], tagNull)
+					continue
+				}
+				dst[i] = hashString(hashByte(dst[i], tagString), v)
 			}
-			dst[i] = hashString(hashByte(dst[i], tagString), v)
+		} else {
+			for j, s := range sel {
+				if nulls != nil && bitGet(nulls, int(s)) {
+					dst[j] = hashByte(dst[j], tagNull)
+					continue
+				}
+				dst[j] = hashString(hashByte(dst[j], tagString), c.Strs[s])
+			}
 		}
 	case TBool:
-		for i, v := range c.Bools {
-			if nulls != nil && bitGet(nulls, i) {
-				dst[i] = hashByte(dst[i], tagNull)
-				continue
+		if sel == nil {
+			for i, v := range c.Bools {
+				if nulls != nil && bitGet(nulls, i) {
+					dst[i] = hashByte(dst[i], tagNull)
+					continue
+				}
+				h := hashByte(dst[i], tagBool)
+				if v {
+					h = hashByte(h, 1)
+				} else {
+					h = hashByte(h, 0)
+				}
+				dst[i] = h
 			}
-			h := hashByte(dst[i], tagBool)
-			if v {
-				h = hashByte(h, 1)
-			} else {
-				h = hashByte(h, 0)
+		} else {
+			for j, s := range sel {
+				if nulls != nil && bitGet(nulls, int(s)) {
+					dst[j] = hashByte(dst[j], tagNull)
+					continue
+				}
+				h := hashByte(dst[j], tagBool)
+				if c.Bools[s] {
+					h = hashByte(h, 1)
+				} else {
+					h = hashByte(h, 0)
+				}
+				dst[j] = h
 			}
-			dst[i] = h
+		}
+	case TDict:
+		if sel == nil {
+			for i, code := range c.Codes {
+				if nulls != nil && bitGet(nulls, i) {
+					dst[i] = hashByte(dst[i], tagNull)
+					continue
+				}
+				dst[i] = hashString(hashByte(dst[i], tagString), c.Dict[code])
+			}
+		} else {
+			for j, s := range sel {
+				if nulls != nil && bitGet(nulls, int(s)) {
+					dst[j] = hashByte(dst[j], tagNull)
+					continue
+				}
+				dst[j] = hashString(hashByte(dst[j], tagString), c.Dict[c.Codes[s]])
+			}
 		}
 	case TAny:
-		for i := range c.Anys {
-			dst[i] = hashAnyValue(dst[i], c.Value(i))
+		if sel == nil {
+			for i := range c.Anys {
+				dst[i] = hashAnyValue(dst[i], c.Value(i))
+			}
+		} else {
+			for j, s := range sel {
+				dst[j] = hashAnyValue(dst[j], c.Value(int(s)))
+			}
 		}
 	}
 }
@@ -91,11 +176,7 @@ func hashAnyValue(h uint64, v Value) uint64 {
 	case int64:
 		return hashUint64(hashByte(h, tagNumber), uint64(x))
 	case float64:
-		h = hashByte(h, tagNumber)
-		if x == math.Trunc(x) && x >= -9223372036854775808 && x < 9223372036854775808 {
-			return hashUint64(h, uint64(int64(x)))
-		}
-		return hashUint64(h, math.Float64bits(x))
+		return hashFloatValue(h, x)
 	case string:
 		return hashString(hashByte(h, tagString), x)
 	case bool:
@@ -114,9 +195,10 @@ func hashAnyValue(h uint64, v Value) uint64 {
 // ---- comparison ----
 
 // colCompare orders cell i of column a against cell j of column b with
-// Compare's semantics (NULL first, cross-kind numerics as float64). Typed
-// same-kind and int/float pairs avoid boxing; anything else goes through
-// Compare on boxed values.
+// Compare's semantics (NULL first, cross-kind numerics as float64); i and j
+// are physical indices. Typed same-kind and int/float pairs avoid boxing —
+// dictionary cells compare through their dictionary strings — anything else
+// goes through Compare on boxed values.
 func colCompare(a *Column, i int, b *Column, j int) int {
 	an, bn := a.IsNull(i), b.IsNull(j)
 	if an || bn {
@@ -154,9 +236,9 @@ func colCompare(a *Column, i int, b *Column, j int) int {
 		default:
 			// other pairings: boxed compare below
 		}
-	case TString:
-		if b.Type == TString {
-			av, bv := a.Strs[i], b.Strs[j]
+	case TString, TDict:
+		if b.Type == TString || b.Type == TDict {
+			av, bv := a.strAt(i), b.strAt(j)
 			switch {
 			case av < bv:
 				return -1
@@ -182,8 +264,8 @@ func colCompare(a *Column, i int, b *Column, j int) int {
 	return Compare(a.Value(i), b.Value(j))
 }
 
-// batchKeysEqual reports whether rows i and j of one batch agree on the key
-// columns.
+// batchKeysEqual reports whether physical rows i and j of one batch agree
+// on the key columns.
 func batchKeysEqual(b *Batch, i, j int, keys []int) bool {
 	for _, k := range keys {
 		if colCompare(&b.Cols[k], i, &b.Cols[k], j) != 0 {
@@ -193,11 +275,12 @@ func batchKeysEqual(b *Batch, i, j int, keys []int) bool {
 	return true
 }
 
-// CompareBatchRows orders row i of batch a against row j of batch b by the
-// paired key columns (akeys[x] against bkeys[x]).
+// CompareBatchRows orders logical row i of batch a against logical row j of
+// batch b by the paired key columns (akeys[x] against bkeys[x]).
 func CompareBatchRows(a *Batch, i int, akeys []int, b *Batch, j int, bkeys []int) int {
+	pi, pj := a.physical(i), b.physical(j)
 	for x := range akeys {
-		if c := colCompare(&a.Cols[akeys[x]], i, &b.Cols[bkeys[x]], j); c != 0 {
+		if c := colCompare(&a.Cols[akeys[x]], pi, &b.Cols[bkeys[x]], pj); c != 0 {
 			return c
 		}
 	}
@@ -206,21 +289,33 @@ func CompareBatchRows(a *Batch, i int, akeys []int, b *Batch, j int, bkeys []int
 
 // ---- filter / sort ----
 
-// FilterBatch returns the rows where keep reports true, gathered with
-// typed column copies. The predicate receives a row index; typed plan code
-// reads the column vectors directly when building its own selection.
+// FilterBatch returns a lazy view of the rows where keep reports true: the
+// result shares the input's column vectors and carries a selection vector
+// instead of gathering. The predicate receives a PHYSICAL row index, so
+// typed plan code reads the column vectors directly; filters compose (a
+// second FilterBatch narrows the same selection). Materialization happens
+// at emit/codec boundaries or via (*Batch).Materialize.
 func FilterBatch(b *Batch, keep func(i int) bool) *Batch {
 	sel := make([]int32, 0, b.Len)
-	for i := 0; i < b.Len; i++ {
-		if keep(i) {
-			sel = append(sel, int32(i))
+	if b.Sel == nil {
+		for i := 0; i < b.Len; i++ {
+			if keep(i) {
+				sel = append(sel, int32(i))
+			}
+		}
+	} else {
+		for _, s := range b.Sel {
+			if keep(int(s)) {
+				sel = append(sel, s)
+			}
 		}
 	}
-	return b.Gather(sel)
+	return &Batch{Cols: b.Cols, Len: len(sel), Sel: sel}
 }
 
-// colComparator builds a same-column ordering closure, selecting the typed
-// loop once per column (null-free fast lanes; null-aware otherwise).
+// colComparator builds a same-column ordering closure over physical
+// indices, selecting the typed loop once per column (null-free fast lanes;
+// null-aware otherwise).
 func colComparator(c *Column) func(i, j int) int {
 	if c.Nulls == nil {
 		switch c.Type {
@@ -260,6 +355,18 @@ func colComparator(c *Column) func(i, j int) int {
 				}
 				return 0
 			}
+		case TDict:
+			dict, codes := c.Dict, c.Codes
+			return func(i, j int) int {
+				a, b := dict[codes[i]], dict[codes[j]]
+				switch {
+				case a < b:
+					return -1
+				case a > b:
+					return 1
+				}
+				return 0
+			}
 		case TAny:
 			// boxed comparator below
 		}
@@ -269,13 +376,19 @@ func colComparator(c *Column) func(i, j int) int {
 }
 
 // SortBatch returns the batch's rows stably sorted by the key columns
-// (argsort over an index vector, then one typed gather). A single
-// null-free typed key takes a direct comparator — no closure chain — the
-// same fast lane SortRows has for kind-homogeneous columns.
+// (argsort over an index vector, then one typed gather; a lazy input's
+// selection vector seeds the argsort, so sorting a filtered batch never
+// materialises the pre-sort view). A single null-free typed key takes a
+// direct comparator — no closure chain — the same fast lane SortRows has
+// for kind-homogeneous columns. The result is dense.
 func SortBatch(b *Batch, keys []int) *Batch {
 	idx := make([]int32, b.Len)
-	for i := range idx {
-		idx[i] = int32(i)
+	if b.Sel == nil {
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+	} else {
+		copy(idx, b.Sel)
 	}
 	if len(keys) == 1 && sortIdxSingleKey(idx, &b.Cols[keys[0]]) {
 		return b.Gather(idx)
@@ -295,8 +408,9 @@ func SortBatch(b *Batch, keys []int) *Batch {
 	return b.Gather(idx)
 }
 
-// sortIdxSingleKey stably argsorts idx by a null-free typed column with an
-// inlined comparator, reporting whether it handled the column.
+// sortIdxSingleKey stably argsorts idx (physical indices) by a null-free
+// typed column with an inlined comparator, reporting whether it handled the
+// column.
 func sortIdxSingleKey(idx []int32, c *Column) bool {
 	if c.Nulls != nil {
 		return false
@@ -329,6 +443,18 @@ func sortIdxSingleKey(idx []int32, c *Column) bool {
 			}
 			return 0
 		})
+	case TDict:
+		dict, codes := c.Dict, c.Codes
+		slices.SortStableFunc(idx, func(x, y int32) int {
+			a, b := dict[codes[x]], dict[codes[y]]
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		})
 	default:
 		return false
 	}
@@ -339,7 +465,8 @@ func sortIdxSingleKey(idx []int32, c *Column) bool {
 
 // PartitionBatchByKey hash-partitions the batch into n sub-batches by the
 // key columns — the batch shuffle-write kernel behind EmitBatchByKey.
-// Hashing is columnar, placement a typed scatter into exact-size vectors.
+// Hashing is columnar, placement a typed scatter into exact-size vectors;
+// lazy inputs scatter straight from the selection without materializing.
 func PartitionBatchByKey(b *Batch, keys []int, n int) []*Batch {
 	if n <= 1 {
 		return []*Batch{b}
@@ -376,9 +503,12 @@ func PartitionBatchByRange(b *Batch, keys []int, bounds []Row) []*Batch {
 	return scatterBatch(b, pidx, counts)
 }
 
-// scatterBatch places rows into exact-size partitions (row i goes to
-// pidx[i], partition sizes given by counts), one typed pass per column.
+// scatterBatch places rows into exact-size dense partitions (logical row j
+// goes to pidx[j], partition sizes given by counts), one typed pass per
+// column. Dictionary partitions share the source dictionary; lazy sources
+// scatter through the selection vector.
 func scatterBatch(b *Batch, pidx []uint32, counts []int) []*Batch {
+	sel := b.Sel
 	parts := make([]*Batch, len(counts))
 	for p, n := range counts {
 		parts[p] = &Batch{Cols: make([]Column, len(b.Cols)), Len: n}
@@ -400,46 +530,103 @@ func scatterBatch(b *Batch, pidx []uint32, counts []int) []*Batch {
 				dst.Bools = make([]bool, n)
 			case TAny:
 				dst.Anys = make([]Value, n)
+			case TDict:
+				dst.Dict = src.Dict
+				dst.Codes = make([]uint32, n)
 			}
 		}
 		clear(offs)
 		switch src.Type {
 		case TInt64:
-			for i, v := range src.Ints {
-				p := pidx[i]
-				parts[p].Cols[c].Ints[offs[p]] = v
-				offs[p]++
+			if sel == nil {
+				for i, v := range src.Ints {
+					p := pidx[i]
+					parts[p].Cols[c].Ints[offs[p]] = v
+					offs[p]++
+				}
+			} else {
+				for j, s := range sel {
+					p := pidx[j]
+					parts[p].Cols[c].Ints[offs[p]] = src.Ints[s]
+					offs[p]++
+				}
 			}
 		case TFloat64:
-			for i, v := range src.Floats {
-				p := pidx[i]
-				parts[p].Cols[c].Floats[offs[p]] = v
-				offs[p]++
+			if sel == nil {
+				for i, v := range src.Floats {
+					p := pidx[i]
+					parts[p].Cols[c].Floats[offs[p]] = v
+					offs[p]++
+				}
+			} else {
+				for j, s := range sel {
+					p := pidx[j]
+					parts[p].Cols[c].Floats[offs[p]] = src.Floats[s]
+					offs[p]++
+				}
 			}
 		case TString:
-			for i, v := range src.Strs {
-				p := pidx[i]
-				parts[p].Cols[c].Strs[offs[p]] = v
-				offs[p]++
+			if sel == nil {
+				for i, v := range src.Strs {
+					p := pidx[i]
+					parts[p].Cols[c].Strs[offs[p]] = v
+					offs[p]++
+				}
+			} else {
+				for j, s := range sel {
+					p := pidx[j]
+					parts[p].Cols[c].Strs[offs[p]] = src.Strs[s]
+					offs[p]++
+				}
 			}
 		case TBool:
-			for i, v := range src.Bools {
-				p := pidx[i]
-				parts[p].Cols[c].Bools[offs[p]] = v
-				offs[p]++
+			if sel == nil {
+				for i, v := range src.Bools {
+					p := pidx[i]
+					parts[p].Cols[c].Bools[offs[p]] = v
+					offs[p]++
+				}
+			} else {
+				for j, s := range sel {
+					p := pidx[j]
+					parts[p].Cols[c].Bools[offs[p]] = src.Bools[s]
+					offs[p]++
+				}
 			}
 		case TAny:
-			for i, v := range src.Anys {
-				p := pidx[i]
-				parts[p].Cols[c].Anys[offs[p]] = v
-				offs[p]++
+			if sel == nil {
+				for i, v := range src.Anys {
+					p := pidx[i]
+					parts[p].Cols[c].Anys[offs[p]] = v
+					offs[p]++
+				}
+			} else {
+				for j, s := range sel {
+					p := pidx[j]
+					parts[p].Cols[c].Anys[offs[p]] = src.Anys[s]
+					offs[p]++
+				}
+			}
+		case TDict:
+			if sel == nil {
+				for i, v := range src.Codes {
+					p := pidx[i]
+					parts[p].Cols[c].Codes[offs[p]] = v
+					offs[p]++
+				}
+			} else {
+				for j, s := range sel {
+					p := pidx[j]
+					parts[p].Cols[c].Codes[offs[p]] = src.Codes[s]
+					offs[p]++
+				}
 			}
 		}
 		if src.Nulls != nil {
 			clear(offs)
-			for i := 0; i < b.Len; i++ {
-				p := pidx[i]
-				if bitGet(src.Nulls, i) {
+			for j := 0; j < b.Len; j++ {
+				p := pidx[j]
+				if bitGet(src.Nulls, b.physical(j)) {
 					parts[p].Cols[c].setNull(offs[p], counts[p])
 				}
 				offs[p]++
@@ -454,8 +641,9 @@ func scatterBatch(b *Batch, pidx []uint32, counts []int) []*Batch {
 // HashJoinBatch inner-joins probe rows against a materialised build side on
 // equal keys, emitting probe columns followed by build columns — the same
 // rows in the same order as the row HashJoin over the same inputs. The
-// build table maps hash → carved index bucket; matches accumulate as index
-// pairs and materialise with two typed gathers.
+// build table maps hash → carved index bucket; matches accumulate as
+// physical index pairs and materialise with two typed gathers, so lazy
+// inputs join through their selections.
 func HashJoinBatch(build *Batch, buildKeys []int, probe *Batch, probeKeys []int) *Batch {
 	bh := make([]uint64, build.Len)
 	HashBatchInto(build, buildKeys, bh)
@@ -488,8 +676,8 @@ func HashJoinBatch(build *Batch, buildKeys []int, probe *Batch, probeKeys []int)
 	for i := 0; i < probe.Len; i++ {
 		for _, bi := range table[ph[i]] {
 			if CompareBatchRows(probe, i, probeKeys, build, int(bi), buildKeys) == 0 {
-				pIdx = append(pIdx, int32(i))
-				bIdx = append(bIdx, bi)
+				pIdx = append(pIdx, int32(probe.physical(i)))
+				bIdx = append(bIdx, int32(build.physical(int(bi))))
 			}
 		}
 	}
@@ -521,17 +709,18 @@ func HashAggregateBatch(b *Batch, keys []int, aggs []Agg) *Batch {
 	HashBatchInto(b, keys, hashes)
 	head := make(map[uint64]int32, 64)
 	var (
-		rep  []int32 // group id -> representative (first) row
+		rep  []int32 // group id -> representative (first) row, physical
 		next []int32 // collision chain
 	)
-	gids := make([]int32, b.Len)
+	gids := make([]int32, b.Len) // logical row -> group id
 	for i := 0; i < b.Len; i++ {
 		h := hashes[i]
+		pi := b.physical(i)
 		first, seen := head[h]
 		gid := int32(-1)
 		if seen {
 			for g := first; g >= 0; g = next[g] {
-				if batchKeysEqual(b, int(rep[g]), i, keys) {
+				if batchKeysEqual(b, int(rep[g]), pi, keys) {
 					gid = g
 					break
 				}
@@ -539,7 +728,7 @@ func HashAggregateBatch(b *Batch, keys []int, aggs []Agg) *Batch {
 		}
 		if gid < 0 {
 			gid = int32(len(rep))
-			rep = append(rep, int32(i))
+			rep = append(rep, int32(pi))
 			if seen {
 				next = append(next, first)
 			} else {
@@ -561,8 +750,9 @@ func HashAggregateBatch(b *Batch, keys []int, aggs []Agg) *Batch {
 }
 
 // aggColumn folds one aggregate over the whole batch in a typed loop,
-// producing one value per group. NULL inputs are skipped by Sum/Min/Max
-// (a group with no non-NULL input yields NULL); Count counts rows.
+// producing one value per group; gids is logical-indexed, so lazy inputs
+// fold through the selection. NULL inputs are skipped by Sum/Min/Max (a
+// group with no non-NULL input yields NULL); Count counts rows.
 func aggColumn(b *Batch, a Agg, gids []int32, groups int) Column {
 	col := &b.Cols[a.Col]
 	if a.Kind == AggCount {
@@ -580,11 +770,13 @@ func aggColumn(b *Batch, a Agg, gids []int32, groups int) Column {
 		case AggSum, AggMin, AggMax:
 			acc := make([]int64, groups)
 			seen := make([]bool, groups)
-			for i, v := range col.Ints {
+			for j := range gids {
+				i := b.physical(j)
 				if col.Nulls != nil && bitGet(col.Nulls, i) {
 					continue
 				}
-				g := gids[i]
+				v := col.Ints[i]
+				g := gids[j]
 				switch {
 				case !seen[g]:
 					acc[g] = v
@@ -606,11 +798,13 @@ func aggColumn(b *Batch, a Agg, gids []int32, groups int) Column {
 		case AggSum, AggMin, AggMax:
 			acc := make([]float64, groups)
 			seen := make([]bool, groups)
-			for i, v := range col.Floats {
+			for j := range gids {
+				i := b.physical(j)
 				if col.Nulls != nil && bitGet(col.Nulls, i) {
 					continue
 				}
-				g := gids[i]
+				v := col.Floats[i]
+				g := gids[j]
 				switch {
 				case !seen[g]:
 					acc[g] = v
@@ -625,15 +819,17 @@ func aggColumn(b *Batch, a Agg, gids []int32, groups int) Column {
 			}
 			return withUnseenNulls(Float64Col(acc), seen)
 		}
-	case TString:
+	case TString, TDict:
 		if a.Kind == AggMin || a.Kind == AggMax {
 			acc := make([]string, groups)
 			seen := make([]bool, groups)
-			for i, v := range col.Strs {
+			for j := range gids {
+				i := b.physical(j)
 				if col.Nulls != nil && bitGet(col.Nulls, i) {
 					continue
 				}
-				g := gids[i]
+				v := col.strAt(i)
+				g := gids[j]
 				switch {
 				case !seen[g]:
 					acc[g] = v
@@ -653,9 +849,8 @@ func aggColumn(b *Batch, a Agg, gids []int32, groups int) Column {
 	// accCell), bool min/max, and sums over non-numeric types (which panic
 	// inside fold, matching the row kernel).
 	accs := make([]accCell, groups)
-	n := b.Len
-	for i := 0; i < n; i++ {
-		accs[gids[i]].fold(a.Kind, col.Value(i))
+	for j := range gids {
+		accs[gids[j]].fold(a.Kind, col.Value(b.physical(j)))
 	}
 	out := Column{Type: TAny, Anys: make([]Value, groups)}
 	for g := range accs {
@@ -683,7 +878,8 @@ func withUnseenNulls(c Column, seen []bool) Column {
 // WindowBatch evaluates the window spec over the batch, returning the rows
 // ordered by (PartitionBy, OrderBy) with the window value appended as a new
 // typed column (int64 for ranks, float64 for running sums) — the batch
-// counterpart of Window.
+// counterpart of Window. SortBatch densifies first, so the pass below runs
+// over physical rows.
 func WindowBatch(b *Batch, spec WindowSpec) *Batch {
 	keys := append(append([]int(nil), spec.PartitionBy...), spec.OrderBy...)
 	sorted := SortBatch(b, keys)

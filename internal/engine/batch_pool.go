@@ -1,0 +1,49 @@
+package engine
+
+import "sync"
+
+// BatchPool recycles decoded batches so steady-state shuffle consumption
+// stops allocating: Decode reuses the recycled batch's column vectors
+// whenever their capacity covers the incoming rows, leaving only the
+// per-column string slab (and growth on a larger batch) as live
+// allocations. The zero BatchPool is ready to use.
+//
+// Ownership is strict: a batch handed to Put must no longer be referenced
+// by the caller — its vectors are overwritten by the next Decode. Decoded
+// string values alias the batch's slab, so they recycle with it.
+type BatchPool struct {
+	pool sync.Pool
+}
+
+// NewBatchPool returns an empty pool.
+func NewBatchPool() *BatchPool { return &BatchPool{} }
+
+// Get returns a recycled batch, or a fresh empty one.
+func (p *BatchPool) Get() *Batch {
+	if b, ok := p.pool.Get().(*Batch); ok {
+		return b
+	}
+	return &Batch{}
+}
+
+// Put recycles a batch for a later Decode. The caller must drop every
+// reference into it first.
+func (p *BatchPool) Put(b *Batch) {
+	if b == nil {
+		return
+	}
+	p.pool.Put(b)
+}
+
+// Decode decodes data into a recycled batch. On error the batch returns to
+// the pool and the error surfaces; decodeBatchInto fully overwrites or
+// clears every field it touches, so a failed decode cannot poison a later
+// one.
+func (p *BatchPool) Decode(data []byte) (*Batch, error) {
+	b := p.Get()
+	if err := decodeBatchInto(b, data); err != nil {
+		p.Put(b)
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchPoolDecodeReuse drives one pooled batch through decodes of very
+// different shapes and requires each result to match a fresh decode — in
+// particular, a recycled null bitmap, selection vector or dictionary must
+// never bleed into the next batch.
+func TestBatchPoolDecodeReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(80))
+	pool := NewBatchPool()
+
+	withNulls := EncodeBatch(BatchFromRows(randRows(r, 120)))
+	nullFree := EncodeBatch(typedBatch(40))
+	dictified := EncodeBatch(DictifyBatch(BatchFromRows(randRows(r, 80))))
+	empty := EncodeBatch(&Batch{})
+
+	for round := 0; round < 3; round++ {
+		for _, enc := range [][]byte{withNulls, nullFree, dictified, empty, nullFree} {
+			got, err := pool.Decode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := DecodeBatch(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchesEqual(t, "pooled decode", got, want)
+			for c := range want.Cols {
+				if (got.Cols[c].Nulls == nil) != (want.Cols[c].Nulls == nil) {
+					t.Fatalf("col %d null bitmap presence differs after reuse", c)
+				}
+			}
+			if got.Sel != nil {
+				t.Fatal("pooled decode produced a lazy batch")
+			}
+			pool.Put(got)
+		}
+	}
+
+	// A failed decode returns the batch to the pool without poisoning the
+	// next decode.
+	if _, err := pool.Decode([]byte{3, 1, byte(TDict), 0, 0}); err == nil {
+		t.Fatal("corrupt input decoded")
+	}
+	got, err := pool.Decode(nullFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := DecodeBatch(nullFree)
+	batchesEqual(t, "decode after failure", got, want)
+}

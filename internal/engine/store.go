@@ -103,6 +103,10 @@ func (s *Store) PutBatch(job string, machine int, key string, b *Batch) error {
 }
 
 func (s *Store) put(job string, machine int, key string, seg *storedSeg) error {
+	// Storage boundary: lazy views materialise and low-cardinality string
+	// columns dictionary-encode here, so resident segments are dense and
+	// the accounted size matches the (dictified) wire encoding.
+	seg.batch = DictifyBatch(seg.batch)
 	size := int64(EncodedBatchSize(seg.batch)) // exact wire bytes, computed outside the lock
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -28,8 +28,10 @@ func TestStoreUsedBytesZeroAfterDropJob(t *testing.T) {
 		if used := s.Stats().UsedBytes; used <= 0 {
 			t.Fatalf("UsedBytes = %d before drop", used)
 		}
-		// Exact accounting: the worker holds precisely the encoded sizes.
-		want := int64(EncodedBatchSize(BatchFromRows(rows)) + EncodedBatchSize(batch) + EncodedBatchSize(&Batch{}))
+		// Exact accounting: the worker holds precisely the encoded sizes of
+		// what it stores — the dictified form, the same bytes the wire pays.
+		want := int64(EncodedBatchSize(DictifyBatch(BatchFromRows(rows))) +
+			EncodedBatchSize(DictifyBatch(batch)) + EncodedBatchSize(&Batch{}))
 		if used := s.Stats().UsedBytes; used != want {
 			t.Fatalf("UsedBytes = %d, want exact encoded %d", used, want)
 		}
@@ -47,7 +49,7 @@ func TestStoreUsedBytesZeroAfterDropJob(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		want := int64(EncodedBatchSize(BatchFromRows(rows)))
+		want := int64(EncodedBatchSize(DictifyBatch(BatchFromRows(rows))))
 		if used := s.Stats().UsedBytes; used != want {
 			t.Fatalf("UsedBytes = %d after re-puts, want %d", used, want)
 		}

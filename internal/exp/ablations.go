@@ -50,7 +50,7 @@ func AblationAdaptiveShuffle(cfg Config) []AblationShuffleRow {
 		count := 0
 		for i, s := range specs {
 			job := trace.ShuffleCategoryJob(p.name+"-"+string(rune('a'+i)), s.m, s.n, s.perTask, 2)
-			jr, _ := runOne(job, ccfg, p.opts, cfg.Seed)
+			jr, _ := cfg.runOne(job, ccfg, p.opts, cfg.Seed)
 			if jr != nil && jr.Completed {
 				total += jr.Duration()
 				count++
@@ -90,7 +90,7 @@ func AblationPartition(cfg Config) []AblationPartitionRow {
 	}
 	var rows []AblationPartitionRow
 	for _, p := range policies {
-		res := runTrace(tr, cfg.fig10Cluster(), p.opts, cfg.Seed)
+		res := cfg.runTrace(tr, cfg.fig10Cluster(), p.opts, cfg.Seed)
 		var idle []float64
 		for _, jr := range res.SortedJobs() {
 			if !jr.Completed {

@@ -14,6 +14,7 @@ import (
 	"swift/internal/cluster"
 	"swift/internal/core"
 	"swift/internal/dag"
+	"swift/internal/obs"
 	"swift/internal/sim"
 	"swift/internal/simrun"
 	"swift/internal/trace"
@@ -25,6 +26,13 @@ import (
 type Config struct {
 	Reduced bool
 	Seed    int64
+
+	// Obs, when non-nil, is installed as the observability recorder of
+	// every simulated deployment an experiment spins up (unless the
+	// experiment supplies its own via core.Options). RunAll gives each
+	// experiment a fresh recorder and reports its StreamHash — the witness
+	// that a parallel sweep replayed exactly the serial execution.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -58,9 +66,18 @@ func (c Config) traceJobs(full int) int {
 	return full
 }
 
+// sim builds a fresh simulated deployment, routing the config's recorder
+// into the run unless the caller's options already carry one.
+func (c Config) sim(ccfg cluster.Config, opts core.Options, seed int64) *simrun.Runner {
+	if opts.Obs == nil {
+		opts.Obs = c.Obs
+	}
+	return simrun.New(simrun.Config{Cluster: ccfg, Options: opts, Seed: seed})
+}
+
 // runTrace replays a trace on a fresh simulated deployment.
-func runTrace(tr *trace.Trace, ccfg cluster.Config, opts core.Options, seed int64) *simrun.Results {
-	r := simrun.New(simrun.Config{Cluster: ccfg, Options: opts, Seed: seed})
+func (c Config) runTrace(tr *trace.Trace, ccfg cluster.Config, opts core.Options, seed int64) *simrun.Results {
+	r := c.sim(ccfg, opts, seed)
 	for _, j := range tr.Jobs {
 		r.SubmitAt(sim.FromSeconds(j.SubmitAt), j.Job)
 	}
@@ -69,8 +86,8 @@ func runTrace(tr *trace.Trace, ccfg cluster.Config, opts core.Options, seed int6
 
 // runOne runs a single job on a fresh deployment and returns its duration
 // in seconds along with the full result (for phase inspection).
-func runOne(job *dag.Job, ccfg cluster.Config, opts core.Options, seed int64) (*simrun.JobResult, *simrun.Results) {
-	r := simrun.New(simrun.Config{Cluster: ccfg, Options: opts, Seed: seed})
+func (c Config) runOne(job *dag.Job, ccfg cluster.Config, opts core.Options, seed int64) (*simrun.JobResult, *simrun.Results) {
+	r := c.sim(ccfg, opts, seed)
 	r.SubmitAt(0, job)
 	res := r.Run()
 	return res.Jobs[job.ID], res

@@ -60,7 +60,7 @@ func Fig10ExecutorTimeline(cfg Config) Fig10Result {
 	}
 	tr := fig10Trace(cfg)
 	for _, sys := range Fig10Systems {
-		res := runTrace(tr, cfg.fig10Cluster(), systemOptions(sys), cfg.Seed)
+		res := cfg.runTrace(tr, cfg.fig10Cluster(), systemOptions(sys), cfg.Seed)
 		out.Makespan[sys] = res.Makespan.Seconds()
 		out.Series[sys] = res.ExecSeries.Sample(res.Makespan.Seconds(), 10)
 	}
@@ -96,7 +96,7 @@ func Fig11LatencyCDF(cfg Config) Fig11Result {
 	tr := fig10Trace(cfg)
 	durations := make(map[string]map[string]float64) // system -> job -> sec
 	for _, sys := range Fig10Systems {
-		res := runTrace(tr, cfg.fig10Cluster(), systemOptions(sys), cfg.Seed)
+		res := cfg.runTrace(tr, cfg.fig10Cluster(), systemOptions(sys), cfg.Seed)
 		d := make(map[string]float64)
 		for id, jr := range res.Jobs {
 			if jr.Completed {
@@ -170,7 +170,7 @@ func Fig12ShuffleModes(cfg Config) []Fig12Cell {
 				job := trace.ShuffleCategoryJob(
 					cat.class.String()+"-"+mode.String()+"-"+string(rune('a'+k)),
 					cat.m, cat.n, cat.perTask, cat.proc)
-				jr, _ := runOne(job, ccfg, baseline.FixedShuffle(mode), cfg.Seed+int64(k))
+				jr, _ := cfg.runOne(job, ccfg, baseline.FixedShuffle(mode), cfg.Seed+int64(k))
 				total += jr.Duration()
 			}
 			times[mode] = total / float64(jobsPer)

@@ -9,7 +9,6 @@ import (
 	"swift/internal/core"
 	"swift/internal/metrics"
 	"swift/internal/sim"
-	"swift/internal/simrun"
 	"swift/internal/tpch"
 	"swift/internal/trace"
 )
@@ -42,11 +41,11 @@ var Fig14Injections = []struct {
 // below job restart.
 func Fig14FaultInjection(cfg Config) []Fig14Row {
 	ccfg := cfg.cluster100()
-	clean, _ := runOne(tpch.Q13(), ccfg, baseline.Swift(), cfg.Seed)
+	clean, _ := cfg.runOne(tpch.Q13(), ccfg, baseline.Swift(), cfg.Seed)
 	base := clean.Duration()
 
 	run := func(opts core.Options, pct int, stage string) float64 {
-		r := simrun.New(simrun.Config{Cluster: ccfg, Options: opts, Seed: cfg.Seed})
+		r := cfg.sim(ccfg, opts, cfg.Seed)
 		job := tpch.Q13()
 		r.SubmitAt(0, job)
 		// Injections at 100 land just inside the run (the paper's time
@@ -100,7 +99,7 @@ func Fig15TraceFailures(cfg Config) Fig15Result {
 	}
 
 	run := func(opts core.Options, injections []injection) map[string]float64 {
-		r := simrun.New(simrun.Config{Cluster: ccfg, Options: opts, Seed: cfg.Seed})
+		r := cfg.sim(ccfg, opts, cfg.Seed)
 		at := make(map[string]float64)
 		for _, j := range tr.Jobs {
 			r.SubmitAt(sim.FromSeconds(j.SubmitAt), j.Job)
@@ -201,7 +200,7 @@ func Fig16Scalability(cfg Config) []Fig16Row {
 		ccfg := cfg.cluster2000()
 		ccfg.ExecutorsPerMachine = execsPerMachine
 		ccfg.Machines = (n + execsPerMachine - 1) / execsPerMachine
-		res := runTrace(tr, ccfg, baseline.Swift(), cfg.Seed)
+		res := cfg.runTrace(tr, ccfg, baseline.Swift(), cfg.Seed)
 		mk := res.Makespan.Seconds()
 		if i == 0 {
 			baseMakespan = mk

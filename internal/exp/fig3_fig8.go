@@ -30,7 +30,7 @@ func Fig3IdleRatio(cfg Config) []Fig3Row {
 			Seed:          cfg.Seed + int64(i)*101,
 			ArrivalWindow: 120,
 		})
-		res := runTrace(tr, cfg.cluster100(), baseline.JetScope(), cfg.Seed+int64(i))
+		res := cfg.runTrace(tr, cfg.cluster100(), baseline.JetScope(), cfg.Seed+int64(i))
 		// Per-job mean task IdleRatio, then the four-quartile average
 		// across jobs (the paper reports per-cluster averages of job
 		// measurements).
@@ -71,7 +71,7 @@ type Fig8Stats struct {
 // 30 s, >90% under 120 s, >80% with ≤80 tasks and ≤4 stages.
 func Fig8TraceCharacteristics(cfg Config) Fig8Stats {
 	tr := trace.Generate(trace.Spec{Jobs: cfg.traceJobs(2000), Seed: cfg.Seed, ArrivalWindow: 500})
-	res := runTrace(tr, cfg.cluster100(), baseline.Swift(), cfg.Seed)
+	res := cfg.runTrace(tr, cfg.cluster100(), baseline.Swift(), cfg.Seed)
 	var runtimes, tasks, stages []float64
 	for _, j := range tr.Jobs {
 		jr := res.Jobs[j.Job.ID]

@@ -40,8 +40,8 @@ func Fig9aTPCH(cfg Config) Fig9aResult {
 	}
 	for i := 1; i <= queries; i += step {
 		job := tpch.Query(i)
-		swiftRes, _ := runOne(job, ccfg, baseline.Swift(), cfg.Seed)
-		sparkRes, _ := runOne(tpch.Query(i), ccfg, baseline.Spark(), cfg.Seed)
+		swiftRes, _ := cfg.runOne(job, ccfg, baseline.Swift(), cfg.Seed)
+		sparkRes, _ := cfg.runOne(tpch.Query(i), ccfg, baseline.Spark(), cfg.Seed)
 		if swiftRes == nil || !swiftRes.Completed || sparkRes == nil || !sparkRes.Completed {
 			panic(fmt.Sprintf("exp: Q%d did not complete", i))
 		}
@@ -87,7 +87,7 @@ func Fig9bQ9Phases(cfg Config) []Fig9bRow {
 		if sys.name == "Spark" {
 			opts = baseline.Spark()
 		}
-		jr, _ := runOne(tpch.Q9(), ccfg, opts, cfg.Seed)
+		jr, _ := cfg.runOne(tpch.Q9(), ccfg, opts, cfg.Seed)
 		for _, st := range Fig9bStages {
 			p := jr.Phases[st]
 			if p == nil {
@@ -125,8 +125,8 @@ func Table1Terasort(cfg Config) []Table1Row {
 	}
 	var rows []Table1Row
 	for _, s := range sizes {
-		swiftRes, _ := runOne(tpch.Terasort(s, s), ccfg, baseline.Swift(), cfg.Seed)
-		sparkRes, _ := runOne(tpch.Terasort(s, s), ccfg, baseline.Spark(), cfg.Seed)
+		swiftRes, _ := cfg.runOne(tpch.Terasort(s, s), ccfg, baseline.Swift(), cfg.Seed)
+		sparkRes, _ := cfg.runOne(tpch.Terasort(s, s), ccfg, baseline.Spark(), cfg.Seed)
 		row := Table1Row{
 			Size: fmt.Sprintf("%dx%d", s, s), M: s, N: s,
 			SparkSec: sparkRes.Duration(),

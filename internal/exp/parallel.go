@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"swift/internal/obs"
+)
+
+// The parallel sweep runner. Every experiment (and, in cmd/swiftchaos,
+// every soak seed) is an isolated simulation: it builds its own engine,
+// its own RNGs and — via Config.Obs — its own recorder, so fanning runs
+// across OS threads cannot perturb any run's virtual execution. The only
+// nondeterminism a worker pool introduces is completion ORDER, and Sweep
+// erases it by writing each result into its input slot: res[i] depends
+// only on run(i), never on scheduling. RunAll then exposes the proof:
+// per-run obs stream hashes, which must be byte-for-byte identical
+// whether the sweep ran on one worker or sixteen.
+
+// ErrUnknown reports a sweep name that no experiment registers.
+var ErrUnknown = errors.New("unknown experiment")
+
+// Sweep runs run(0..n-1) on a pool of workers and returns the results in
+// input order. workers <= 0 means GOMAXPROCS; workers == 1 degenerates to
+// a plain serial loop (no goroutines, no channels), which doubles as the
+// reference execution for determinism checks.
+func Sweep[T any](n, workers int, run func(i int) T) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	res := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			res[i] = run(i)
+		}
+		return res
+	}
+	type slot struct {
+		i int
+		v T
+	}
+	jobs := make(chan int)
+	out := make(chan slot)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out <- slot{i, run(i)}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(out)
+	}()
+	// Results arrive in completion order; the indexed write restores input
+	// order, so the merged slice is independent of worker scheduling.
+	for s := range out {
+		res[s.i] = s.v
+	}
+	return res
+}
+
+// RunResult is one experiment's outcome in a RunAll sweep.
+type RunResult struct {
+	Name   string
+	Output string // the rendered paper-style report
+	Hash   uint64 // obs stream hash of every simulated run the experiment made
+	Err    error  // ErrUnknown for unregistered names, else the report error
+}
+
+// RunAll executes the named experiments on a worker pool and returns their
+// reports in input order. Each experiment gets a fresh obs recorder (any
+// recorder already present in cfg is replaced), so its Hash witnesses that
+// experiment's simulated event stream in isolation: RunAll(names, cfg, 1)
+// and RunAll(names, cfg, k) must agree on every Output and every Hash.
+func RunAll(names []string, cfg Config, workers int) []RunResult {
+	return Sweep(len(names), workers, func(i int) RunResult {
+		rec := obs.New()
+		c := cfg
+		c.Obs = rec
+		var buf bytes.Buffer
+		ok, err := Run(names[i], c, &buf)
+		if !ok {
+			err = fmt.Errorf("%w %q", ErrUnknown, names[i])
+		}
+		return RunResult{Name: names[i], Output: buf.String(), Hash: rec.StreamHash(), Err: err}
+	})
+}

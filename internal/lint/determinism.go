@@ -19,11 +19,18 @@ import (
 //   - a break out of a map range that has assigned loop-derived values to
 //     outer variables (selects an arbitrary element).
 //
+// Ranging over a channel is checked the same way appends are: results
+// arrive in goroutine completion order, so `outer = append(outer, v)`
+// inside a channel range bakes scheduling order into the slice. The
+// sanctioned worker-pool shapes are the indexed merge — each result
+// carries its input slot and the loop writes res[s.i] = s.v, making the
+// merged slice independent of completion order — and collect-then-sort.
+//
 // Seeded *rand.Rand values threaded through call graphs are fine — only
 // the process-global source and clock are forbidden.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid wall-clock, global math/rand, and map-iteration-order leaks in deterministic packages",
+	Doc:  "forbid wall-clock, global math/rand, and map/channel-order leaks in deterministic packages",
 	Run:  runDeterminism,
 }
 
@@ -91,6 +98,7 @@ func runDeterminism(p *Pass) {
 			walkShallow(body, func(n ast.Node) bool {
 				if rng, ok := n.(*ast.RangeStmt); ok {
 					checkMapRange(p, body, rng)
+					checkChanRange(p, body, rng)
 				}
 				return true
 			})
@@ -241,6 +249,49 @@ func assignsLoopDerived(info *types.Info, as *ast.AssignStmt, loopVars []types.O
 // unless the enclosing function later sorts the slice.
 func checkMapRangeAppend(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt) {
 	info := p.Pkg.Info
+	for _, obj := range outerAppendTargets(info, rng, as) {
+		if sortedAfter(info, fnBody, rng, obj) {
+			continue
+		}
+		p.Reportf(as.Pos(), "append to %s inside map iteration leaks Go's randomised map order; collect then sort, or iterate sorted keys", obj.Name())
+	}
+}
+
+// checkChanRange flags result collection in completion order: an append to
+// an outer slice inside a range over a channel. A worker pool's results
+// arrive in whatever order goroutines finish, so the collected slice bakes
+// in scheduling. Indexed merges (res[s.i] = s.v) and per-iteration slices
+// are untouched; collect-then-sort is sanctioned the same way it is for
+// map ranges.
+func checkChanRange(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	info := p.Pkg.Info
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return
+	}
+	walkShallow(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			return false // gets its own visit from the function-body walk
+		case *ast.AssignStmt:
+			for _, obj := range outerAppendTargets(info, rng, n) {
+				if sortedAfter(info, fnBody, rng, obj) {
+					continue
+				}
+				p.Reportf(n.Pos(), "append to %s inside a channel range leaks goroutine completion order; write results by index (res[s.i] = v) or collect then sort", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// outerAppendTargets returns the objects of every `outer = append(outer, ...)`
+// in the assignment whose target is declared outside the range loop.
+func outerAppendTargets(info *types.Info, rng *ast.RangeStmt, as *ast.AssignStmt) []types.Object {
+	var out []types.Object
 	for i, rhs := range as.Rhs {
 		call, ok := rhs.(*ast.CallExpr)
 		if !ok || len(call.Args) == 0 {
@@ -269,11 +320,9 @@ func checkMapRangeAppend(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as 
 		if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
 			continue
 		}
-		if sortedAfter(info, fnBody, rng, obj) {
-			continue
-		}
-		p.Reportf(as.Pos(), "append to %s inside map iteration leaks Go's randomised map order; collect then sort, or iterate sorted keys", target.Name)
+		out = append(out, obj)
 	}
+	return out
 }
 
 // sortedAfter reports whether, after the range loop, the enclosing function

@@ -69,6 +69,47 @@ func perIteration(m map[string][]int) int {
 	return n
 }
 
+// chanCollect drains a worker pool in completion order: the slice bakes in
+// goroutine scheduling.
+func chanCollect(ch chan int) []int {
+	var out []int
+	for v := range ch {
+		out = append(out, v) // want determinism "leaks goroutine completion order"
+	}
+	return out
+}
+
+// chanCollectSorted is the sanctioned collect-then-sort shape for channels.
+func chanCollectSorted(ch chan int) []int {
+	var out []int
+	for v := range ch {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// chanMergeIndexed is the worker-pool merge idiom: each result carries its
+// input slot, so the merged slice is independent of completion order.
+func chanMergeIndexed(ch chan struct{ I, V int }, n int) []int {
+	res := make([]int, n)
+	for s := range ch {
+		res[s.I] = s.V
+	}
+	return res
+}
+
+// chanPerIteration appends to a slice scoped inside the loop: harmless.
+func chanPerIteration(ch chan int) int {
+	n := 0
+	for v := range ch {
+		var local []int
+		local = append(local, v)
+		n += len(local)
+	}
+	return n
+}
+
 func pickAny(m map[string]int) int {
 	var won int
 	for _, v := range m { // want determinism "selects an arbitrary element"

@@ -8,8 +8,10 @@ import "swift/internal/engine"
 // registration, no per-cell reflection, and the same byte count the Store
 // accounts via EncodedBatchSize. FuzzBatchCodec hammers this boundary.
 
-// EncodeBatch encodes a batch for transfer.
-func EncodeBatch(b *engine.Batch) []byte { return engine.EncodeBatch(b) }
+// EncodeBatch encodes a batch for transfer, dictionary-encoding
+// low-cardinality string columns first (a no-op for batches the Store
+// already dictified).
+func EncodeBatch(b *engine.Batch) []byte { return engine.EncodeBatch(engine.DictifyBatch(b)) }
 
 // DecodeBatch decodes a transferred batch, erroring (never panicking) on
 // truncated or corrupt input.

@@ -31,12 +31,26 @@ func FuzzBatchCodec(f *testing.F) {
 	for _, b := range seedBatches {
 		f.Add(EncodeBatch(b))
 	}
-	// Truncated and corrupt variants seed the error paths.
+	// Dictionary-encoded and selection-vector shapes: a dictified
+	// low-cardinality column (packed sub-byte codes), a single-entry
+	// zero-width dictionary, and a lazy filtered batch (which must encode
+	// as its dense form).
+	f.Add(EncodeBatch(engine.DictifyBatch(engine.NewBatch(
+		engine.StringCol([]string{"x", "y", "x", "x", "y", "x", "z", "x", "x", "x"})))))
+	f.Add(EncodeBatch(engine.DictifyBatch(engine.NewBatch(
+		engine.StringCol([]string{"c", "c", "c", "c", "c", "c", "c", "c"}),
+		engine.Int64Col([]int64{1, 2, 3, 4, 5, 6, 7, 8})))))
+	f.Add(EncodeBatch(engine.FilterBatch(seedBatches[2], func(i int) bool { return i%2 == 0 })))
+	// Truncated and corrupt variants seed the error paths, including a
+	// dictionary code outside its dictionary and rows claimed against an
+	// empty dictionary.
 	full := EncodeBatch(seedBatches[2])
 	f.Add(full[:1])
 	f.Add(full[:len(full)/2])
 	f.Add(append(append([]byte(nil), full...), 0x00))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f, 0x02})
+	f.Add([]byte{1, 1, 5, 0, 3, 1, 'a', 1, 'b', 1, 'c', 0b11})
+	f.Add([]byte{3, 1, 5, 0, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := DecodeBatch(data)
@@ -51,9 +65,12 @@ func FuzzBatchCodec(f *testing.F) {
 		if b2.Len != b.Len || b2.NumCols() != b.NumCols() {
 			t.Fatalf("shape changed: %dx%d -> %dx%d", b.Len, b.NumCols(), b2.Len, b2.NumCols())
 		}
+		isStr := func(ct engine.ColType) bool { return ct == engine.TString || ct == engine.TDict }
 		for c := 0; c < b.NumCols(); c++ {
-			if b2.Cols[c].Type != b.Cols[c].Type {
-				t.Fatalf("col %d type changed: %v -> %v", c, b.Cols[c].Type, b2.Cols[c].Type)
+			// EncodeBatch may dictionary-encode a plain string column (and
+			// never the reverse): TString→TDict is the one legal rewrite.
+			if gt, wt := b2.Cols[c].Type, b.Cols[c].Type; gt != wt && !(isStr(gt) && isStr(wt)) {
+				t.Fatalf("col %d type changed: %v -> %v", c, wt, gt)
 			}
 			for i := 0; i < b.Len; i++ {
 				if b2.IsNull(c, i) != b.IsNull(c, i) || !valueEq(b2.Value(c, i), b.Value(c, i)) {

@@ -14,10 +14,10 @@ go vet ./...
 echo "== go test -race ./internal/engine/..."
 go test -race ./internal/engine/...
 
-echo "== go test -bench . ./internal/engine/ ./internal/tpch/ (benchtime=$BENCHTIME)"
+echo "== go test -bench . ./internal/engine/ ./internal/tpch/ ./internal/exp/ (benchtime=$BENCHTIME)"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
-go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" ./internal/engine/ ./internal/tpch/ | tee "$RAW"
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" ./internal/engine/ ./internal/tpch/ ./internal/exp/ | tee "$RAW"
 
 # Parse the standard bench output lines:
 #   BenchmarkName-8   1234   5678 ns/op   90 B/op   12 allocs/op

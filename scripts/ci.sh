@@ -48,11 +48,21 @@ go run ./cmd/swiftsim -job q9 -machines 20 -executors 8 -seed 7 \
     -trace "$TRACE_TMP/b.json" > /dev/null
 cmp "$TRACE_TMP/a.json" "$TRACE_TMP/b.json"
 
+echo "== parallel sweep determinism smoke (per-seed obs hashes, serial vs parallel)"
+SWEEP="fig3,fig9a,fig12,fig14,table1"
+for SWEEP_SEED in 1 7 13; do
+    go run ./cmd/swiftbench -reduced -seed "$SWEEP_SEED" -run "$SWEEP" -hashes -workers 1 \
+        > "$TRACE_TMP/sweep-serial-$SWEEP_SEED.txt"
+    go run ./cmd/swiftbench -reduced -seed "$SWEEP_SEED" -run "$SWEEP" -hashes -workers 0 \
+        > "$TRACE_TMP/sweep-parallel-$SWEEP_SEED.txt"
+    cmp "$TRACE_TMP/sweep-serial-$SWEEP_SEED.txt" "$TRACE_TMP/sweep-parallel-$SWEEP_SEED.txt"
+done
+
 echo "== fuzz targets build"
 go test -run '^$' -c -o /dev/null ./internal/sqlparse/
 go test -run '^$' -c -o /dev/null ./internal/rpc/
 
 echo "== bench smoke (1 iteration)"
-go test -run '^$' -bench . -benchtime 1x ./internal/engine/ ./internal/tpch/ > /dev/null
+go test -run '^$' -bench . -benchtime 1x ./internal/engine/ ./internal/tpch/ ./internal/exp/ > /dev/null
 
 echo "ci: all green"
