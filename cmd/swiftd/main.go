@@ -1,0 +1,272 @@
+// Command swiftd runs the Swift controller as a long-running service: it
+// accepts streaming job submissions over the rpc plane, pushes every one
+// through the global flow controller (admission control, backpressure,
+// load shedding — see internal/flow), schedules admitted jobs on a
+// simulated cluster, and executes tasks on wall-clock timers scaled by
+// -timescale. SIGINT/SIGTERM or the flow.drain endpoint start a graceful
+// drain: new submissions shed, queued work re-admits, and the process
+// exits 0 once nothing is in flight.
+//
+// Submit jobs with `swiftsim -submit <addr>` (see README).
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"swift/internal/cluster"
+	"swift/internal/core"
+	"swift/internal/dag"
+	"swift/internal/flow"
+	"swift/internal/obs"
+	"swift/internal/rpc"
+	"swift/internal/sim"
+	"swift/internal/trace"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7411", "listen address (use :0 for an ephemeral port)")
+		addrFile  = flag.String("addrfile", "", "write the bound address to this file once listening")
+		machines  = flag.Int("machines", 8, "simulated machines")
+		execs     = flag.Int("executors", 4, "executors per machine")
+		timescale = flag.Float64("timescale", 100, "virtual task seconds per wall second")
+		budget    = flag.Int("budget", 0, "max in-flight tasks (0 = 4x executors)")
+		maxQueue  = flag.Int("maxqueue", 64, "admission wait-queue bound")
+		rate      = flag.Float64("rate", 0, "token-bucket admission rate, jobs/sec (0 = ungoverned)")
+		burst     = flag.Int("burst", 0, "token-bucket capacity (0 = derive from rate)")
+		drainWait = flag.Duration("drainwait", 120*time.Second, "max time to wait for a clean drain")
+		verbose   = flag.Bool("v", false, "log every admission decision")
+	)
+	flag.Parse()
+	os.Exit(run(*addr, *addrFile, *machines, *execs, *timescale, *budget, *maxQueue, *rate, *burst, *drainWait, *verbose))
+}
+
+type daemon struct {
+	svc       *flow.Service
+	reg       *obs.Registry
+	start     time.Time
+	timescale float64
+	verbose   bool
+
+	mu   sync.Mutex
+	jobs map[string]*dag.Job // submitted payloads, for task cost lookup
+
+	drainOnce sync.Once
+	drainReq  chan struct{}
+}
+
+// now is the injected service clock: monotonic wall micros since start.
+func (d *daemon) now() sim.Time { return sim.Time(time.Since(d.start).Microseconds()) }
+
+// onActions is the service's action sink: every started task is armed as a
+// wall-clock timer that reports completion back into the service. Aborts
+// need no timer cancellation — the controller ignores stale attempts.
+func (d *daemon) onActions(_ sim.Time, acts []core.Action) {
+	for _, a := range acts {
+		switch act := a.(type) {
+		case core.ActStartTask:
+			d.armFinish(act)
+		case core.ActJobCompleted:
+			if d.verbose {
+				fmt.Printf("swiftd: job %s completed\n", act.Job)
+			}
+		case core.ActJobFailed:
+			fmt.Printf("swiftd: job %s failed: %s\n", act.Job, act.Reason)
+		case core.ActAbortTask:
+			// No timer cancellation needed: the controller ignores the
+			// stale attempt's finish report.
+		case core.ActResend, core.ActShuffleDegraded:
+			// Data-plane directives; the wall-clock driver models task cost
+			// only, so transfers are free.
+		case core.ActJobRestarted, core.ActMachineHealthy, core.ActMachineReadOnly:
+			// No machine faults or whole-job restarts in service mode.
+		}
+	}
+}
+
+func (d *daemon) armFinish(act core.ActStartTask) {
+	d.mu.Lock()
+	job := d.jobs[act.Task.Job]
+	d.mu.Unlock()
+	secs := 0.05 // default virtual task cost when the trace carries none
+	if job != nil {
+		if st := job.Stage(act.Task.Stage); st != nil && st.Cost.ProcessSecondsPerTask > 0 {
+			secs = st.Cost.ProcessSecondsPerTask
+		}
+	}
+	wall := time.Duration(secs / d.timescale * float64(time.Second))
+	if wall < 200*time.Microsecond {
+		wall = 200 * time.Microsecond
+	}
+	ref, attempt := act.Task, act.Attempt
+	time.AfterFunc(wall, func() { d.svc.TaskFinished(ref, attempt) })
+}
+
+// FlowSubmit implements rpc.FlowHandler: decode the trace-encoded job and
+// push it through admission.
+func (d *daemon) FlowSubmit(id string, payload []byte) (rpc.FlowSubmitReply, error) {
+	tr, err := trace.Read(bytes.NewReader(payload))
+	if err != nil {
+		return rpc.FlowSubmitReply{}, fmt.Errorf("swiftd: decode submission %q: %w", id, err)
+	}
+	if len(tr.Jobs) != 1 {
+		return rpc.FlowSubmitReply{}, fmt.Errorf("swiftd: submission %q carries %d jobs, want exactly 1", id, len(tr.Jobs))
+	}
+	job := tr.Jobs[0].Job
+	d.mu.Lock()
+	d.jobs[job.ID] = job
+	d.mu.Unlock()
+	out, err := d.svc.Submit(job)
+	rep := rpc.FlowSubmitReply{
+		Decision:         out.Decision.String(),
+		Level:            out.Level.String(),
+		QueuePos:         out.QueuePos,
+		RetryAfterMicros: int64(out.RetryAfter),
+	}
+	if err != nil {
+		rep.Reason = err.Error()
+		// Shed/drain rejections carry their flow decision; any other error
+		// (duplicate id, scheduler rejection, isolated panic) happened
+		// outside the admission state machine, and the zero Outcome must
+		// not read as "admitted" on the wire.
+		if !errors.Is(err, flow.ErrOverloaded) && !errors.Is(err, flow.ErrDraining) {
+			rep.Decision = ""
+		}
+	}
+	if d.verbose {
+		fmt.Printf("swiftd: submit %s -> %s (%s) %s\n", job.ID, rep.Decision, rep.Level, rep.Reason)
+	}
+	return rep, nil
+}
+
+// FlowStatus implements rpc.FlowHandler.
+func (d *daemon) FlowStatus() (rpc.FlowStatusReply, error) {
+	st := d.svc.Status()
+	return rpc.FlowStatusReply{
+		LiveJobs:       st.Snapshot.LiveJobs,
+		PendingTasks:   st.Snapshot.PendingTasks,
+		RunningTasks:   st.Snapshot.RunningTasks,
+		DoneTasks:      st.Snapshot.DoneTasks,
+		SchedQueueLen:  st.Snapshot.SchedQueueLen,
+		FreeExecutors:  st.Snapshot.FreeExecutors,
+		TotalExecutors: st.Snapshot.TotalExecutors,
+		Admitted:       st.Flow.Admitted,
+		Queued:         st.Flow.Queued,
+		Shed:           st.Flow.Shed,
+		Decisions:      st.Flow.Decisions,
+		FlowQueueLen:   st.Flow.QueueLen,
+		MaxQueueLen:    st.Flow.MaxQueue,
+		Draining:       st.Flow.Draining,
+		Level:          st.Level.String(),
+		Panics:         st.Panics,
+	}, nil
+}
+
+// FlowCancel implements rpc.FlowHandler.
+func (d *daemon) FlowCancel(id string) (rpc.FlowCancelReply, error) {
+	err := d.svc.Cancel(id)
+	return rpc.FlowCancelReply{Cancelled: err == nil}, nil
+}
+
+// FlowDrain implements rpc.FlowHandler: starts the shutdown sequence.
+func (d *daemon) FlowDrain() error {
+	d.drainOnce.Do(func() { close(d.drainReq) })
+	return nil
+}
+
+func run(addr, addrFile string, machines, execs int, timescale float64, budget, maxQueue int, rate float64, burst int, drainWait time.Duration, verbose bool) int {
+	if timescale <= 0 {
+		timescale = 1
+	}
+	cl := cluster.New(cluster.Config{Machines: machines, ExecutorsPerMachine: execs})
+	reg := obs.NewRegistry()
+	d := &daemon{
+		reg:       reg,
+		start:     time.Now(),
+		timescale: timescale,
+		verbose:   verbose,
+		jobs:      make(map[string]*dag.Job),
+		drainReq:  make(chan struct{}),
+	}
+	fcfg := flow.Config{
+		MaxInFlightTasks: budget,
+		MaxQueue:         maxQueue,
+		Rate:             rate,
+		Burst:            burst,
+		Metrics:          reg,
+	}
+	d.svc = flow.NewService(cl, core.DefaultOptions(), fcfg, d.now)
+	d.svc.SetActionSink(d.onActions)
+
+	server := rpc.NewServer()
+	rpc.ServeFlow(server, d)
+	bound, err := server.Listen(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swiftd: listen %s: %v\n", addr, err)
+		return 1
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "swiftd: write addrfile: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Printf("swiftd: listening on %s (%d machines x %d executors, budget=%d queue=%d rate=%.1f/s timescale=%.0fx)\n",
+		bound, machines, execs, budget, maxQueue, rate, timescale)
+
+	// Periodic tick: refills the token bucket and pumps the wait queue
+	// even when no completions arrive.
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	tickDone := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-tick.C:
+				d.svc.Tick()
+			case <-tickDone:
+				return
+			}
+		}
+	}()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sigc:
+		fmt.Printf("swiftd: %v received, draining\n", s)
+	case <-d.drainReq:
+		fmt.Println("swiftd: drain requested, draining")
+	}
+	d.svc.Drain()
+	code := 0
+	select {
+	case <-d.svc.Drained():
+	case <-time.After(drainWait):
+		fmt.Fprintln(os.Stderr, "swiftd: drain timed out")
+		code = 1
+	case s := <-sigc:
+		fmt.Fprintf(os.Stderr, "swiftd: second %v, aborting drain\n", s)
+		code = 1
+	}
+	close(tickDone)
+	st := d.svc.Status()
+	fmt.Printf("swiftd: drained admitted=%d queued=%d shed=%d live=%d panics=%d\n",
+		st.Flow.Admitted, st.Flow.Queued, st.Flow.Shed, st.Snapshot.LiveJobs, st.Panics)
+	if v := d.svc.Invariants(); len(v) != 0 {
+		for _, msg := range v {
+			fmt.Fprintf(os.Stderr, "swiftd: invariant violated: %s\n", msg)
+		}
+		code = 1
+	}
+	_ = server.Close()
+	return code
+}

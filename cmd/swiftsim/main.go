@@ -7,6 +7,7 @@
 //	swiftsim -job q9 -system swift
 //	swiftsim -job terasort=1000x1000 -system spark -machines 100
 //	swiftsim -job q13 -system swift -failstage J3 -failat 0.4
+//	swiftsim -submit 127.0.0.1:7411 -jobs 80 -drain   (client mode: burst-submit to swiftd)
 package main
 
 import (
@@ -36,7 +37,14 @@ func main() {
 	failAt := flag.Float64("failat", 0.5, "failure time as a fraction of the clean runtime")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	stats := flag.Bool("stats", false, "print the observability snapshot (critical path + counters)")
+	submitAddr := flag.String("submit", "", "client mode: burst-submit generated jobs to the swiftd at this address")
+	submitJobs := flag.Int("jobs", 40, "client mode: number of jobs to submit")
+	drain := flag.Bool("drain", false, "client mode: drain the server after submitting and wait for it to empty")
 	flag.Parse()
+
+	if *submitAddr != "" {
+		os.Exit(runSubmit(*submitAddr, *submitJobs, *seed, *drain))
+	}
 
 	job, err := buildJob(*jobName)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"swift/internal/cluster"
 	"swift/internal/core"
+	"swift/internal/flow"
 	"swift/internal/metrics"
 	"swift/internal/sim"
 )
@@ -25,6 +26,7 @@ type Auditor struct {
 	cl          *cluster.Cluster
 	lastAttempt map[core.TaskRef]int
 	terminal    map[string]string // job -> "completed" | "failed"
+	flowDec     map[string]flow.Decision
 	violations  []string
 	actions     *metrics.Counter
 	hash        uint64
@@ -44,6 +46,7 @@ func NewAuditor(ctrl *core.Controller, cl *cluster.Cluster, checkEvery int) *Aud
 		cl:          cl,
 		lastAttempt: make(map[core.TaskRef]int),
 		terminal:    make(map[string]string),
+		flowDec:     make(map[string]flow.Decision),
 		actions:     metrics.NewCounter(),
 		hash:        fnv1aOffset,
 		checkEvery:  checkEvery,
@@ -140,6 +143,31 @@ func (a *Auditor) OnAction(now sim.Time, act core.Action) {
 		// Mode downgrades are validated by the controller's own invariant
 		// sweep (CheckInvariants) at the next event boundary.
 	}
+}
+
+// FlowDecision records one admission decision for submission id and
+// enforces the exactly-once rule: every submission is decided exactly once
+// at offer time (fromQueue false), and the only legal later transition is
+// a queued submission's release into the scheduler (fromQueue true). The
+// decision stream folds into the trace hash, so admission is part of the
+// determinism witness.
+func (a *Auditor) FlowDecision(now sim.Time, id string, d flow.Decision, fromQueue bool) {
+	a.fold(fmt.Sprintf("flow|%d|%s|%s|%v\n", now, id, d, fromQueue))
+	prev, seen := a.flowDec[id]
+	switch {
+	case fromQueue && (!seen || prev != flow.Queued || d != flow.Admitted):
+		a.violate(now, "flow: queue release of %s is not a queued->admitted transition (prev seen=%v %v, now %v)", id, seen, prev, d)
+	case !fromQueue && seen:
+		a.violate(now, "flow: submission %s decided twice (%v then %v)", id, prev, d)
+	}
+	a.flowDec[id] = d
+}
+
+// FlowOutcome returns the final admission state of one submission and
+// whether any decision was ever recorded for it.
+func (a *Auditor) FlowOutcome(id string) (flow.Decision, bool) {
+	d, ok := a.flowDec[id]
+	return d, ok
 }
 
 // AfterEvent is the event-boundary hook: the controller has processed one

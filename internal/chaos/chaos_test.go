@@ -7,6 +7,7 @@ import (
 
 	"swift/internal/cluster"
 	"swift/internal/core"
+	"swift/internal/flow"
 	"swift/internal/sim"
 )
 
@@ -42,10 +43,34 @@ func TestGenerateScheduleDeterministicAndComplete(t *testing.T) {
 			t.Fatalf("schedule unsorted at %d", i)
 		}
 	}
+	// Every enabled kind appears; the default profile deliberately leaves
+	// overload bursts off (they need an admission plane to storm).
+	rates := p.rates()
 	for k := FaultKind(0); k < numFaultKinds; k++ {
+		if rates[k] <= 0 {
+			if seen[k] {
+				t.Errorf("disabled kind %v generated", k)
+			}
+			continue
+		}
 		if !seen[k] {
 			t.Errorf("default profile never generated %v over 120s", k)
 		}
+	}
+	// An overload-enabled profile generates sized bursts.
+	p.OverloadPerMin = 3
+	p.OverloadBurst = 17
+	bursts := 0
+	for _, f := range GenerateSchedule(rand.New(rand.NewSource(42)), p, 120*sim.Second, 20, 80) {
+		if f.Kind == KindOverload {
+			bursts++
+			if f.Count != 17 {
+				t.Fatalf("overload burst count = %d, want 17", f.Count)
+			}
+		}
+	}
+	if bursts == 0 {
+		t.Error("overload-enabled profile generated no bursts over 120s")
 	}
 }
 
@@ -91,6 +116,73 @@ func TestSoakDeterminism(t *testing.T) {
 	c := Run(Config{Seed: 8})
 	if c.TraceHash == a.TraceHash {
 		t.Error("different seeds produced the same trace hash")
+	}
+}
+
+// herdConfig is the thundering-herd soak: the regular fault storm plus
+// overload bursts against a small admission plane, so all three decisions
+// (admit, queue, shed) occur under fire.
+func herdConfig(seed int64) Config {
+	p := DefaultProfile()
+	p.OverloadPerMin = 2
+	p.OverloadBurst = 25
+	return Config{
+		Seed:    seed,
+		Profile: &p,
+		Flow:    &flow.Config{MaxQueue: 6, Rate: 5, Burst: 4},
+		// Admission spreads the same work over more wall clock: a queued
+		// oversized job can only start once the cluster is idle, so the
+		// makespan tail is longer than the direct-submission soak's.
+		Horizon: 14400 * sim.Second,
+	}
+}
+
+// TestThunderingHerdSoak is the admission-control chaos gate: every
+// submission — trace arrival or burst — gets exactly one decision, no
+// admitted job is lost, shed and queued jobs never touch the scheduler,
+// and the wait queue stays within its bound. -chaos.seeds widens it.
+func TestThunderingHerdSoak(t *testing.T) {
+	sawShed := false
+	for seed := int64(0); seed < int64(*chaosSeeds); seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			res := Run(herdConfig(seed))
+			t.Log(res)
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if !res.Quiesced {
+				t.Error("simulation did not quiesce within the step budget")
+			}
+			if res.Injected.Get(KindOverload.String()) == 0 {
+				t.Error("no overload bursts injected")
+			}
+			if res.FlowAdmitted == 0 {
+				t.Error("no submissions admitted")
+			}
+			if res.FlowShed > 0 {
+				sawShed = true
+			}
+		})
+	}
+	if !sawShed {
+		t.Error("no seed ever shed load: the herd never overwhelmed the queue")
+	}
+}
+
+// TestThunderingHerdDeterminism re-runs one herd seed and requires
+// byte-identical traces and admission tallies.
+func TestThunderingHerdDeterminism(t *testing.T) {
+	a := Run(herdConfig(3))
+	b := Run(herdConfig(3))
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("trace hash differs across runs of the same seed: %016x vs %016x", a.TraceHash, b.TraceHash)
+	}
+	if a.FlowAdmitted != b.FlowAdmitted || a.FlowShed != b.FlowShed || a.FlowQueuedEnd != b.FlowQueuedEnd {
+		t.Fatalf("admission tallies differ: %v vs %v", a, b)
+	}
+	if a.Completed != b.Completed || a.Failed != b.Failed || a.Makespan != b.Makespan {
+		t.Fatalf("outcome differs: %v vs %v", a, b)
 	}
 }
 

@@ -35,6 +35,10 @@ const (
 	KindCacheWorkerCrash
 	// KindStraggler slows one running task down by Fault.Factor.
 	KindStraggler
+	// KindOverload is a thundering herd: Fault.Count extra job submissions
+	// arrive at one tick, stressing the admission plane. It only applies to
+	// soaks configured with a flow controller (Config.Flow).
+	KindOverload
 
 	numFaultKinds
 )
@@ -58,6 +62,8 @@ func (k FaultKind) String() string {
 		return "cacheworker-crash"
 	case KindStraggler:
 		return "straggler"
+	case KindOverload:
+		return "overload"
 	}
 	return "unknown"
 }
@@ -76,6 +82,9 @@ type Fault struct {
 	// AppErr surfaces a task crash as an application error (job-fatal,
 	// Section IV-C) instead of an infrastructure failure.
 	AppErr bool
+	// Count is the overload burst size: how many extra submissions arrive
+	// at this fault's tick.
+	Count int
 }
 
 // Profile sets per-kind mean arrival rates (faults per minute of virtual
@@ -106,6 +115,12 @@ type Profile struct {
 	// SlowdownMax bounds the straggler factor, drawn uniformly from
 	// (1, SlowdownMax].
 	SlowdownMax float64
+	// OverloadPerMin is the thundering-herd arrival rate; the default
+	// profile leaves it 0 because overload bursts only make sense against
+	// a soak with admission control enabled (Config.Flow).
+	OverloadPerMin float64
+	// OverloadBurst is the submission count per overload fault (default 20).
+	OverloadBurst int
 }
 
 // DefaultProfile returns a storm that exercises every fault kind hard but
@@ -141,6 +156,7 @@ func (p Profile) rates() [numFaultKinds]float64 {
 		KindOutputLost:       p.OutputLostPerMin,
 		KindCacheWorkerCrash: p.CacheWorkerCrashPerMin,
 		KindStraggler:        p.StragglerPerMin,
+		KindOverload:         p.OverloadPerMin,
 	}
 }
 
@@ -183,6 +199,11 @@ func GenerateSchedule(rng *rand.Rand, p Profile, window sim.Duration, machines, 
 				case KindTaskTimeout, KindOutputLost:
 					// task-scoped with no extra parameters: the victim is
 					// drawn from the live tasks at injection time.
+				case KindOverload:
+					f.Count = p.OverloadBurst
+					if f.Count <= 0 {
+						f.Count = 20
+					}
 				}
 				out = append(out, f)
 			}

@@ -6,6 +6,8 @@ import (
 
 	"swift/internal/cluster"
 	"swift/internal/core"
+	"swift/internal/dag"
+	"swift/internal/flow"
 	"swift/internal/metrics"
 	"swift/internal/sim"
 	"swift/internal/simrun"
@@ -42,6 +44,12 @@ type Config struct {
 	// Options overrides the controller configuration (default
 	// core.DefaultOptions).
 	Options *core.Options
+	// Flow enables admission control: every submission (trace arrivals and
+	// overload bursts alike) passes through a flow controller with this
+	// configuration before reaching the scheduler, and the auditor enforces
+	// the admission invariants (exactly-once decisions, bounded queue, no
+	// admitted job lost). Nil runs the legacy direct-submission soak.
+	Flow *flow.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -106,12 +114,22 @@ type Result struct {
 	// seconds.
 	MeanLatency float64
 	Quiesced    bool
+	// Flow tallies admission outcomes when Config.Flow is set: jobs that
+	// ever entered the scheduler, jobs shed at the door, and jobs still
+	// parked in the wait queue at the horizon.
+	FlowAdmitted  int
+	FlowShed      int
+	FlowQueuedEnd int
 }
 
 // String renders a one-line summary.
 func (r *Result) String() string {
-	return fmt.Sprintf("seed=%d jobs=%d done=%d failed=%d unfinished=%d violations=%d hash=%016x faults[%s] restarts=%d resends=%d last-finish=%.0fs mean-latency=%.1fs",
+	s := fmt.Sprintf("seed=%d jobs=%d done=%d failed=%d unfinished=%d violations=%d hash=%016x faults[%s] restarts=%d resends=%d last-finish=%.0fs mean-latency=%.1fs",
 		r.Seed, r.Jobs, r.Completed, r.Failed, r.Unfinished, len(r.Violations), r.TraceHash, r.Injected, r.Restarts, r.Resends, r.LastFinish.Seconds(), r.MeanLatency)
+	if r.FlowAdmitted+r.FlowShed+r.FlowQueuedEnd > 0 {
+		s += fmt.Sprintf(" flow[admitted=%d shed=%d queued-end=%d]", r.FlowAdmitted, r.FlowShed, r.FlowQueuedEnd)
+	}
+	return s
 }
 
 // Run executes one fully deterministic chaos soak: generate the workload
@@ -135,7 +153,70 @@ func Run(cfg Config) *Result {
 	})
 	aud := NewAuditor(runner.Controller(), runner.Cluster(), cfg.CheckEvery)
 	runner.SetActionHook(aud.OnAction)
-	runner.SetEventHook(aud.AfterEvent)
+
+	ctrl := runner.Controller()
+	eng := runner.Engine()
+
+	// With admission control enabled, every submission is offered to the
+	// flow controller instead of reaching the scheduler directly; queued
+	// work is pumped back in at event boundaries and on a 1 s tick while
+	// the wait queue is nonempty (the tick keeps the queue draining when
+	// the cluster goes quiet with the governor dry).
+	var fc *flow.Controller
+	var offered []*dag.Job
+	if cfg.Flow != nil {
+		fc = flow.NewController(*cfg.Flow, cfg.Machines*cfg.ExecutorsPerMachine)
+	}
+	pumping := false
+	tickArmed := false
+	var pumpTick func()
+	armTick := func() {
+		if fc != nil && !tickArmed && fc.QueueLen() > 0 {
+			tickArmed = true
+			eng.After(sim.Second, pumpTick)
+		}
+	}
+	pump := func(now sim.Time) {
+		if pumping {
+			return
+		}
+		pumping = true
+		for {
+			it, ok := fc.PopAdmissible(now, ctrl.Snapshot())
+			if !ok {
+				break
+			}
+			aud.FlowDecision(now, it.ID, flow.Admitted, true)
+			_ = runner.Submit(it.Payload.(*dag.Job))
+		}
+		pumping = false
+		armTick()
+	}
+	pumpTick = func() {
+		tickArmed = false
+		if !pumping {
+			pump(eng.Now())
+		}
+		armTick()
+	}
+	offer := func(job *dag.Job) {
+		now := eng.Now()
+		offered = append(offered, job)
+		out, _ := fc.Offer(now, ctrl.Snapshot(), flow.Item{ID: job.ID, Tasks: job.NumTasks(), Payload: job, Enqueued: now})
+		aud.FlowDecision(now, job.ID, out.Decision, false)
+		if out.Decision == flow.Admitted {
+			_ = runner.Submit(job)
+		}
+		armTick()
+	}
+	if fc == nil {
+		runner.SetEventHook(aud.AfterEvent)
+	} else {
+		runner.SetEventHook(func(now sim.Time) {
+			aud.AfterEvent(now)
+			pump(now)
+		})
+	}
 
 	tr := trace.Generate(trace.Spec{
 		Jobs:          cfg.Jobs,
@@ -143,17 +224,45 @@ func Run(cfg Config) *Result {
 		ArrivalWindow: cfg.ArrivalWindow.Seconds(),
 	})
 	for _, j := range tr.Jobs {
-		runner.SubmitAt(sim.FromSeconds(j.SubmitAt), j.Job)
+		if fc != nil {
+			j := j
+			eng.At(sim.FromSeconds(j.SubmitAt), func() { offer(j.Job) })
+		} else {
+			runner.SubmitAt(sim.FromSeconds(j.SubmitAt), j.Job)
+		}
 	}
 
-	// Distinct derived seeds keep the three random streams (workload,
-	// schedule shape, injection-time victim picks) independent.
+	// Distinct derived seeds keep the four random streams (workload,
+	// schedule shape, injection-time victim picks, overload-burst
+	// workloads) independent.
 	schedule := GenerateSchedule(rand.New(rand.NewSource(cfg.Seed<<1|1)), *cfg.Profile,
 		cfg.FaultWindow, cfg.Machines, cfg.Machines*cfg.ExecutorsPerMachine)
 	applyRng := rand.New(rand.NewSource(cfg.Seed<<2 | 3))
-	eng := runner.Engine()
+	overloadIdx := 0
 	for _, f := range schedule {
 		f := f
+		if f.Kind == KindOverload {
+			// Overload bursts are submission storms, not injected faults:
+			// they never reach apply(). Without a flow controller there is
+			// no admission plane to storm, so they are recorded as skipped.
+			if fc == nil {
+				res.Skipped.Add(f.Kind.String(), 1)
+				continue
+			}
+			idx := overloadIdx
+			overloadIdx++
+			eng.At(f.At, func() {
+				burst := trace.Generate(trace.Spec{Jobs: f.Count, Seed: (cfg.Seed<<3 | 5) + int64(idx)*7919})
+				for k, bj := range burst.Jobs {
+					bj.Job.ID = fmt.Sprintf("ovl%d-%d", idx, k)
+					offer(bj.Job)
+				}
+				res.Injected.Add(f.Kind.String(), 1)
+				aud.Fold(fmt.Sprintf("fault|%d|%s|burst%dx%d\n", eng.Now(), f.Kind, idx, f.Count))
+				cfg.Options.Obs.Fault(f.Kind.String(), fmt.Sprintf("burst%d", idx))
+			})
+			continue
+		}
 		eng.At(f.At, func() {
 			target, ok := apply(runner, f, applyRng, cfg.Profile)
 			if ok {
@@ -176,19 +285,63 @@ func Run(cfg Config) *Result {
 	}
 	aud.CheckNow(end)
 
-	// Bounded termination: at the horizon every submitted job is done or
-	// failed.
-	ctrl := runner.Controller()
-	for _, j := range tr.Jobs {
-		switch {
-		case ctrl.JobDone(j.Job.ID):
-			res.Completed++
-		case ctrl.JobFailed(j.Job.ID):
-			res.Failed++
-		default:
-			res.Unfinished++
-			aud.violate(end, "job %s neither done nor failed at the horizon", j.Job.ID)
+	// Bounded termination. Without admission control, every submitted job
+	// must be done or failed at the horizon. With it, the obligation moves
+	// to the admission ledger: every offer got exactly one decision,
+	// admitted jobs are terminal, queued/shed jobs never touched the
+	// scheduler, and the wait queue never exceeded its bound.
+	if fc == nil {
+		for _, j := range tr.Jobs {
+			switch {
+			case ctrl.JobDone(j.Job.ID):
+				res.Completed++
+			case ctrl.JobFailed(j.Job.ID):
+				res.Failed++
+			default:
+				res.Unfinished++
+				aud.violate(end, "job %s neither done nor failed at the horizon", j.Job.ID)
+			}
 		}
+	} else {
+		for _, job := range offered {
+			dec, ok := aud.FlowOutcome(job.ID)
+			if !ok {
+				aud.violate(end, "flow: submission %s never received an admission decision", job.ID)
+				continue
+			}
+			switch dec {
+			case flow.Admitted:
+				res.FlowAdmitted++
+				switch {
+				case ctrl.JobDone(job.ID):
+					res.Completed++
+				case ctrl.JobFailed(job.ID):
+					res.Failed++
+				default:
+					res.Unfinished++
+					aud.violate(end, "admitted job %s neither done nor failed at the horizon", job.ID)
+				}
+			case flow.Queued:
+				res.FlowQueuedEnd++
+				if ctrl.JobDone(job.ID) || ctrl.JobFailed(job.ID) {
+					aud.violate(end, "queued job %s reached the scheduler without a release decision", job.ID)
+				}
+			case flow.Shed:
+				res.FlowShed++
+				if ctrl.JobDone(job.ID) || ctrl.JobFailed(job.ID) {
+					aud.violate(end, "shed job %s reached the scheduler", job.ID)
+				}
+			}
+		}
+		st := fc.Stats()
+		if st.MaxQueue > fc.MaxQueue() {
+			aud.violate(end, "flow wait queue peaked at %d, above its bound %d", st.MaxQueue, fc.MaxQueue())
+		}
+		if st.QueueLen != res.FlowQueuedEnd {
+			aud.violate(end, "flow queue length %d disagrees with %d queued-at-horizon decisions", st.QueueLen, res.FlowQueuedEnd)
+		}
+		// The final admission tallies are part of the determinism witness.
+		aud.Fold(fmt.Sprintf("flowstats|%d|%d|%d|%d\n", st.Admitted, st.Queued, st.Shed, st.QueueLen))
 	}
 	latency := 0.0
 	for _, jr := range runner.Results().Jobs {
@@ -266,6 +419,11 @@ func apply(r *simrun.Runner, f Fault, rng *rand.Rand, p *Profile) (string, bool)
 			return "", false
 		}
 		return fmt.Sprintf("%s*%.2f", ref, f.Factor), r.SlowTask(ref, f.Factor)
+	case KindOverload:
+		// Submission storms are interpreted by the soak's admission plane
+		// (Run), never injected into the cluster; reaching here means the
+		// soak had no flow controller, and the fault does not apply.
+		return "", false
 	}
 	return "", false
 }

@@ -122,6 +122,7 @@ func (c *Controller) CheckInvariants() []string {
 	var v []string
 	seenExec := make(map[cluster.ExecutorID]TaskRef)
 	totalRunning := 0
+	totalPending, totalDone, liveJobs := 0, 0, 0
 	disordered := 0
 
 	for _, jobID := range c.order {
@@ -129,6 +130,7 @@ func (c *Controller) CheckInvariants() []string {
 		if m == nil || m.done || m.failed {
 			continue
 		}
+		liveJobs++
 		queued := make(map[int]int) // graphlet -> queue entries
 		for _, it := range c.queue {
 			if it.job == jobID {
@@ -155,6 +157,7 @@ func (c *Controller) CheckInvariants() []string {
 				ref := TaskRef{Job: jobID, Stage: name, Index: i}
 				switch st.status[i] {
 				case tPending:
+					totalPending++
 					if n := pendingInQueue[st.graphlet][taskKey(m, ref)]; n != 1 {
 						v = append(v, fmt.Sprintf("%s: pending task %s appears %d times in graphlet %d's pending queue (want 1)", jobID, ref, n, st.graphlet))
 					}
@@ -178,6 +181,7 @@ func (c *Controller) CheckInvariants() []string {
 					}
 				case tDone:
 					doneCount++
+					totalDone++
 					if n := pendingInQueue[st.graphlet][taskKey(m, ref)]; n != 0 {
 						v = append(v, fmt.Sprintf("%s: done task %s also in pending queue", jobID, ref))
 					}
@@ -261,6 +265,12 @@ func (c *Controller) CheckInvariants() []string {
 	}
 	if disordered != c.disorderedRuns {
 		v = append(v, fmt.Sprintf("disordered-run counter %d != %d flagged graphlet runs", c.disorderedRuns, disordered))
+	}
+	// Snapshot aggregates: the incremental counters behind the O(1)
+	// Snapshot() accessor must match a full recount of live-job state.
+	if liveJobs != c.snapLive || totalPending != c.snapPending || totalRunning != c.snapRunning || totalDone != c.snapDone {
+		v = append(v, fmt.Sprintf("snapshot counters (live=%d pending=%d running=%d done=%d) != recount (live=%d pending=%d running=%d done=%d)",
+			c.snapLive, c.snapPending, c.snapRunning, c.snapDone, liveJobs, totalPending, totalRunning, totalDone))
 	}
 	return v
 }

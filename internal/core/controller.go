@@ -100,6 +100,14 @@ type Controller struct {
 	// anywhere, so the scheduler's deadlock check — an O(queue) scan — is
 	// skipped entirely on the hot fault-free path.
 	disorderedRuns int
+	// Incrementally maintained aggregates behind Snapshot(); every task
+	// state transition adjusts them in O(1) (see snapshot.go). Invariance
+	// against a full recount is asserted by CheckInvariants.
+	snapVersion uint64
+	snapLive    int
+	snapPending int
+	snapRunning int
+	snapDone    int
 }
 
 type reqItem struct {
@@ -194,6 +202,7 @@ func (c *Controller) SubmitJob(job *dag.Job) error {
 	m.gruns = c.buildGraphletRuns(m)
 	c.jobs[job.ID] = m
 	c.order = append(c.order, job.ID)
+	c.snapAdmit(job.NumTasks())
 	c.enqueueReady(m)
 	c.schedule()
 	return nil
@@ -520,6 +529,7 @@ func (c *Controller) launch(m *monitor, run *graphletRun, ref TaskRef, e cluster
 	st.attempt[ref.Index]++
 	st.started[ref.Index] = true
 	run.running++
+	c.snapDelta(-1, 1, 0)
 	c.emit(ActStartTask{
 		Task:     ref,
 		Executor: e,
@@ -554,6 +564,7 @@ func (c *Controller) TaskFinished(ref TaskRef, attempt int) {
 	}
 	st.status[ref.Index] = tDone
 	st.done++
+	c.snapDelta(0, -1, 1)
 	run := m.gruns[st.graphlet]
 	run.running--
 	e := st.executor[ref.Index]
@@ -590,6 +601,7 @@ func (c *Controller) checkJobDone(m *monitor) {
 		}
 	}
 	m.done = true
+	c.snapClose(m)
 	c.emit(ActJobCompleted{Job: m.job.ID})
 }
 

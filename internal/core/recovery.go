@@ -108,6 +108,7 @@ func (c *Controller) releaseRunning(m *monitor, ref TaskRef) {
 		c.cl.Release([]cluster.ExecutorID{e})
 	}
 	st.status[ref.Index] = tPending
+	c.snapDelta(1, -1, 0)
 }
 
 // markPending resets a task for re-execution with the given reason and
@@ -117,6 +118,7 @@ func (c *Controller) releaseRunning(m *monitor, ref TaskRef) {
 // producers are revived here, transitively up the DAG.
 func (c *Controller) markPending(m *monitor, ref TaskRef, reason StartReason) {
 	st := m.stages[ref.Stage]
+	c.snapMarkPending(st.status[ref.Index])
 	st.status[ref.Index] = tPending
 	st.reason[ref.Index] = reason
 	st.lost[ref.Index] = false // a re-run regenerates the output
@@ -395,6 +397,13 @@ func (c *Controller) ExecutorRestarted(e cluster.ExecutorID) {
 func (c *Controller) restartJob(m *monitor) {
 	c.abortAll(m)
 	m.restarts++
+	// abortAll released every running task to pending, so only completed
+	// tasks change aggregate state in the wholesale reset below.
+	doneTasks := 0
+	for _, st := range m.stages {
+		doneTasks += st.done
+	}
+	c.snapDelta(doneTasks, 0, -doneTasks)
 	for name, st := range m.stages {
 		tasks := m.job.Stage(name).Tasks
 		*st = stageState{
@@ -451,10 +460,26 @@ func (c *Controller) dropDisordered(m *monitor) {
 	}
 }
 
+// CancelJob aborts a live job on client request: every running task is
+// aborted, executors return to the pool, and the job leaves the live set
+// as failed with the given reason.
+func (c *Controller) CancelJob(job, reason string) error {
+	m := c.jobs[job]
+	if m == nil {
+		return fmt.Errorf("core: unknown job %q", job)
+	}
+	if m.done || m.failed {
+		return fmt.Errorf("core: job %q already terminal", job)
+	}
+	c.failJob(m, "cancelled: "+reason)
+	return nil
+}
+
 // failJob abandons a job.
 func (c *Controller) failJob(m *monitor, reason string) {
 	c.abortAll(m)
 	m.failed = true
+	c.snapClose(m)
 	c.dropDisordered(m)
 	var q []reqItem
 	for _, it := range c.queue {

@@ -1,0 +1,89 @@
+package core
+
+// StateSnapshot is the O(1) aggregate view of the controller that admission
+// control reads on every flow decision. The counters are maintained
+// incrementally at each task state transition (O(delta) per event, never a
+// full sweep), so a long-running service can consult them on every arriving
+// submission without walking the job table. Version increments on every
+// mutation, letting callers detect staleness across their own decisions.
+type StateSnapshot struct {
+	Version        uint64
+	LiveJobs       int // admitted, not yet completed or failed
+	PendingTasks   int // tasks of live jobs awaiting an executor
+	RunningTasks   int // tasks of live jobs currently placed
+	DoneTasks      int // completed tasks of live jobs
+	SchedQueueLen  int // graphlet resource requests waiting in the scheduler
+	FreeExecutors  int
+	TotalExecutors int
+}
+
+// InFlightTasks is the admission-control budget consumer: work the cluster
+// has accepted but not finished.
+func (s StateSnapshot) InFlightTasks() int { return s.PendingTasks + s.RunningTasks }
+
+// Snapshot returns the current aggregate state in O(1).
+func (c *Controller) Snapshot() StateSnapshot {
+	return StateSnapshot{
+		Version:        c.snapVersion,
+		LiveJobs:       c.snapLive,
+		PendingTasks:   c.snapPending,
+		RunningTasks:   c.snapRunning,
+		DoneTasks:      c.snapDone,
+		SchedQueueLen:  len(c.queue),
+		FreeExecutors:  c.cl.FreeExecutors(),
+		TotalExecutors: c.cl.NumExecutors(),
+	}
+}
+
+// snapDelta applies one incremental task-count adjustment.
+func (c *Controller) snapDelta(dPending, dRunning, dDone int) {
+	c.snapVersion++
+	c.snapPending += dPending
+	c.snapRunning += dRunning
+	c.snapDone += dDone
+}
+
+// snapAdmit accounts a freshly admitted job: all tasks start pending.
+func (c *Controller) snapAdmit(tasks int) {
+	c.snapVersion++
+	c.snapLive++
+	c.snapPending += tasks
+}
+
+// snapClose removes a job leaving the live set (completed or failed) from
+// the aggregates. O(tasks of the job), paid once per job lifetime.
+func (c *Controller) snapClose(m *monitor) {
+	p, r, d := 0, 0, 0
+	for _, st := range m.stages {
+		for i := range st.status {
+			switch st.status[i] {
+			case tPending:
+				p++
+			case tRunning:
+				r++
+			case tDone:
+				d++
+			}
+		}
+	}
+	c.snapVersion++
+	c.snapLive--
+	c.snapPending -= p
+	c.snapRunning -= r
+	c.snapDone -= d
+}
+
+// snapMarkPending accounts a task transitioning to tPending from its
+// current status. Must be called BEFORE the status is overwritten.
+func (c *Controller) snapMarkPending(prev taskStatus) {
+	switch prev {
+	case tDone:
+		c.snapDelta(1, 0, -1)
+	case tRunning:
+		// Callers release the executor (→ tPending) before re-marking, so
+		// this arm is defensive only.
+		c.snapDelta(1, -1, 0)
+	case tPending:
+		c.snapVersion++
+	}
+}

@@ -1,0 +1,54 @@
+package exp
+
+import "testing"
+
+// TestFlowBurstShape asserts the sustained-load sweep's shape: baseline
+// load admits everything with no shedding, 10x load sheds, admission waits
+// grow with intensity, and the in-flight gauge respects the budget bound
+// max(budget, largest job) at every intensity.
+func TestFlowBurstShape(t *testing.T) {
+	rows := FlowBurst(cfg())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%+v", r)
+		if r.Admitted+r.Shed+r.Queued < r.Offered-r.Queued {
+			// Every offer is decided: admitted directly, queued (then
+			// admitted or still parked), or shed.
+			t.Errorf("%s: decisions do not cover offers: %+v", r.Burst, r)
+		}
+		bound := r.Budget
+		if r.MaxJobTasks > bound {
+			bound = r.MaxJobTasks
+		}
+		if r.MaxInFlight > bound {
+			t.Errorf("%s: in-flight peak %d exceeds max(budget %d, largest job %d)",
+				r.Burst, r.MaxInFlight, r.Budget, r.MaxJobTasks)
+		}
+		if r.Completed > r.Admitted {
+			t.Errorf("%s: completed %d > admitted %d", r.Burst, r.Completed, r.Admitted)
+		}
+	}
+	if base := rows[0]; base.Shed != 0 || base.Admitted != base.Offered {
+		t.Errorf("1x load should admit everything: %+v", base)
+	}
+	if storm := rows[2]; storm.Shed == 0 {
+		t.Errorf("10x load never shed: %+v", storm)
+	}
+	if rows[2].WaitP99 < rows[0].WaitP99 {
+		t.Errorf("wait p99 should not shrink under 10x load: %.2f vs %.2f",
+			rows[2].WaitP99, rows[0].WaitP99)
+	}
+}
+
+// TestFlowBurstDeterministic pins the sweep as a pure function of its
+// seed, so the flowburst report can join the RunAll determinism witness.
+func TestFlowBurstDeterministic(t *testing.T) {
+	a, b := FlowBurst(cfg()), FlowBurst(cfg())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -80,18 +80,19 @@ func Names() []string {
 
 // registry maps experiment ids to report functions.
 var registry = map[string]func(Config, io.Writer) error{
-	"fig3":   reportFig3,
-	"fig8":   reportFig8,
-	"fig9a":  reportFig9a,
-	"fig9b":  reportFig9b,
-	"table1": reportTable1,
-	"fig10":  reportFig10,
-	"fig11":  reportFig11,
-	"fig12":  reportFig12,
-	"fig13":  reportFig13,
-	"fig14":  reportFig14,
-	"fig15":  reportFig15,
-	"fig16":  reportFig16,
+	"fig3":      reportFig3,
+	"fig8":      reportFig8,
+	"fig9a":     reportFig9a,
+	"fig9b":     reportFig9b,
+	"table1":    reportTable1,
+	"fig10":     reportFig10,
+	"fig11":     reportFig11,
+	"fig12":     reportFig12,
+	"fig13":     reportFig13,
+	"fig14":     reportFig14,
+	"fig15":     reportFig15,
+	"fig16":     reportFig16,
+	"flowburst": reportFlowBurst,
 }
 
 // Run executes one named experiment and writes its paper-style report. It
@@ -236,6 +237,16 @@ func reportFig15(cfg Config, w io.Writer) error {
 		Headers: []string{"policy", "mean_slowdown_%", "quartiles(normalized)"}}
 	t.Add("fine-grained (Swift)", res.SwiftSlowdownPct, res.SwiftQuartiles.String())
 	t.Add("job restart", res.RestartSlowdownPct, res.RestartQuartiles.String())
+	_, err := t.WriteTo(w)
+	return err
+}
+
+func reportFlowBurst(cfg Config, w io.Writer) error {
+	t := &Table{Title: "Sustained load — admission control under 1x/3x/10x arrival storms",
+		Headers: []string{"burst", "offered", "admitted", "queued", "shed", "wait_p50_s", "wait_p99_s", "max_queue", "max_inflight", "budget", "completed"}}
+	for _, r := range FlowBurst(cfg) {
+		t.Add(r.Burst, r.Offered, r.Admitted, r.Queued, r.Shed, r.WaitP50, r.WaitP99, r.MaxQueueSeen, r.MaxInFlight, r.Budget, r.Completed)
+	}
 	_, err := t.WriteTo(w)
 	return err
 }

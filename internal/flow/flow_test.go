@@ -1,0 +1,246 @@
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"swift/internal/core"
+	"swift/internal/obs"
+	"swift/internal/sim"
+)
+
+func snap(free, total, inflight, queue int) core.StateSnapshot {
+	return core.StateSnapshot{
+		PendingTasks:   inflight,
+		SchedQueueLen:  queue,
+		FreeExecutors:  free,
+		TotalExecutors: total,
+	}
+}
+
+func item(id string, tasks int) Item { return Item{ID: id, Tasks: tasks, Payload: id} }
+
+// The accept → queue → shed ladder: direct admits while budget and queue
+// allow, queueing when the budget is full, shedding once the queue is.
+func TestOfferLadder(t *testing.T) {
+	f := NewController(Config{MaxInFlightTasks: 10, MaxQueue: 2}, 4)
+	idle := snap(4, 4, 0, 0)
+	out, err := f.Offer(0, idle, item("a", 8))
+	if err != nil || out.Decision != Admitted || out.Level != LevelAccept {
+		t.Fatalf("idle offer = %+v, %v", out, err)
+	}
+	busy := snap(0, 4, 8, 1)
+	out, err = f.Offer(1, busy, item("b", 8))
+	if err != nil || out.Decision != Queued || out.QueuePos != 1 {
+		t.Fatalf("over-budget offer = %+v, %v", out, err)
+	}
+	out, err = f.Offer(2, busy, item("c", 8))
+	if err != nil || out.Decision != Queued || out.QueuePos != 2 {
+		t.Fatalf("second queued offer = %+v, %v", out, err)
+	}
+	out, err = f.Offer(3, busy, item("d", 8))
+	if out.Decision != Shed || err == nil {
+		t.Fatalf("full-queue offer = %+v, %v", out, err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("shed error %v is not a typed OverloadError matching ErrOverloaded", err)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Fatal("shed rejection carries no retry-after hint")
+	}
+	if got := f.Stats(); got.Admitted != 1 || got.Queued != 2 || got.Shed != 1 || got.MaxQueue != 2 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+// Arrivals behind a non-empty queue never jump it, even with budget room.
+func TestNoQueueJumping(t *testing.T) {
+	f := NewController(Config{MaxInFlightTasks: 10, MaxQueue: 4}, 4)
+	if out, _ := f.Offer(0, snap(0, 4, 10, 0), item("big", 4)); out.Decision != Queued {
+		t.Fatalf("setup: big not queued: %+v", out)
+	}
+	// Capacity for a small job exists now, but FIFO order wins.
+	if out, _ := f.Offer(1, snap(4, 4, 2, 0), item("small", 1)); out.Decision != Queued || out.QueuePos != 2 {
+		t.Fatalf("small arrival jumped the queue: %+v", out)
+	}
+}
+
+// PopAdmissible releases FIFO-ordered work only when it fits the budget.
+func TestPopAdmissible(t *testing.T) {
+	f := NewController(Config{MaxInFlightTasks: 10, MaxQueue: 4}, 4)
+	full := snap(0, 4, 10, 0)
+	for i := 0; i < 3; i++ {
+		if out, _ := f.Offer(sim.Time(i), full, item(fmt.Sprintf("j%d", i), 4)); out.Decision != Queued {
+			t.Fatalf("setup offer %d not queued", i)
+		}
+	}
+	if _, ok := f.PopAdmissible(10, full); ok {
+		t.Fatal("pop admitted against a full budget")
+	}
+	it, ok := f.PopAdmissible(20, snap(2, 4, 6, 0))
+	if !ok || it.ID != "j0" {
+		t.Fatalf("pop = %+v, %v; want head j0", it, ok)
+	}
+	it, ok = f.PopAdmissible(30, snap(4, 4, 2, 0))
+	if !ok || it.ID != "j1" {
+		t.Fatalf("second pop = %+v, %v; want j1", it, ok)
+	}
+	if f.QueueLen() != 1 {
+		t.Fatalf("queue len = %d, want 1", f.QueueLen())
+	}
+}
+
+// A job larger than the entire budget admits alone instead of parking
+// forever (the drain-liveness guarantee).
+func TestOversizedJobAdmitsAlone(t *testing.T) {
+	f := NewController(Config{MaxInFlightTasks: 8, MaxQueue: 4}, 4)
+	if out, _ := f.Offer(0, snap(4, 4, 0, 0), item("huge", 50)); out.Decision != Admitted {
+		t.Fatalf("oversized job on idle cluster = %+v, want admitted", out)
+	}
+	if out, _ := f.Offer(1, snap(0, 4, 50, 0), item("huge2", 50)); out.Decision != Queued {
+		t.Fatalf("second oversized job = %+v, want queued", out)
+	}
+	if _, ok := f.PopAdmissible(2, snap(0, 4, 50, 0)); ok {
+		t.Fatal("oversized job popped while another is in flight")
+	}
+	if it, ok := f.PopAdmissible(3, snap(4, 4, 0, 0)); !ok || it.ID != "huge2" {
+		t.Fatalf("oversized job did not admit alone: %+v, %v", it, ok)
+	}
+}
+
+// The token bucket paces admissions at Rate and congestion throttles the
+// refill to zero on a saturated cluster.
+func TestTokenGovernorAndCongestion(t *testing.T) {
+	f := NewController(Config{MaxInFlightTasks: 1000, MaxQueue: 10, Rate: 2, Burst: 1}, 4)
+	idle := snap(4, 4, 0, 0)
+	if out, _ := f.Offer(0, idle, item("a", 1)); out.Decision != Admitted {
+		t.Fatalf("first offer = %+v", out)
+	}
+	// Token spent; the immediate next arrival queues at LevelSlow.
+	out, _ := f.Offer(1, idle, item("b", 1))
+	if out.Decision != Queued || out.Level != LevelSlow {
+		t.Fatalf("token-dry offer = %+v, want queued/slow", out)
+	}
+	// Idle cluster refills at full Rate: after 500ms one token is back.
+	if _, ok := f.PopAdmissible(sim.FromSeconds(0.5), idle); !ok {
+		t.Fatal("token not refilled on idle cluster after 1/Rate seconds")
+	}
+	// Saturated cluster with scheduler backlog: congestion ≈ 1, refill ≈ 0.
+	if c := Congestion(snap(0, 4, 100, 50)); c < 0.9 {
+		t.Fatalf("saturated congestion = %f, want ≈1", c)
+	}
+	if c := Congestion(snap(4, 4, 0, 0)); c != 0 {
+		t.Fatalf("idle congestion = %f, want 0", c)
+	}
+	f2 := NewController(Config{MaxInFlightTasks: 1000, MaxQueue: 10, Rate: 2, Burst: 1}, 4)
+	sat := snap(0, 4, 100, 50)
+	if out, _ := f2.Offer(0, sat, item("a", 1)); out.Decision != Admitted {
+		t.Fatalf("burst token missing: %+v", out)
+	}
+	f2.Offer(1, sat, item("b", 1))
+	if _, ok := f2.PopAdmissible(sim.FromSeconds(10), sat); ok {
+		t.Fatal("tokens refilled on a fully congested cluster")
+	}
+}
+
+// Drain sheds new offers with ErrDraining but re-admits queued work with
+// the governor bypassed.
+func TestDrainReadmitsQueuedWork(t *testing.T) {
+	f := NewController(Config{MaxInFlightTasks: 100, MaxQueue: 10, Rate: 0.001, Burst: 1}, 4)
+	idle := snap(4, 4, 0, 0)
+	f.Offer(0, idle, item("a", 1))
+	if out, _ := f.Offer(1, idle, item("b", 1)); out.Decision != Queued {
+		t.Fatal("setup: b not queued")
+	}
+	f.Drain()
+	if !f.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	out, err := f.Offer(2, idle, item("c", 1))
+	if out.Decision != Shed || !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain offer = %+v, %v", out, err)
+	}
+	// The governor would not refill for ~1000s; drain bypasses it.
+	if it, ok := f.PopAdmissible(3, idle); !ok || it.ID != "b" {
+		t.Fatalf("queued work not re-admitted during drain: %+v, %v", it, ok)
+	}
+}
+
+// CancelQueued removes exactly the named submission.
+func TestCancelQueued(t *testing.T) {
+	f := NewController(Config{MaxInFlightTasks: 1, MaxQueue: 10}, 4)
+	busy := snap(0, 4, 1, 0)
+	f.Offer(0, busy, item("a", 1))
+	f.Offer(1, busy, item("b", 1))
+	f.Offer(2, busy, item("c", 1))
+	if !f.CancelQueued("b") {
+		t.Fatal("cancel of queued submission failed")
+	}
+	if f.CancelQueued("b") {
+		t.Fatal("double cancel succeeded")
+	}
+	free := snap(4, 4, 0, 0)
+	first, _ := f.PopAdmissible(3, free)
+	second, _ := f.PopAdmissible(4, free)
+	if first.ID != "a" || second.ID != "c" {
+		t.Fatalf("queue after cancel = [%s %s], want [a c]", first.ID, second.ID)
+	}
+}
+
+// Metrics counters mirror decisions.
+func TestMetricsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := NewController(Config{MaxInFlightTasks: 4, MaxQueue: 1, Metrics: reg}, 4)
+	idle := snap(4, 4, 0, 0)
+	busy := snap(0, 4, 4, 0)
+	f.Offer(0, idle, item("a", 1))
+	f.Offer(1, busy, item("b", 1))
+	f.Offer(2, busy, item("c", 1))
+	f.PopAdmissible(3, snap(4, 4, 0, 0))
+	if got := reg.Counter("flow.admitted"); got != 2 {
+		t.Fatalf("flow.admitted = %d, want 2", got)
+	}
+	if got := reg.Counter("flow.queued"); got != 1 {
+		t.Fatalf("flow.queued = %d, want 1", got)
+	}
+	if got := reg.Counter("flow.shed"); got != 1 {
+		t.Fatalf("flow.shed = %d, want 1", got)
+	}
+}
+
+// Same inputs → byte-identical decision sequence (the determinism the
+// chaos soak's trace hash relies on).
+func TestDecisionsDeterministic(t *testing.T) {
+	run := func() string {
+		f := NewController(Config{MaxInFlightTasks: 16, MaxQueue: 4, Rate: 3, Burst: 2}, 8)
+		s := ""
+		for i := 0; i < 64; i++ {
+			sn := snap(i%9, 8, (i*7)%40, i%5)
+			out, _ := f.Offer(sim.Time(i)*sim.Second/4, sn, item(fmt.Sprintf("j%d", i), 1+i%12))
+			s += out.Decision.String() + "|"
+			if i%3 == 0 {
+				if it, ok := f.PopAdmissible(sim.Time(i)*sim.Second/4+1, sn); ok {
+					s += "pop:" + it.ID + "|"
+				}
+			}
+		}
+		return s
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("decision sequence diverged:\n%s\n%s", a, b)
+	}
+}
+
+func BenchmarkFlowDecision(b *testing.B) {
+	f := NewController(Config{MaxInFlightTasks: 1 << 30, MaxQueue: 64}, 4096)
+	sn := snap(2048, 4096, 100, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, _ := f.Offer(sim.Time(i), sn, Item{ID: "j", Tasks: 8})
+		if out.Decision != Admitted {
+			b.Fatalf("decision = %v", out.Decision)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package rpc
+
+// Flow service: the control-plane endpoints swiftd serves. Submissions
+// stream as chunked frames so a large trace-encoded job payload never
+// approaches the frame bound; the server reassembles chunks by submission
+// ID and hands the complete payload to the registered FlowHandler. The
+// types here are plain wire data — this file knows nothing about package
+// flow, keeping the rpc layer dependency-free.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FlowChunkSize is the payload fragment size clients stream.
+const FlowChunkSize = 256 << 10
+
+// maxPendingSubmissions bounds concurrent partial reassemblies; beyond it
+// new submissions are rejected (an admission bound of its own, protecting
+// the daemon's memory from half-sent uploads).
+const maxPendingSubmissions = 64
+
+// maxSubmissionBytes bounds one reassembled submission payload.
+const maxSubmissionBytes = 16 << 20
+
+// FlowSubmitChunk is one streamed fragment of a job submission.
+type FlowSubmitChunk struct {
+	ID   string // submission (job) id
+	Seq  int    // 0-based chunk index
+	More bool   // further chunks follow
+	Data []byte
+}
+
+// FlowSubmitReply reports the admission outcome of a completed submission.
+// Intermediate chunks are acked with a zero reply.
+type FlowSubmitReply struct {
+	Decision         string // "admitted" | "queued" | "shed"
+	Level            string // "accept" | "queue" | "slow" | "shed"
+	QueuePos         int
+	RetryAfterMicros int64
+	Reason           string // non-empty when the submission was rejected
+}
+
+// FlowStatusReply is the service's point-in-time state over the wire.
+type FlowStatusReply struct {
+	LiveJobs, PendingTasks, RunningTasks, DoneTasks int
+	SchedQueueLen, FreeExecutors, TotalExecutors    int
+	Admitted, Queued, Shed, Decisions               int64
+	FlowQueueLen, MaxQueueLen                       int
+	Draining                                        bool
+	Level                                           string
+	Panics                                          int64
+}
+
+// FlowCancelReply reports a cancellation outcome.
+type FlowCancelReply struct{ Cancelled bool }
+
+// FlowHandler is implemented by the daemon. The submit payload is the
+// reassembled trace-encoded job.
+type FlowHandler interface {
+	FlowSubmit(id string, payload []byte) (FlowSubmitReply, error)
+	FlowStatus() (FlowStatusReply, error)
+	FlowCancel(id string) (FlowCancelReply, error)
+	FlowDrain() error
+}
+
+// flowAssembler reassembles chunked submissions by ID.
+type flowAssembler struct {
+	mu      sync.Mutex
+	pending map[string][]byte
+}
+
+func (a *flowAssembler) add(ch *FlowSubmitChunk) ([]byte, bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur, started := a.pending[ch.ID]
+	if !started {
+		if ch.Seq != 0 {
+			return nil, false, fmt.Errorf("rpc: flow submit %q: chunk %d without a start", ch.ID, ch.Seq)
+		}
+		if !ch.More {
+			return ch.Data, true, nil // single-chunk fast path
+		}
+		if len(a.pending) >= maxPendingSubmissions {
+			return nil, false, fmt.Errorf("rpc: flow submit %q: too many partial submissions", ch.ID)
+		}
+		a.pending[ch.ID] = append([]byte(nil), ch.Data...)
+		return nil, false, nil
+	}
+	if len(cur)+len(ch.Data) > maxSubmissionBytes {
+		delete(a.pending, ch.ID)
+		return nil, false, fmt.Errorf("rpc: flow submit %q: payload exceeds %d bytes", ch.ID, maxSubmissionBytes)
+	}
+	cur = append(cur, ch.Data...)
+	if ch.More {
+		a.pending[ch.ID] = cur
+		return nil, false, nil
+	}
+	delete(a.pending, ch.ID)
+	return cur, true, nil
+}
+
+// ServeFlow registers the flow endpoints on a server.
+func ServeFlow(s *Server, h FlowHandler) {
+	asm := &flowAssembler{pending: make(map[string][]byte)}
+	s.Register("flow.submit", func(body []byte) ([]byte, error) {
+		var ch FlowSubmitChunk
+		if err := Decode(body, &ch); err != nil {
+			return nil, err
+		}
+		payload, done, err := asm.add(&ch)
+		if err != nil {
+			return nil, err
+		}
+		if !done {
+			return Encode(FlowSubmitReply{}) // intermediate-chunk ack
+		}
+		rep, err := h.FlowSubmit(ch.ID, payload)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(rep)
+	})
+	s.Register("flow.status", func([]byte) ([]byte, error) {
+		rep, err := h.FlowStatus()
+		if err != nil {
+			return nil, err
+		}
+		return Encode(rep)
+	})
+	s.Register("flow.cancel", func(body []byte) ([]byte, error) {
+		var id string
+		if err := Decode(body, &id); err != nil {
+			return nil, err
+		}
+		rep, err := h.FlowCancel(id)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(rep)
+	})
+	s.Register("flow.drain", func([]byte) ([]byte, error) {
+		if err := h.FlowDrain(); err != nil {
+			return nil, err
+		}
+		return Encode(true)
+	})
+}
+
+// FlowClient speaks the flow endpoints over a Client.
+type FlowClient struct{ c *Client }
+
+// NewFlowClient wraps an existing connection.
+func NewFlowClient(c *Client) *FlowClient { return &FlowClient{c} }
+
+// DialFlow connects to a swiftd instance.
+func DialFlow(addr string, timeout time.Duration) (*FlowClient, error) {
+	c, err := Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &FlowClient{c}, nil
+}
+
+// Close closes the underlying connection.
+func (f *FlowClient) Close() error { return f.c.Close() }
+
+// Submit streams one trace-encoded job payload and returns the admission
+// outcome. Note submissions are not idempotent: do not combine with a
+// retry policy on the underlying client.
+func (f *FlowClient) Submit(id string, payload []byte) (FlowSubmitReply, error) {
+	var rep FlowSubmitReply
+	for off, seq := 0, 0; ; seq++ {
+		n := len(payload) - off
+		if n > FlowChunkSize {
+			n = FlowChunkSize
+		}
+		ch := FlowSubmitChunk{ID: id, Seq: seq, Data: payload[off : off+n], More: off+n < len(payload)}
+		if err := f.c.Call("flow.submit", &ch, &rep); err != nil {
+			return rep, err
+		}
+		off += n
+		if !ch.More {
+			return rep, nil
+		}
+	}
+}
+
+// Status fetches the service state.
+func (f *FlowClient) Status() (FlowStatusReply, error) {
+	var rep FlowStatusReply
+	err := f.c.Call("flow.status", nil, &rep)
+	return rep, err
+}
+
+// Cancel cancels a queued or live submission by ID.
+func (f *FlowClient) Cancel(id string) (bool, error) {
+	var rep FlowCancelReply
+	if err := f.c.Call("flow.cancel", id, &rep); err != nil {
+		return false, err
+	}
+	return rep.Cancelled, nil
+}
+
+// Drain asks the server to stop admitting and wind down.
+func (f *FlowClient) Drain() error {
+	var ok bool
+	return f.c.Call("flow.drain", nil, &ok)
+}

@@ -1,0 +1,140 @@
+package rpc
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeFlowHandler records submissions and serves canned replies.
+type fakeFlowHandler struct {
+	mu       sync.Mutex
+	payloads map[string][]byte
+	drained  bool
+}
+
+func (h *fakeFlowHandler) FlowSubmit(id string, payload []byte) (FlowSubmitReply, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.payloads == nil {
+		h.payloads = make(map[string][]byte)
+	}
+	h.payloads[id] = append([]byte(nil), payload...)
+	return FlowSubmitReply{Decision: "admitted", Level: "accept"}, nil
+}
+
+func (h *fakeFlowHandler) FlowStatus() (FlowStatusReply, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return FlowStatusReply{LiveJobs: len(h.payloads), Level: "accept"}, nil
+}
+
+func (h *fakeFlowHandler) FlowCancel(id string) (FlowCancelReply, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.payloads[id]
+	delete(h.payloads, id)
+	return FlowCancelReply{Cancelled: ok}, nil
+}
+
+func (h *fakeFlowHandler) FlowDrain() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.drained = true
+	return nil
+}
+
+func startFlowServer(t *testing.T) (*fakeFlowHandler, *FlowClient) {
+	t.Helper()
+	h := &fakeFlowHandler{}
+	s := NewServer()
+	ServeFlow(s, h)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	fc, err := DialFlow(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = fc.Close() })
+	return h, fc
+}
+
+// A payload larger than one chunk reassembles byte-identically.
+func TestFlowSubmitChunked(t *testing.T) {
+	h, fc := startFlowServer(t)
+	payload := bytes.Repeat([]byte("swift-flow-"), (3*FlowChunkSize)/11)
+	rep, err := fc.Submit("job-a", payload)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if rep.Decision != "admitted" {
+		t.Fatalf("decision = %q, want admitted", rep.Decision)
+	}
+	h.mu.Lock()
+	got := h.payloads["job-a"]
+	h.mu.Unlock()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mangled: %d bytes arrived, sent %d", len(got), len(payload))
+	}
+}
+
+// Status, cancel and drain round-trip.
+func TestFlowEndpointsRoundTrip(t *testing.T) {
+	h, fc := startFlowServer(t)
+	if _, err := fc.Submit("job-b", []byte("payload")); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err := fc.Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.LiveJobs != 1 {
+		t.Fatalf("status live jobs = %d, want 1", st.LiveJobs)
+	}
+	ok, err := fc.Cancel("job-b")
+	if err != nil || !ok {
+		t.Fatalf("cancel = %v, %v; want true, nil", ok, err)
+	}
+	if ok, _ := fc.Cancel("job-b"); ok {
+		t.Fatal("second cancel reported cancelled")
+	}
+	if err := fc.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	h.mu.Lock()
+	drained := h.drained
+	h.mu.Unlock()
+	if !drained {
+		t.Fatal("drain not delivered to handler")
+	}
+}
+
+// A chunk arriving without its start (or a mid-stream submission flood) is
+// rejected without wedging the assembler.
+func TestFlowSubmitAssemblerGuards(t *testing.T) {
+	_, fc := startFlowServer(t)
+	var rep FlowSubmitReply
+	err := fc.c.Call("flow.submit", &FlowSubmitChunk{ID: "x", Seq: 3, Data: []byte("late")}, &rep)
+	if err == nil || !strings.Contains(err.Error(), "without a start") {
+		t.Fatalf("out-of-order chunk error = %v", err)
+	}
+	// The assembler bounds concurrent partial uploads.
+	for i := 0; ; i++ {
+		if i > maxPendingSubmissions {
+			t.Fatal("partial-submission bound never enforced")
+		}
+		err := fc.c.Call("flow.submit", &FlowSubmitChunk{ID: fmt.Sprintf("p%d", i), Seq: 0, More: true, Data: []byte("x")}, &rep)
+		if err != nil {
+			if !strings.Contains(err.Error(), "too many partial submissions") {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package rpc
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// failDialer counts dial attempts and always refuses.
+type failDialer struct{ dials int }
+
+func (d *failDialer) dial(string, time.Duration) (net.Conn, error) {
+	d.dials++
+	return nil, errors.New("connection refused")
+}
+
+func newFakeClient(d *failDialer) *Client {
+	return &Client{addr: "fake:0", dialTimeout: time.Second, dial: d.dial, quit: make(chan struct{})}
+}
+
+// MaxElapsed bounds the total redial+backoff time regardless of Max.
+func TestRetryMaxElapsed(t *testing.T) {
+	d := &failDialer{}
+	c := newFakeClient(d)
+	c.SetRetryPolicy(RetryPolicy{
+		Max:        1000,
+		Base:       20 * time.Millisecond,
+		Cap:        20 * time.Millisecond,
+		MaxElapsed: 100 * time.Millisecond,
+	})
+	start := time.Now()
+	err := c.Call("ping", nil, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call against refusing dialer succeeded")
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Fatalf("budget exhaustion reported as ErrClosed: %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("MaxElapsed=100ms but call took %v", elapsed)
+	}
+	// ~100ms budget / 20ms sleeps: a handful of attempts, nowhere near Max.
+	if d.dials < 2 || d.dials > 20 {
+		t.Fatalf("dial attempts = %d, want a few (budget-bounded, not count-bounded)", d.dials)
+	}
+}
+
+// Close interrupts a Call sleeping in retry backoff instead of waiting the
+// backoff out (Close used to block on the client mutex held across the
+// sleep).
+func TestCloseInterruptsBackoff(t *testing.T) {
+	d := &failDialer{}
+	c := newFakeClient(d)
+	c.SetRetryPolicy(RetryPolicy{Max: 3, Base: 30 * time.Second, Cap: 30 * time.Second})
+	done := make(chan error, 1)
+	go func() { done <- c.Call("ping", nil, nil) }()
+	time.Sleep(50 * time.Millisecond) // let the call enter its first backoff
+	start := time.Now()
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("interrupted call returned %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not interrupt the backoff sleep")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("Close blocked %v on a sleeping call", waited)
+	}
+	// A closed client fails fast on later calls.
+	if err := c.Call("ping", nil, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after close returned %v, want ErrClosed", err)
+	}
+}
+
+// Property: Base ≤ backoff(i) ≤ Cap·(1+Jitter) for every attempt index,
+// including indices far past the point where Base<<i overflows.
+func TestBackoffProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	policies := []RetryPolicy{
+		{Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond, Jitter: 0.5},
+		{Base: time.Millisecond, Cap: 2 * time.Second, Jitter: 1.0},
+		{Base: 50 * time.Millisecond, Cap: 10 * time.Second, Jitter: 0.2},
+		{Base: time.Second, Cap: time.Second, Jitter: 0},
+	}
+	for pi, p := range policies {
+		p.Rand = rng
+		hi := time.Duration(float64(p.Cap) * (1 + p.Jitter))
+		for i := 0; i < 80; i++ {
+			for trial := 0; trial < 25; trial++ {
+				d := p.backoff(i)
+				if d < p.Base {
+					t.Fatalf("policy %d: backoff(%d) = %v < Base %v", pi, i, d, p.Base)
+				}
+				if d > hi {
+					t.Fatalf("policy %d: backoff(%d) = %v > Cap·(1+Jitter) %v", pi, i, d, hi)
+				}
+			}
+		}
+	}
+}
+
+// A seeded policy replays the exact same sleep sequence.
+func TestBackoffDeterministic(t *testing.T) {
+	mk := func() RetryPolicy {
+		return RetryPolicy{
+			Base:   10 * time.Millisecond,
+			Cap:    5 * time.Second,
+			Jitter: 0.5,
+			Rand:   rand.New(rand.NewSource(42)),
+		}
+	}
+	p1, p2 := mk(), mk()
+	for i := 0; i < 64; i++ {
+		a, b := p1.backoff(i%10), p2.backoff(i%10)
+		if a != b {
+			t.Fatalf("seeded backoff diverged at draw %d: %v != %v", i, a, b)
+		}
+	}
+}

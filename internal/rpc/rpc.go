@@ -201,6 +201,13 @@ type RetryPolicy struct {
 	Base   time.Duration
 	Cap    time.Duration
 	Jitter float64
+	// MaxElapsed bounds the total time a call may spend across attempts
+	// and backoff sleeps, so a redial loop cannot exceed a caller's
+	// deadline regardless of Max. Zero means count-bounded only.
+	MaxElapsed time.Duration
+	// Rand, when set, is the jitter source; seeding it makes backoff
+	// sequences reproducible. Nil uses the process-global source.
+	Rand *rand.Rand
 }
 
 // DefaultRetryPolicy matches the control-plane traffic this package
@@ -209,14 +216,27 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{Max: 3, Base: 50 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.2}
 }
 
-// backoff returns the sleep before retry attempt i (0-based).
+// backoff returns the sleep before retry attempt i (0-based):
+// exponential from Base, capped at Cap, with ±Jitter randomisation,
+// floored at Base — callers can rely on Base ≤ sleep ≤ Cap·(1+Jitter).
 func (p RetryPolicy) backoff(i int) time.Duration {
-	d := p.Base << uint(i)
-	if p.Cap > 0 && d > p.Cap {
+	shift := uint(i)
+	if shift > 31 {
+		shift = 31 // Base<<32 would overflow any realistic Base
+	}
+	d := p.Base << shift
+	if d < 0 || (p.Cap > 0 && d > p.Cap) {
 		d = p.Cap
 	}
 	if p.Jitter > 0 {
-		d += time.Duration((2*rand.Float64() - 1) * p.Jitter * float64(d))
+		r := rand.Float64
+		if p.Rand != nil {
+			r = p.Rand.Float64
+		}
+		d += time.Duration((2*r() - 1) * p.Jitter * float64(d))
+	}
+	if d < p.Base {
+		d = p.Base
 	}
 	if d < 0 {
 		d = 0
@@ -236,6 +256,21 @@ type Client struct {
 	dialTimeout time.Duration
 	callTimeout time.Duration
 	retry       RetryPolicy
+	// dial is the redial function (net.DialTimeout in production;
+	// in-package tests substitute fakes).
+	dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// quit is closed by Close before it takes mu, so a Call sleeping in
+	// backoff (which holds mu) wakes up instead of stalling the Close.
+	quit     chan struct{}
+	quitOnce sync.Once
+}
+
+// ErrClosed is returned by calls interrupted by Close.
+var ErrClosed = errors.New("rpc: client closed")
+
+// tcpDial is the production dial function.
+func tcpDial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
 }
 
 // Dial connects to a server. The timeout also bounds later redials.
@@ -244,7 +279,7 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, addr: addr, dialTimeout: timeout}, nil
+	return &Client{conn: conn, addr: addr, dialTimeout: timeout, dial: tcpDial, quit: make(chan struct{})}, nil
 }
 
 // SetCallTimeout sets a per-call deadline covering the write and the wait
@@ -278,8 +313,12 @@ func (c *Client) Call(method string, req interface{}, resp interface{}) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
 	var err error
 	for attempt := 0; ; attempt++ {
+		if c.isClosed() {
+			return ErrClosed
+		}
 		err = c.callLocked(method, body.Bytes(), resp)
 		var transport *transportError
 		if err == nil || !errors.As(err, &transport) {
@@ -288,7 +327,44 @@ func (c *Client) Call(method string, req interface{}, resp interface{}) error {
 		if attempt >= c.retry.Max {
 			return transport.err
 		}
-		time.Sleep(c.retry.backoff(attempt))
+		sleep := c.retry.backoff(attempt)
+		// The elapsed-time budget covers the sleep about to happen: if
+		// finishing it would overrun MaxElapsed, give up now rather than
+		// wake past the caller's deadline.
+		if c.retry.MaxElapsed > 0 && time.Since(start)+sleep > c.retry.MaxElapsed {
+			return transport.err
+		}
+		if !c.sleep(sleep) {
+			return ErrClosed
+		}
+	}
+}
+
+// sleep waits d while remaining interruptible by Close; it reports false
+// when the client was closed.
+func (c *Client) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return !c.isClosed()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.quit:
+		return false
+	}
+}
+
+func (c *Client) isClosed() bool {
+	if c.quit == nil {
+		return false
+	}
+	select {
+	case <-c.quit:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -305,7 +381,11 @@ func (e *transportError) Unwrap() error { return e.err }
 // later call.
 func (c *Client) callLocked(method string, body []byte, resp interface{}) error {
 	if c.conn == nil {
-		conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+		dial := c.dial
+		if dial == nil {
+			dial = tcpDial
+		}
+		conn, err := dial(c.addr, c.dialTimeout)
 		if err != nil {
 			return &transportError{err}
 		}
@@ -368,8 +448,13 @@ func (c *Client) Ping() (time.Duration, error) {
 	return time.Since(t0), nil
 }
 
-// Close shuts the connection.
+// Close shuts the connection. A Call sleeping in retry backoff (it holds
+// the client mutex) is woken first via the quit channel, so Close never
+// blocks for a backoff's duration.
 func (c *Client) Close() error {
+	if c.quit != nil {
+		c.quitOnce.Do(func() { close(c.quit) })
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {

@@ -214,33 +214,40 @@ func (r *Runner) Cluster() *cluster.Cluster { return r.cl }
 
 // SubmitAt schedules a job submission at the given virtual time.
 func (r *Runner) SubmitAt(at sim.Time, job *dag.Job) {
-	r.eng.At(at, func() {
-		jr := &jobRun{
-			job: job,
-			res: &JobResult{
-				ID:     job.ID,
-				Submit: r.eng.Now(),
-				Phases: make(map[string]*StagePhases),
-			},
-			costs:      r.precompute(job),
-			doneAt:     make(map[string]sim.Time),
-			firstStart: make(map[string]sim.Time),
-			launched:   make(map[string]map[cluster.ExecutorID]bool),
-			inEdges:    make(map[string][]*dag.Edge, job.NumStages()),
-		}
-		for _, name := range job.StageNames() {
-			jr.inEdges[name] = job.In(name)
-		}
-		r.jobs[job.ID] = jr
-		r.results.Jobs[job.ID] = jr.res
-		if err := r.ctrl.SubmitJob(job); err != nil {
-			jr.res.Failed = true
-			jr.res.Finish = r.eng.Now()
-			return
-		}
-		r.edgeCosts(jr)
-		r.handleActions()
-	})
+	r.eng.At(at, func() { _ = r.Submit(job) })
+}
+
+// Submit admits a job at the current virtual time, synchronously. It is
+// the hook admission-control drivers (chaos soaks, flow experiments) use
+// to submit work at the moment the flow controller releases it, rather
+// than at a pre-scheduled instant.
+func (r *Runner) Submit(job *dag.Job) error {
+	jr := &jobRun{
+		job: job,
+		res: &JobResult{
+			ID:     job.ID,
+			Submit: r.eng.Now(),
+			Phases: make(map[string]*StagePhases),
+		},
+		costs:      r.precompute(job),
+		doneAt:     make(map[string]sim.Time),
+		firstStart: make(map[string]sim.Time),
+		launched:   make(map[string]map[cluster.ExecutorID]bool),
+		inEdges:    make(map[string][]*dag.Edge, job.NumStages()),
+	}
+	for _, name := range job.StageNames() {
+		jr.inEdges[name] = job.In(name)
+	}
+	r.jobs[job.ID] = jr
+	r.results.Jobs[job.ID] = jr.res
+	if err := r.ctrl.SubmitJob(job); err != nil {
+		jr.res.Failed = true
+		jr.res.Finish = r.eng.Now()
+		return err
+	}
+	r.edgeCosts(jr)
+	r.handleActions()
+	return nil
 }
 
 // precompute derives the scan and processing cost components of every

@@ -36,8 +36,9 @@ go run ./cmd/swiftvet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== chaos soak ($SEEDS seeds)"
-go test ./internal/chaos/ -run 'TestSoak$|TestSoakDeterminism' -chaos.seeds="$SEEDS" -count=1
+echo "== chaos soak ($SEEDS seeds, incl. thundering-herd admission storm)"
+go test ./internal/chaos/ -run 'TestSoak$|TestSoakDeterminism|TestThunderingHerd' \
+    -chaos.seeds="$SEEDS" -count=1
 
 echo "== trace determinism smoke (two seeded runs, byte-identical)"
 TRACE_TMP="$(mktemp -d)"
@@ -57,6 +58,25 @@ for SWEEP_SEED in 1 7 13; do
         > "$TRACE_TMP/sweep-parallel-$SWEEP_SEED.txt"
     cmp "$TRACE_TMP/sweep-serial-$SWEEP_SEED.txt" "$TRACE_TMP/sweep-parallel-$SWEEP_SEED.txt"
 done
+
+echo "== swiftd overload smoke (admission control end to end)"
+go build -o "$TRACE_TMP/swiftd" ./cmd/swiftd
+go build -o "$TRACE_TMP/swiftsim" ./cmd/swiftsim
+"$TRACE_TMP/swiftd" -addr 127.0.0.1:0 -addrfile "$TRACE_TMP/swiftd.addr" \
+    -machines 4 -executors 2 -maxqueue 8 -rate 20 -burst 4 -budget 64 \
+    -timescale 200 > "$TRACE_TMP/swiftd.log" 2>&1 &
+SWIFTD_PID=$!
+for _ in $(seq 1 50); do
+    [ -s "$TRACE_TMP/swiftd.addr" ] && break
+    sleep 0.1
+done
+[ -s "$TRACE_TMP/swiftd.addr" ] || { echo "swiftd never bound" >&2; cat "$TRACE_TMP/swiftd.log" >&2; exit 1; }
+"$TRACE_TMP/swiftsim" -submit "$(cat "$TRACE_TMP/swiftd.addr")" -jobs 80 -seed 11 -drain \
+    | tee "$TRACE_TMP/submit.out"
+# An 80-job burst against a queue of 8 must both queue and shed.
+grep -Eq 'queued=[1-9]' "$TRACE_TMP/submit.out"
+grep -Eq 'shed=[1-9]' "$TRACE_TMP/submit.out"
+wait "$SWIFTD_PID"   # drain must exit 0
 
 echo "== fuzz targets build"
 go test -run '^$' -c -o /dev/null ./internal/sqlparse/
