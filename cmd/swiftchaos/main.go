@@ -10,6 +10,13 @@
 //	swiftchaos -seed 7 -jobs 40 -machines 50 -v
 //	swiftchaos -seeds 8 -verify     # re-run each seed, compare trace hashes
 //	swiftchaos -seeds 64 -workers 0 # fan seeds across GOMAXPROCS workers
+//	swiftchaos -fair -seeds 1 -verify # 3-tenant fair-share soak under fire
+//
+// -fair switches the workload to the multi-tenant fairness soak: three
+// tenants with 2:1:1 weights (one bursty, one hard-quota-capped) under
+// the hierarchical fair-share policy, with the auditor's no-starvation
+// and quota invariants armed. Per-tenant terminal tallies and the reclaim
+// count print on each seed's summary line (-jobs is ignored).
 //
 // Exit status is non-zero if any seed reports an invariant violation, an
 // unfinished job at the horizon, or (with -verify) a determinism mismatch.
@@ -27,7 +34,9 @@ import (
 	"swift/internal/core"
 	"swift/internal/exp"
 	"swift/internal/obs"
+	"swift/internal/sched"
 	"swift/internal/sim"
+	"swift/internal/trace"
 )
 
 // seedOutcome carries one soak's results out of the worker pool; printing
@@ -50,6 +59,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print violations as they are found")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the first seed's soak")
 	stats := flag.Bool("stats", false, "print the first seed's observability snapshot")
+	fair := flag.Bool("fair", false, "multi-tenant fair-share soak: 3 tenants (weights 2:1:1, one bursty, one quota-capped) under the fair policy")
 	flag.Parse()
 
 	outcomes := exp.Sweep(*seeds, *workers, func(i int) seedOutcome {
@@ -64,15 +74,14 @@ func main() {
 		var rec *obs.Recorder
 		if (*tracePath != "" || *stats) && i == 0 {
 			rec = obs.New()
-			o := core.DefaultOptions()
-			o.Obs = rec
-			cfg.Options = &o
 		}
+		configure(&cfg, rec, *fair)
 		out := seedOutcome{res: chaos.Run(cfg), rec: rec}
 		if *verify {
 			// The re-run must not share (and re-append to) the first run's
-			// recorder; default options drop it.
-			cfg.Options = nil
+			// recorder; rebuilding the options drops it (and keeps the fair
+			// policy, which is part of the schedule being verified).
+			configure(&cfg, nil, *fair)
 			out.again = chaos.Run(cfg)
 		}
 		return out
@@ -112,6 +121,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d seeds clean\n", *seeds)
+}
+
+// configure rebuilds cfg.Options (and, with fair, the tenant workload)
+// for one soak run: a non-nil recorder attaches observability, and fair
+// swaps in the 3-tenant fair-share mix — weights 2:1:1, tenant b bursting
+// 10x for 30 s, tenant c hard-capped at 30 executors with the auditor's
+// quota invariant armed. Leaves Options nil (library defaults) when
+// neither applies.
+func configure(cfg *chaos.Config, rec *obs.Recorder, fair bool) {
+	cfg.Options = nil
+	if rec != nil || fair {
+		o := core.DefaultOptions()
+		o.Obs = rec
+		if fair {
+			o.Policy = sched.NewFairShare(sched.FairShareConfig{Queues: []sched.QueueSpec{
+				{Name: "a", Weight: 2},
+				{Name: "b", Weight: 1},
+				{Name: "c", Weight: 1, Quota: 30},
+			}})
+		}
+		cfg.Options = &o
+	}
+	if fair {
+		cfg.Tenants = []trace.TenantSpec{
+			{Name: "a", Jobs: 12, Rate: 0.4},
+			{Name: "b", Jobs: 12, Rate: 0.4, BurstAt: 20, BurstDur: 30, BurstFactor: 10},
+			{Name: "c", Jobs: 8, ArrivalWindow: 60},
+		}
+		cfg.TenantQuotas = map[string]int{"c": 30}
+	}
 }
 
 // dumpObs writes the recorder's snapshot (stats to stdout, trace to path).

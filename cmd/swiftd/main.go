@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -27,6 +29,7 @@ import (
 	"swift/internal/flow"
 	"swift/internal/obs"
 	"swift/internal/rpc"
+	"swift/internal/sched"
 	"swift/internal/sim"
 	"swift/internal/trace"
 )
@@ -42,11 +45,34 @@ func main() {
 		maxQueue  = flag.Int("maxqueue", 64, "admission wait-queue bound")
 		rate      = flag.Float64("rate", 0, "token-bucket admission rate, jobs/sec (0 = ungoverned)")
 		burst     = flag.Int("burst", 0, "token-bucket capacity (0 = derive from rate)")
+		tbudgets  = flag.String("tenantbudget", "", `per-tenant in-flight task budgets, "name=N,name=N" (unlisted tenants unbounded)`)
+		policy    = flag.String("policy", "fifo", `scheduling policy: "fifo" or "fair" (equal-weight fair share with borrowing)`)
 		drainWait = flag.Duration("drainwait", 120*time.Second, "max time to wait for a clean drain")
 		verbose   = flag.Bool("v", false, "log every admission decision")
 	)
 	flag.Parse()
-	os.Exit(run(*addr, *addrFile, *machines, *execs, *timescale, *budget, *maxQueue, *rate, *burst, *drainWait, *verbose))
+	os.Exit(run(*addr, *addrFile, *machines, *execs, *timescale, *budget, *maxQueue, *rate, *burst, *tbudgets, *policy, *drainWait, *verbose))
+}
+
+// parseTenantBudgets parses the -tenantbudget flag: comma-separated
+// name=N pairs.
+func parseTenantBudgets(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad tenant budget %q (want name=N)", pair)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad tenant budget %q: count must be a positive integer", pair)
+		}
+		out[name] = n
+	}
+	return out, nil
 }
 
 type daemon struct {
@@ -150,7 +176,15 @@ func (d *daemon) FlowSubmit(id string, payload []byte) (rpc.FlowSubmitReply, err
 // FlowStatus implements rpc.FlowHandler.
 func (d *daemon) FlowStatus() (rpc.FlowStatusReply, error) {
 	st := d.svc.Status()
+	var tenants []rpc.FlowTenantStatus
+	for _, t := range st.Tenants {
+		tenants = append(tenants, rpc.FlowTenantStatus{
+			Tenant: t.Tenant, Admitted: t.Admitted, Queued: t.Queued, Shed: t.Shed,
+			QueueLen: t.QueueLen, InFlight: t.InFlight, Budget: t.Budget,
+		})
+	}
 	return rpc.FlowStatusReply{
+		Tenants:        tenants,
 		LiveJobs:       st.Snapshot.LiveJobs,
 		PendingTasks:   st.Snapshot.PendingTasks,
 		RunningTasks:   st.Snapshot.RunningTasks,
@@ -182,9 +216,23 @@ func (d *daemon) FlowDrain() error {
 	return nil
 }
 
-func run(addr, addrFile string, machines, execs int, timescale float64, budget, maxQueue int, rate float64, burst int, drainWait time.Duration, verbose bool) int {
+func run(addr, addrFile string, machines, execs int, timescale float64, budget, maxQueue int, rate float64, burst int, tbudgets, policy string, drainWait time.Duration, verbose bool) int {
 	if timescale <= 0 {
 		timescale = 1
+	}
+	tenantBudgets, err := parseTenantBudgets(tbudgets)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swiftd: -tenantbudget: %v\n", err)
+		return 1
+	}
+	copts := core.DefaultOptions()
+	switch policy {
+	case "", "fifo":
+	case "fair":
+		copts.Policy = sched.NewFairShare(sched.FairShareConfig{})
+	default:
+		fmt.Fprintf(os.Stderr, "swiftd: unknown -policy %q (want fifo or fair)\n", policy)
+		return 1
 	}
 	cl := cluster.New(cluster.Config{Machines: machines, ExecutorsPerMachine: execs})
 	reg := obs.NewRegistry()
@@ -202,8 +250,9 @@ func run(addr, addrFile string, machines, execs int, timescale float64, budget, 
 		Rate:             rate,
 		Burst:            burst,
 		Metrics:          reg,
+		TenantBudgets:    tenantBudgets,
 	}
-	d.svc = flow.NewService(cl, core.DefaultOptions(), fcfg, d.now)
+	d.svc = flow.NewService(cl, copts, fcfg, d.now)
 	d.svc.SetActionSink(d.onActions)
 
 	server := rpc.NewServer()

@@ -39,11 +39,12 @@ func main() {
 	stats := flag.Bool("stats", false, "print the observability snapshot (critical path + counters)")
 	submitAddr := flag.String("submit", "", "client mode: burst-submit generated jobs to the swiftd at this address")
 	submitJobs := flag.Int("jobs", 40, "client mode: number of jobs to submit")
+	tenant := flag.String("tenant", "", "client mode: tenant label on submitted jobs (empty = default tenant)")
 	drain := flag.Bool("drain", false, "client mode: drain the server after submitting and wait for it to empty")
 	flag.Parse()
 
 	if *submitAddr != "" {
-		os.Exit(runSubmit(*submitAddr, *submitJobs, *seed, *drain))
+		os.Exit(runSubmit(*submitAddr, *submitJobs, *seed, *tenant, *drain))
 	}
 
 	job, err := buildJob(*jobName)

@@ -15,9 +15,10 @@ import (
 )
 
 // runSubmit generates jobs jobs from seed, submits them all at once to the
-// swiftd at addr, prints the decision tally, and (with -drain) asks the
-// server to drain and waits until everything admitted has finished.
-func runSubmit(addr string, jobs int, seed int64, drain bool) int {
+// swiftd at addr (labelled with tenant when non-empty), prints the decision
+// tally, and (with -drain) asks the server to drain and waits until
+// everything admitted has finished.
+func runSubmit(addr string, jobs int, seed int64, tenant string, drain bool) int {
 	fc, err := rpc.DialFlow(addr, 5*time.Second)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "swiftsim: dial %s: %v\n", addr, err)
@@ -26,6 +27,14 @@ func runSubmit(addr string, jobs int, seed int64, drain bool) int {
 	defer fc.Close()
 
 	tr := trace.Generate(trace.Spec{Jobs: jobs, Seed: seed})
+	for _, j := range tr.Jobs {
+		j.Job.Tenant = tenant
+		if tenant != "" {
+			// Prefix IDs so concurrent same-seed clients for different
+			// tenants do not collide in the server's dedup map.
+			j.Job.ID = tenant + "-" + j.Job.ID
+		}
+	}
 	var admitted, queued, shed, failed int
 	for _, j := range tr.Jobs {
 		var buf bytes.Buffer
@@ -62,6 +71,14 @@ func runSubmit(addr string, jobs int, seed int64, drain bool) int {
 		fmt.Printf("server: admitted=%d queued=%d shed=%d inflight=%d/%d level=%s\n",
 			st.Admitted, st.Queued, st.Shed,
 			st.PendingTasks+st.RunningTasks, st.TotalExecutors, st.Level)
+		for _, t := range st.Tenants {
+			budget := "unbounded"
+			if t.Budget > 0 {
+				budget = fmt.Sprintf("%d", t.Budget)
+			}
+			fmt.Printf("tenant %s: admitted=%d queued=%d shed=%d waitq=%d inflight=%d budget=%s\n",
+				t.Tenant, t.Admitted, t.Queued, t.Shed, t.QueueLen, t.InFlight, budget)
+		}
 	} else {
 		fmt.Fprintf(os.Stderr, "swiftsim: status: %v\n", err)
 	}

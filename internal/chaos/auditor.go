@@ -32,7 +32,13 @@ type Auditor struct {
 	hash        uint64
 	checkEvery  int // run CheckInvariants every Nth event boundary (≥1)
 	eventCount  int64
+	quotas      map[string]int
 }
+
+// SetTenantQuotas arms the hard-quota invariant: at every state sweep, no
+// listed tenant may hold more running tasks than its quota (the bound a
+// quota-configured scheduling policy is supposed to enforce).
+func (a *Auditor) SetTenantQuotas(quotas map[string]int) { a.quotas = quotas }
 
 // NewAuditor attaches an auditor to a controller/cluster pair. checkEvery
 // thins the (O(cluster) cost) full-state invariant sweep to every Nth event
@@ -185,5 +191,12 @@ func (a *Auditor) AfterEvent(now sim.Time) {
 func (a *Auditor) CheckNow(now sim.Time) {
 	for _, msg := range a.ctrl.CheckInvariants() {
 		a.violate(now, "%s", msg)
+	}
+	if len(a.quotas) > 0 {
+		for _, tc := range a.ctrl.TenantSnapshots() {
+			if q := a.quotas[tc.Tenant]; q > 0 && tc.Running > q {
+				a.violate(now, "tenant %s runs %d tasks above its quota %d", tc.Tenant, tc.Running, q)
+			}
+		}
 	}
 }

@@ -8,7 +8,9 @@ import (
 	"swift/internal/cluster"
 	"swift/internal/core"
 	"swift/internal/flow"
+	"swift/internal/sched"
 	"swift/internal/sim"
+	"swift/internal/trace"
 )
 
 // -chaos.seeds raises the soak breadth: CI runs 8, the acceptance sweep
@@ -233,5 +235,69 @@ func TestAuditorActionArms(t *testing.T) {
 	d.OnAction(0, core.ActStartTask{Task: ref, Attempt: 1})
 	if n := len(d.Violations()); n != 1 {
 		t.Fatalf("want 1 monotonicity violation, got %d: %v", n, d.Violations())
+	}
+}
+
+// fairConfig is the multi-tenant fairness soak: three tenants with 2:1:1
+// weights (one bursty, one quota-capped) under the fair-share policy and
+// the regular fault storm, with the auditor's starvation and hard-quota
+// invariants armed.
+func fairConfig(seed int64) Config {
+	o := core.DefaultOptions()
+	o.Policy = sched.NewFairShare(sched.FairShareConfig{Queues: []sched.QueueSpec{
+		{Name: "a", Weight: 2},
+		{Name: "b", Weight: 1},
+		{Name: "c", Weight: 1, Quota: 30},
+	}})
+	return Config{
+		Seed:    seed,
+		Options: &o,
+		Tenants: []trace.TenantSpec{
+			{Name: "a", Jobs: 12, Rate: 0.4},
+			{Name: "b", Jobs: 12, Rate: 0.4, BurstAt: 20, BurstDur: 30, BurstFactor: 10},
+			{Name: "c", Jobs: 8, ArrivalWindow: 60},
+		},
+		TenantQuotas: map[string]int{"c": 30},
+	}
+}
+
+// TestFairShareSoak: the fair-share policy under the fault storm must
+// keep every scheduler invariant, never let the quota-capped tenant run
+// above its quota, and never starve a tenant while others complete.
+func TestFairShareSoak(t *testing.T) {
+	for seed := int64(0); seed < int64(*chaosSeeds); seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			res := Run(fairConfig(seed))
+			t.Log(res)
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if !res.Quiesced {
+				t.Error("simulation did not quiesce within the step budget")
+			}
+			if len(res.Tenants) != 3 {
+				t.Fatalf("tenant tallies = %d, want 3", len(res.Tenants))
+			}
+			for _, tr := range res.Tenants {
+				if tr.Submitted == 0 {
+					t.Errorf("tenant %s submitted no jobs", tr.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestFairShareSoakDeterminism: the fair policy's trace hash — which now
+// folds tenant tallies, reclaim counts, share events and the fault
+// schedule — must reproduce exactly per seed.
+func TestFairShareSoakDeterminism(t *testing.T) {
+	a := Run(fairConfig(3))
+	b := Run(fairConfig(3))
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("fair soak hash differs: %016x vs %016x", a.TraceHash, b.TraceHash)
+	}
+	if a.Reclaims != b.Reclaims || a.Completed != b.Completed {
+		t.Fatalf("fair soak outcome differs: %v vs %v", a, b)
 	}
 }

@@ -50,6 +50,16 @@ type Config struct {
 	// the admission invariants (exactly-once decisions, bounded queue, no
 	// admitted job lost). Nil runs the legacy direct-submission soak.
 	Flow *flow.Config
+	// Tenants switches the workload to the multi-tenant arrival process
+	// (see trace.TenantSpec); Jobs and ArrivalWindow are then ignored. The
+	// soak additionally audits fairness: every tenant's terminal tallies
+	// fold into the trace hash, and a tenant whose every job dies — while
+	// others complete — is reported as starved.
+	Tenants []trace.TenantSpec
+	// TenantQuotas arms the auditor's hard-quota invariant: no listed
+	// tenant may ever hold more running tasks than its quota. Pair with a
+	// quota-configured scheduling policy in Options.
+	TenantQuotas map[string]int
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +130,19 @@ type Result struct {
 	FlowAdmitted  int
 	FlowShed      int
 	FlowQueuedEnd int
+	// Tenants holds per-tenant terminal tallies when Config.Tenants is
+	// set, in declaration order.
+	Tenants []TenantResult
+	// Reclaims counts whole graphlets preempted by the scheduling policy.
+	Reclaims int
+}
+
+// TenantResult is one tenant's terminal job tally.
+type TenantResult struct {
+	Name      string
+	Submitted int
+	Done      int
+	Failed    int
 }
 
 // String renders a one-line summary.
@@ -128,6 +151,12 @@ func (r *Result) String() string {
 		r.Seed, r.Jobs, r.Completed, r.Failed, r.Unfinished, len(r.Violations), r.TraceHash, r.Injected, r.Restarts, r.Resends, r.LastFinish.Seconds(), r.MeanLatency)
 	if r.FlowAdmitted+r.FlowShed+r.FlowQueuedEnd > 0 {
 		s += fmt.Sprintf(" flow[admitted=%d shed=%d queued-end=%d]", r.FlowAdmitted, r.FlowShed, r.FlowQueuedEnd)
+	}
+	if len(r.Tenants) > 0 {
+		s += fmt.Sprintf(" reclaims=%d", r.Reclaims)
+		for _, tr := range r.Tenants {
+			s += fmt.Sprintf(" %s[done=%d failed=%d]", tr.Name, tr.Done, tr.Failed)
+		}
 	}
 	return s
 }
@@ -152,6 +181,7 @@ func Run(cfg Config) *Result {
 		ReadmitDelay: cfg.Profile.RecoverDelay,
 	})
 	aud := NewAuditor(runner.Controller(), runner.Cluster(), cfg.CheckEvery)
+	aud.SetTenantQuotas(cfg.TenantQuotas)
 	runner.SetActionHook(aud.OnAction)
 
 	ctrl := runner.Controller()
@@ -218,11 +248,16 @@ func Run(cfg Config) *Result {
 		})
 	}
 
-	tr := trace.Generate(trace.Spec{
+	spec := trace.Spec{
 		Jobs:          cfg.Jobs,
 		Seed:          cfg.Seed,
 		ArrivalWindow: cfg.ArrivalWindow.Seconds(),
-	})
+	}
+	if len(cfg.Tenants) > 0 {
+		spec = trace.Spec{Seed: cfg.Seed, Tenants: cfg.Tenants}
+	}
+	tr := trace.Generate(spec)
+	res.Jobs = len(tr.Jobs)
 	for _, j := range tr.Jobs {
 		if fc != nil {
 			j := j
@@ -342,6 +377,38 @@ func Run(cfg Config) *Result {
 		}
 		// The final admission tallies are part of the determinism witness.
 		aud.Fold(fmt.Sprintf("flowstats|%d|%d|%d|%d\n", st.Admitted, st.Queued, st.Shed, st.QueueLen))
+	}
+	// Fairness audit: per-tenant terminal tallies join the determinism
+	// witness, and a tenant whose submissions all died while another
+	// tenant completed work is starvation — the no-starvation invariant a
+	// fair policy must uphold even under the fault schedule.
+	if len(cfg.Tenants) > 0 {
+		anyDone := false
+		for _, ts := range cfg.Tenants {
+			tres := TenantResult{Name: ts.Name}
+			for _, j := range tr.Jobs {
+				if j.Job.Tenant != ts.Name {
+					continue
+				}
+				tres.Submitted++
+				switch {
+				case ctrl.JobDone(j.Job.ID):
+					tres.Done++
+				case ctrl.JobFailed(j.Job.ID):
+					tres.Failed++
+				}
+			}
+			anyDone = anyDone || tres.Done > 0
+			res.Tenants = append(res.Tenants, tres)
+			aud.Fold(fmt.Sprintf("tenant|%s|%d|%d|%d\n", tres.Name, tres.Submitted, tres.Done, tres.Failed))
+		}
+		for _, tres := range res.Tenants {
+			if anyDone && tres.Submitted > 0 && tres.Done == 0 {
+				aud.violate(end, "tenant %s starved: %d jobs submitted, none completed", tres.Name, tres.Submitted)
+			}
+		}
+		res.Reclaims = ctrl.ReclaimedGangs()
+		aud.Fold(fmt.Sprintf("reclaims|%d\n", res.Reclaims))
 	}
 	latency := 0.0
 	for _, jr := range runner.Results().Jobs {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"swift/internal/cluster"
 )
@@ -117,13 +118,25 @@ func (c *Controller) QueueLen() int { return len(c.queue) }
 //     (the consumer would launch against data that no longer exists), and
 //     the controller's disordered-run counter — which gates the
 //     deadlock-breaking queue scan — matches the number of graphlet runs
-//     actually flagged disordered.
+//     actually flagged disordered;
+//   - tenant accounting: the O(delta) per-tenant counters behind
+//     TenantSnapshots match a full per-tenant recount of live jobs,
+//     task states and queue entries.
 func (c *Controller) CheckInvariants() []string {
 	var v []string
 	seenExec := make(map[cluster.ExecutorID]TaskRef)
 	totalRunning := 0
 	totalPending, totalDone, liveJobs := 0, 0, 0
 	disordered := 0
+	tenantRecount := make(map[string]*TenantCounts)
+	recountFor := func(name string) *TenantCounts {
+		tc := tenantRecount[name]
+		if tc == nil {
+			tc = &TenantCounts{Tenant: name}
+			tenantRecount[name] = tc
+		}
+		return tc
+	}
 
 	for _, jobID := range c.order {
 		m := c.jobs[jobID]
@@ -131,6 +144,8 @@ func (c *Controller) CheckInvariants() []string {
 			continue
 		}
 		liveJobs++
+		ttc := recountFor(m.tenant)
+		ttc.Jobs++
 		queued := make(map[int]int) // graphlet -> queue entries
 		for _, it := range c.queue {
 			if it.job == jobID {
@@ -158,12 +173,14 @@ func (c *Controller) CheckInvariants() []string {
 				switch st.status[i] {
 				case tPending:
 					totalPending++
+					ttc.Pending++
 					if n := pendingInQueue[st.graphlet][taskKey(m, ref)]; n != 1 {
 						v = append(v, fmt.Sprintf("%s: pending task %s appears %d times in graphlet %d's pending queue (want 1)", jobID, ref, n, st.graphlet))
 					}
 				case tRunning:
 					runningCount++
 					totalRunning++
+					ttc.Running++
 					e := st.executor[i]
 					if e < 0 {
 						v = append(v, fmt.Sprintf("%s: running task %s has no executor", jobID, ref))
@@ -182,6 +199,7 @@ func (c *Controller) CheckInvariants() []string {
 				case tDone:
 					doneCount++
 					totalDone++
+					ttc.Done++
 					if n := pendingInQueue[st.graphlet][taskKey(m, ref)]; n != 0 {
 						v = append(v, fmt.Sprintf("%s: done task %s also in pending queue", jobID, ref))
 					}
@@ -271,6 +289,38 @@ func (c *Controller) CheckInvariants() []string {
 	if liveJobs != c.snapLive || totalPending != c.snapPending || totalRunning != c.snapRunning || totalDone != c.snapDone {
 		v = append(v, fmt.Sprintf("snapshot counters (live=%d pending=%d running=%d done=%d) != recount (live=%d pending=%d running=%d done=%d)",
 			c.snapLive, c.snapPending, c.snapRunning, c.snapDone, liveJobs, totalPending, totalRunning, totalDone))
+	}
+	// Per-tenant counters: every queue entry charges its job's tenant
+	// (entries of dead jobs are filtered by failJob/restartJob, so the
+	// lookup always resolves), then each maintained record must match the
+	// recount — including records whose tenant retired (recount zero).
+	for _, it := range c.queue {
+		if m := c.jobs[it.job]; m != nil {
+			recountFor(m.tenant).Queued++
+		}
+	}
+	names := make([]string, 0, len(c.tenants)+len(tenantRecount))
+	for name := range c.tenants {
+		names = append(names, name)
+	}
+	for name := range tenantRecount {
+		if _, tracked := c.tenants[name]; !tracked {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var have, want TenantCounts
+		have.Tenant, want.Tenant = name, name
+		if tc := c.tenants[name]; tc != nil {
+			have = *tc
+		}
+		if tc := tenantRecount[name]; tc != nil {
+			want = *tc
+		}
+		if have != want {
+			v = append(v, fmt.Sprintf("tenant %q counters %+v != recount %+v", name, have, want))
+		}
 	}
 	return v
 }

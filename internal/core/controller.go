@@ -15,6 +15,7 @@ import (
 	"swift/internal/cluster"
 	"swift/internal/dag"
 	"swift/internal/graphlet"
+	"swift/internal/sched"
 	"swift/internal/shuffle"
 )
 
@@ -81,6 +82,9 @@ type monitor struct {
 	done      bool
 	failed    bool
 	restarts  int
+	tenant    string        // normalized tenant label (TenantName)
+	tc        *TenantCounts // the tenant's live aggregate counters
+	seq       int           // admission sequence number (policy FIFO tiebreak)
 }
 
 // Controller is the Swift Admin state machine.
@@ -108,6 +112,17 @@ type Controller struct {
 	snapPending int
 	snapRunning int
 	snapDone    int
+	// policy is the resolved scheduling policy (never nil); fifo caches
+	// whether it is the default sched.FIFO, which serveQueue and schedule
+	// use to skip policy-view construction entirely on the legacy path.
+	policy sched.Policy
+	fifo   bool
+	// tenants holds per-tenant aggregate counters, maintained O(delta)
+	// alongside the snapshot counters (see tenant.go); nextSeq numbers
+	// admissions for the policy's FIFO tiebreak.
+	tenants  map[string]*TenantCounts
+	nextSeq  int
+	reclaims int // gangs reclaimed by policy preemption, for reports
 }
 
 type reqItem struct {
@@ -129,7 +144,12 @@ func NewController(cl *cluster.Cluster, opts Options) *Controller {
 	if opts.UnhealthyThreshold <= 0 {
 		opts.UnhealthyThreshold = 8
 	}
-	return &Controller{opts: opts, cl: cl, jobs: make(map[string]*monitor)}
+	if opts.Policy == nil {
+		opts.Policy = sched.FIFO{}
+	}
+	_, fifo := opts.Policy.(sched.FIFO)
+	return &Controller{opts: opts, cl: cl, jobs: make(map[string]*monitor),
+		policy: opts.Policy, fifo: fifo, tenants: make(map[string]*TenantCounts)}
 }
 
 // Cluster returns the managed cluster.
@@ -170,7 +190,11 @@ func (c *Controller) SubmitJob(job *dag.Job) error {
 		owner:     make(map[string]int),
 		stages:    make(map[string]*stageState),
 		modes:     make(map[edgeKey]shuffle.Mode),
+		tenant:    TenantName(job),
+		seq:       c.nextSeq,
 	}
+	c.nextSeq++
+	m.tc = c.tenantCounts(m.tenant)
 	for _, g := range gs {
 		for _, s := range g.Stages {
 			m.owner[s] = g.Index
@@ -202,7 +226,7 @@ func (c *Controller) SubmitJob(job *dag.Job) error {
 	m.gruns = c.buildGraphletRuns(m)
 	c.jobs[job.ID] = m
 	c.order = append(c.order, job.ID)
-	c.snapAdmit(job.NumTasks())
+	c.snapAdmit(m)
 	c.enqueueReady(m)
 	c.schedule()
 	return nil
@@ -266,6 +290,7 @@ func (c *Controller) enqueueReady(m *monitor) {
 		if ready {
 			run.status = gQueued
 			c.queue = append(c.queue, reqItem{job: m.job.ID, g: i})
+			m.tc.Queued++
 			c.opts.Obs.GraphletQueued(m.job.ID, i, len(run.pending))
 		}
 	}
@@ -284,41 +309,89 @@ func (c *Controller) requeue(m *monitor, g int) {
 	}
 	run.status = gQueued
 	c.queue = append(c.queue, reqItem{job: m.job.ID, g: g})
+	m.tc.Queued++
 	c.opts.Obs.GraphletQueued(m.job.ID, g, len(run.pending))
 }
+
+// maxPreemptRounds bounds policy preemptions per scheduling round; each
+// reclaim frees executors and re-serves the queue, and the next event's
+// schedule() continues if shares are still out of balance.
+const maxPreemptRounds = 4
 
 // schedule is the ResourceScheduleLoop: serve the request queue, and if
 // the pool ran dry with requests still waiting, check for the one stall
 // serving alone cannot fix — every executor held by pipeline consumers
 // idle-waiting on producer tasks that recovery pushed back to pending.
 // Breaking that deadlock frees an executor, so the queue is served again.
+// Under a non-FIFO policy a dry pool with starved queued work may also
+// warrant preemption: the policy nominates whole-graphlet victims to
+// reclaim, reusing the deadlock breaker's per-task machinery.
 func (c *Controller) schedule() {
 	if c.deferSchedule {
 		return
 	}
+	preempts := 0
 	for {
+		freeBefore := c.cl.FreeExecutors()
 		c.serveQueue()
-		if len(c.queue) == 0 || c.cl.FreeExecutors() > 0 {
+		if len(c.queue) == 0 {
+			return
+		}
+		if free := c.cl.FreeExecutors(); free > 0 {
+			// Pool still wet with work queued. Under FIFO every entry was
+			// walked, so the remainder is gated — done. Under a policy the
+			// round is a budgeted plan: after a progressing round, re-plan
+			// (a launch may have consumed the last of a tenant's quota with
+			// work still queued behind it); once a round launches nothing,
+			// the clamped remainder may be wedged behind its own quota —
+			// every quota slot held by consumers parked on the very
+			// producers the clamp keeps queued, a state no future event
+			// will fix. Preempting one parked consumer frees a unit of
+			// quota for the starved producer.
+			if c.fifo {
+				return
+			}
+			if free < freeBefore {
+				continue
+			}
+			if c.disorderedRuns != 0 && c.breakDeadlock() {
+				continue
+			}
 			return
 		}
 		// A dry pool with waiting requests is the normal saturated state;
 		// it can only be a deadlock when recovery has re-pended work
 		// somewhere (a disordered run), so the scan is gated on that.
-		if c.disorderedRuns == 0 || !c.breakDeadlock() {
+		if c.disorderedRuns != 0 && c.breakDeadlock() {
+			continue
+		}
+		if c.fifo || preempts >= maxPreemptRounds || !c.preemptRound() {
 			return
 		}
+		preempts++
 	}
 }
 
-// serveQueue walks the request queue in FIFO order, allocates executors
-// (locality + load policy in cluster.Allocate), and launches pending
-// tasks. Items that cannot make progress stay queued; later items may
-// still be served (backfill), which is what lets small jobs flow around a
-// large one.
+// serveQueue serves the request queue for one round: the FIFO fast path
+// walks it in arrival order; any other policy plans the round first (see
+// servePolicy in policy.go).
 func (c *Controller) serveQueue() {
 	if len(c.queue) == 0 || c.cl.FreeExecutors() == 0 {
 		return
 	}
+	if c.fifo {
+		c.serveFIFO()
+		return
+	}
+	c.servePolicy()
+}
+
+// serveFIFO walks the request queue in FIFO order, allocates executors
+// (locality + load policy in cluster.Allocate), and launches pending
+// tasks. Items that cannot make progress stay queued; later items may
+// still be served (backfill), which is what lets small jobs flow around a
+// large one.
+func (c *Controller) serveFIFO() {
 	// In-place queue compaction: entries that were fully served (or whose
 	// job died) are dropped; entries still waiting stay in FIFO order. In
 	// the common saturated case one freed executor is absorbed by the
@@ -334,7 +407,7 @@ func (c *Controller) serveQueue() {
 			break
 		}
 		item := c.queue[i]
-		if c.serveItem(item) {
+		if c.serveItem(item, 0) {
 			if w != i {
 				c.queue[w] = item
 			}
@@ -343,6 +416,8 @@ func (c *Controller) serveQueue() {
 				i++
 				break // head-of-line blocking: nothing behind is served
 			}
+		} else {
+			c.queueDropped(item)
 		}
 	}
 	if w == i {
@@ -356,8 +431,11 @@ func (c *Controller) serveQueue() {
 }
 
 // serveItem tries to allocate executors for one queued graphlet request
-// and reports whether the item should remain queued.
-func (c *Controller) serveItem(item reqItem) (keep bool) {
+// and reports whether the item should remain queued. limit > 0 caps how
+// many tasks may launch this round (a policy grant's tenant budget); it
+// applies after the StrictGang full-fit check, which keeps gang semantics
+// a property of the graphlet, not of the policy.
+func (c *Controller) serveItem(item reqItem, limit int) (keep bool) {
 	m := c.jobs[item.job]
 	if m == nil || m.failed || m.done {
 		return false
@@ -377,6 +455,9 @@ func (c *Controller) serveItem(item reqItem) (keep bool) {
 	}
 	if c.opts.MaxGraphletExecutors > 0 && want > c.opts.MaxGraphletExecutors {
 		want = c.opts.MaxGraphletExecutors
+	}
+	if limit > 0 && want > limit {
+		want = limit
 	}
 	execs := c.cl.Allocate(want, nil)
 	if len(execs) == 0 {
@@ -529,7 +610,7 @@ func (c *Controller) launch(m *monitor, run *graphletRun, ref TaskRef, e cluster
 	st.attempt[ref.Index]++
 	st.started[ref.Index] = true
 	run.running++
-	c.snapDelta(-1, 1, 0)
+	c.snapDelta(m, -1, 1, 0)
 	c.emit(ActStartTask{
 		Task:     ref,
 		Executor: e,
@@ -564,7 +645,7 @@ func (c *Controller) TaskFinished(ref TaskRef, attempt int) {
 	}
 	st.status[ref.Index] = tDone
 	st.done++
-	c.snapDelta(0, -1, 1)
+	c.snapDelta(m, 0, -1, 1)
 	run := m.gruns[st.graphlet]
 	run.running--
 	e := st.executor[ref.Index]

@@ -4,6 +4,7 @@ import (
 	"swift/internal/dag"
 	"swift/internal/graphlet"
 	"swift/internal/obs"
+	"swift/internal/sched"
 	"swift/internal/shuffle"
 )
 
@@ -128,6 +129,12 @@ type Options struct {
 	// allocation round (0 = no cap), keeping a single huge graphlet from
 	// starving the rest of the queue.
 	MaxGraphletExecutors int
+	// Policy is the pluggable scheduling policy: serve order and per-item
+	// executor caps (JobOrder), per-tenant deserved shares (Proportion)
+	// and gang-aware preemption (Preempt). Nil means sched.FIFO{}, the
+	// legacy arrival-order behaviour, which the controller runs on a fast
+	// path with zero policy overhead — provably byte-identical obs streams.
+	Policy sched.Policy
 	// Obs records spans and events for the observability plane. Nil (the
 	// default) disables recording; the controller's decisions are identical
 	// either way.

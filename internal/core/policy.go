@@ -1,0 +1,196 @@
+package core
+
+import (
+	"swift/internal/sched"
+)
+
+// This file is the controller side of the pluggable policy pipeline: it
+// flattens controller state into the pure sched.Item/Gang/View structs,
+// executes JobOrder grant plans against the executor pool, and turns
+// Preempt victims into whole-graphlet reclaims using the same per-task
+// machinery as the deadlock breaker (abort → release → re-pend → cascade
+// → requeue). The FIFO fast path in serveFIFO never enters this file.
+
+// policyItems flattens the request queue for the policy. Entries whose
+// job left the live set or whose graphlet is no longer actually queued
+// carry Pending 0; policies skip them and servePolicy's sweep retires
+// them exactly as the FIFO walk would.
+func (c *Controller) policyItems() []sched.Item {
+	items := make([]sched.Item, len(c.queue))
+	for i, it := range c.queue {
+		pi := sched.Item{Index: i, Job: it.job, Graphlet: it.g}
+		if m := c.jobs[it.job]; m != nil && !m.failed && !m.done {
+			pi.Tenant = m.tenant
+			pi.Seq = m.seq
+			if run := m.gruns[it.g]; run.status == gQueued {
+				pi.Pending = len(run.pending)
+			}
+		}
+		items[i] = pi
+	}
+	return items
+}
+
+// policyGangs flattens every graphlet currently holding executors, in
+// submission order — the preemption candidate set.
+func (c *Controller) policyGangs() []sched.Gang {
+	var gangs []sched.Gang
+	for _, id := range c.order {
+		m := c.jobs[id]
+		if m == nil || m.failed || m.done {
+			continue
+		}
+		for g, run := range m.gruns {
+			if run.running > 0 {
+				gangs = append(gangs, sched.Gang{Job: id, Tenant: m.tenant,
+					Graphlet: g, Running: run.running, Seq: m.seq})
+			}
+		}
+	}
+	return gangs
+}
+
+// policyView assembles the cluster/tenant state policies decide against.
+func (c *Controller) policyView() sched.View {
+	return sched.View{
+		TotalExecutors: c.cl.NumExecutors(),
+		FreeExecutors:  c.cl.FreeExecutors(),
+		Tenants:        c.usageSnapshots(),
+	}
+}
+
+// usageSnapshots projects the per-tenant counters into the policy's usage
+// struct, sorted by tenant name (the View contract).
+func (c *Controller) usageSnapshots() []sched.TenantUsage {
+	tcs := c.TenantSnapshots()
+	if len(tcs) == 0 {
+		return nil
+	}
+	out := make([]sched.TenantUsage, len(tcs))
+	for i, tc := range tcs {
+		out[i] = sched.TenantUsage{Tenant: tc.Tenant, Running: tc.Running,
+			Pending: tc.Pending, Queued: tc.Queued}
+	}
+	return out
+}
+
+// servePolicy serves one scheduling round under a non-FIFO policy: ask
+// JobOrder for a grant plan, execute it against the pool, then compact
+// the queue. A nil plan falls back to the FIFO walk, so a policy can
+// defer rounds it has no opinion on.
+func (c *Controller) servePolicy() {
+	grants := c.policy.JobOrder(c.policyItems(), c.policyView())
+	if grants == nil {
+		c.serveFIFO()
+		return
+	}
+	served := make([]bool, len(c.queue))
+	for _, g := range grants {
+		if c.cl.FreeExecutors() == 0 {
+			break
+		}
+		if g.Index < 0 || g.Index >= len(served) || served[g.Index] {
+			continue
+		}
+		if !c.serveItem(c.queue[g.Index], g.Cap) {
+			served[g.Index] = true
+		}
+	}
+	// Compact: drop entries the grants consumed. When executors remain —
+	// the round visited everything it wanted — also retire dead and stale
+	// entries the policy skipped, mirroring the FIFO walk (which visits
+	// every entry whenever the pool stays wet).
+	sweep := c.cl.FreeExecutors() > 0
+	w := 0
+	for i, it := range c.queue {
+		drop := served[i]
+		if !drop && sweep {
+			m := c.jobs[it.job]
+			if m == nil || m.failed || m.done {
+				drop = true // defensive: failJob/restartJob filter the queue
+			} else if run := m.gruns[it.g]; run.status != gQueued || len(run.pending) == 0 {
+				if run.status == gQueued {
+					run.status = gRunning
+				}
+				drop = true
+			}
+		}
+		if drop {
+			c.queueDropped(it)
+			continue
+		}
+		c.queue[w] = it
+		w++
+	}
+	c.queue = c.queue[:w]
+}
+
+// preemptRound asks the policy for graphlet victims when the pool is dry
+// with queued work waiting, reclaims them, and reports whether anything
+// was freed (so schedule() re-serves the queue). The per-tenant share
+// picture justifying the reclaim is recorded to the obs stream — only on
+// rounds that actually preempt, so non-preempting runs keep their event
+// streams (and hashes) unchanged.
+func (c *Controller) preemptRound() bool {
+	items := c.policyItems()
+	view := c.policyView()
+	victims := c.policy.Preempt(items, c.policyGangs(), view)
+	if len(victims) == 0 {
+		return false
+	}
+	if c.opts.Obs.Enabled() {
+		for _, s := range c.policy.Proportion(view) {
+			c.opts.Obs.TenantShare(s.Tenant, s.Running, s.Deserved)
+		}
+	}
+	reclaimed := false
+	for _, v := range victims {
+		if c.reclaimGang(v) {
+			reclaimed = true
+		}
+	}
+	return reclaimed
+}
+
+// reclaimGang preempts every running task of one graphlet and re-queues
+// it, reusing the deadlock breaker's machinery: abort, release the
+// executor, re-pend with the retry reason (the preemption is not the
+// task's fault, so retry budgets are untouched), and cascade when the
+// stage is non-idempotent. Reports whether any task was actually
+// reclaimed.
+func (c *Controller) reclaimGang(v sched.Victim) bool {
+	m := c.jobs[v.Job]
+	if m == nil || m.failed || m.done || v.Graphlet < 0 || v.Graphlet >= len(m.gruns) {
+		return false
+	}
+	aborted := 0
+	for _, s := range m.topo {
+		st := m.stages[s]
+		if st.graphlet != v.Graphlet {
+			continue
+		}
+		for i := range st.status {
+			if st.status[i] != tRunning {
+				continue
+			}
+			ref := TaskRef{Job: m.job.ID, Stage: s, Index: i}
+			c.emit(ActAbortTask{Task: ref, Executor: st.executor[i], Attempt: st.attempt[i]})
+			c.releaseRunning(m, ref)
+			c.markPending(m, ref, StartRetry)
+			if !m.job.Stage(s).Idempotent {
+				// Successors may have consumed streamed rows; they re-run
+				// too (and any running ones are aborted by the cascade, so
+				// this loop sees them as no longer running).
+				c.cascade(m, s, v.Graphlet, map[string]bool{s: true})
+			}
+			aborted++
+		}
+	}
+	if aborted == 0 {
+		return false
+	}
+	c.requeue(m, v.Graphlet)
+	c.reclaims++
+	c.opts.Obs.GangReclaimed(m.job.ID, v.Graphlet, aborted, m.tenant)
+	return true
+}

@@ -108,7 +108,7 @@ func (c *Controller) releaseRunning(m *monitor, ref TaskRef) {
 		c.cl.Release([]cluster.ExecutorID{e})
 	}
 	st.status[ref.Index] = tPending
-	c.snapDelta(1, -1, 0)
+	c.snapDelta(m, 1, -1, 0)
 }
 
 // markPending resets a task for re-execution with the given reason and
@@ -118,7 +118,7 @@ func (c *Controller) releaseRunning(m *monitor, ref TaskRef) {
 // producers are revived here, transitively up the DAG.
 func (c *Controller) markPending(m *monitor, ref TaskRef, reason StartReason) {
 	st := m.stages[ref.Stage]
-	c.snapMarkPending(st.status[ref.Index])
+	c.snapMarkPending(m, st.status[ref.Index])
 	st.status[ref.Index] = tPending
 	st.reason[ref.Index] = reason
 	st.lost[ref.Index] = false // a re-run regenerates the output
@@ -403,7 +403,7 @@ func (c *Controller) restartJob(m *monitor) {
 	for _, st := range m.stages {
 		doneTasks += st.done
 	}
-	c.snapDelta(doneTasks, 0, -doneTasks)
+	c.snapDelta(m, doneTasks, 0, -doneTasks)
 	for name, st := range m.stages {
 		tasks := m.job.Stage(name).Tasks
 		*st = stageState{
@@ -425,6 +425,8 @@ func (c *Controller) restartJob(m *monitor) {
 	for _, it := range c.queue {
 		if it.job != m.job.ID {
 			q = append(q, it)
+		} else {
+			m.tc.Queued--
 		}
 	}
 	c.queue = q
@@ -485,6 +487,8 @@ func (c *Controller) failJob(m *monitor, reason string) {
 	for _, it := range c.queue {
 		if it.job != m.job.ID {
 			q = append(q, it)
+		} else {
+			m.tc.Queued--
 		}
 	}
 	c.queue = q

@@ -15,15 +15,21 @@ type StateSnapshot struct {
 	SchedQueueLen  int // graphlet resource requests waiting in the scheduler
 	FreeExecutors  int
 	TotalExecutors int
+	// Tenants is the per-tenant breakdown, sorted by tenant name. It is
+	// populated only under a non-FIFO policy: the FIFO fast path keeps
+	// Snapshot() allocation-free for the flow controller's hot admission
+	// path. TenantSnapshots() returns the breakdown unconditionally.
+	Tenants []TenantCounts
 }
 
 // InFlightTasks is the admission-control budget consumer: work the cluster
 // has accepted but not finished.
 func (s StateSnapshot) InFlightTasks() int { return s.PendingTasks + s.RunningTasks }
 
-// Snapshot returns the current aggregate state in O(1).
+// Snapshot returns the current aggregate state in O(1) (O(tenants) under a
+// non-FIFO policy, for the per-tenant breakdown).
 func (c *Controller) Snapshot() StateSnapshot {
-	return StateSnapshot{
+	s := StateSnapshot{
 		Version:        c.snapVersion,
 		LiveJobs:       c.snapLive,
 		PendingTasks:   c.snapPending,
@@ -33,21 +39,32 @@ func (c *Controller) Snapshot() StateSnapshot {
 		FreeExecutors:  c.cl.FreeExecutors(),
 		TotalExecutors: c.cl.NumExecutors(),
 	}
+	if !c.fifo {
+		s.Tenants = c.TenantSnapshots()
+	}
+	return s
 }
 
-// snapDelta applies one incremental task-count adjustment.
-func (c *Controller) snapDelta(dPending, dRunning, dDone int) {
+// snapDelta applies one incremental task-count adjustment for a task of
+// m's job, to both the global and the per-tenant counters.
+func (c *Controller) snapDelta(m *monitor, dPending, dRunning, dDone int) {
 	c.snapVersion++
 	c.snapPending += dPending
 	c.snapRunning += dRunning
 	c.snapDone += dDone
+	m.tc.Pending += dPending
+	m.tc.Running += dRunning
+	m.tc.Done += dDone
 }
 
 // snapAdmit accounts a freshly admitted job: all tasks start pending.
-func (c *Controller) snapAdmit(tasks int) {
+func (c *Controller) snapAdmit(m *monitor) {
+	tasks := m.job.NumTasks()
 	c.snapVersion++
 	c.snapLive++
 	c.snapPending += tasks
+	m.tc.Jobs++
+	m.tc.Pending += tasks
 }
 
 // snapClose removes a job leaving the live set (completed or failed) from
@@ -71,18 +88,23 @@ func (c *Controller) snapClose(m *monitor) {
 	c.snapPending -= p
 	c.snapRunning -= r
 	c.snapDone -= d
+	m.tc.Jobs--
+	m.tc.Pending -= p
+	m.tc.Running -= r
+	m.tc.Done -= d
 }
 
-// snapMarkPending accounts a task transitioning to tPending from its
-// current status. Must be called BEFORE the status is overwritten.
-func (c *Controller) snapMarkPending(prev taskStatus) {
+// snapMarkPending accounts a task of m's job transitioning to tPending
+// from its current status. Must be called BEFORE the status is
+// overwritten.
+func (c *Controller) snapMarkPending(m *monitor, prev taskStatus) {
 	switch prev {
 	case tDone:
-		c.snapDelta(1, 0, -1)
+		c.snapDelta(m, 1, 0, -1)
 	case tRunning:
 		// Callers release the executor (→ tPending) before re-marking, so
 		// this arm is defensive only.
-		c.snapDelta(1, -1, 0)
+		c.snapDelta(m, 1, -1, 0)
 	case tPending:
 		c.snapVersion++
 	}

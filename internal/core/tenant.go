@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sort"
+
+	"swift/internal/dag"
+)
+
+// DefaultTenant is the tenant label assigned to jobs submitted without
+// one, so every job belongs to exactly one tenant and single-tenant
+// deployments never see an empty name in status output.
+const DefaultTenant = "default"
+
+// TenantName normalizes a job's tenant label.
+func TenantName(job *dag.Job) string {
+	if job == nil || job.Tenant == "" {
+		return DefaultTenant
+	}
+	return job.Tenant
+}
+
+// TenantCounts is one tenant's live aggregate state, maintained O(delta)
+// alongside the global snapshot counters and cross-checked against a full
+// recount by CheckInvariants.
+type TenantCounts struct {
+	Tenant  string
+	Jobs    int // live jobs (admitted, not yet completed or failed)
+	Pending int // pending tasks of live jobs
+	Running int // running tasks of live jobs
+	Done    int // completed tasks of live jobs
+	Queued  int // graphlet resource requests in the scheduler queue
+}
+
+// tenantCounts returns (creating on first use) the counter record for a
+// tenant. Records persist after a tenant's last job retires — the counts
+// drop back to zero but the tenant stays listed in status output.
+func (c *Controller) tenantCounts(name string) *TenantCounts {
+	tc := c.tenants[name]
+	if tc == nil {
+		tc = &TenantCounts{Tenant: name}
+		c.tenants[name] = tc
+	}
+	return tc
+}
+
+// queueDropped maintains the per-tenant queued-request counter when an
+// entry leaves the scheduler queue outside the bulk filters in
+// failJob/restartJob (which adjust the counter themselves).
+func (c *Controller) queueDropped(it reqItem) {
+	if m := c.jobs[it.job]; m != nil {
+		m.tc.Queued--
+	}
+}
+
+// TenantSnapshots returns every tenant's aggregate counters, sorted by
+// tenant name. Unlike Snapshot().Tenants it is populated under any
+// policy, including FIFO.
+func (c *Controller) TenantSnapshots() []TenantCounts {
+	if len(c.tenants) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(c.tenants))
+	for name := range c.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]TenantCounts, 0, len(names))
+	for _, n := range names {
+		out = append(out, *c.tenants[n])
+	}
+	return out
+}
+
+// TenantInFlight returns one tenant's pending+running task count in O(1)
+// — the per-tenant admission budget consumer flow.Controller reads on
+// every offer.
+func (c *Controller) TenantInFlight(name string) int {
+	tc := c.tenants[name]
+	if tc == nil {
+		return 0
+	}
+	return tc.Pending + tc.Running
+}
+
+// ReclaimedGangs returns how many whole graphlets policy preemption has
+// reclaimed since the controller started.
+func (c *Controller) ReclaimedGangs() int { return c.reclaims }
+
+// PolicyName identifies the active scheduling policy.
+func (c *Controller) PolicyName() string { return c.policy.Name() }

@@ -94,7 +94,11 @@ func (s *Stage) HasGlobalSort() bool {
 
 // Job is a complete DAG job as submitted by a client.
 type Job struct {
-	ID     string
+	ID string
+	// Tenant labels the submitting tenant for multi-tenant scheduling
+	// policies and per-tenant admission budgets. Empty means the default
+	// tenant; the label never affects DAG semantics.
+	Tenant string
 	stages map[string]*Stage
 	order  []string // insertion order, used for deterministic iteration
 	edges  []*Edge
@@ -317,6 +321,7 @@ func (j *Job) TotalShuffleBytes() int64 {
 // destructively (Algorithm 1 removes stages) operate on a clone.
 func (j *Job) Clone() *Job {
 	c := NewJob(j.ID)
+	c.Tenant = j.Tenant
 	for _, n := range j.order {
 		s := *j.stages[n]
 		s.Operators = append([]Operator(nil), s.Operators...)

@@ -262,9 +262,58 @@ func TestFig16NearLinearScaling(t *testing.T) {
 	}
 }
 
+// TestFairShareAcceptance pins the fairness sweep's headline claims: under
+// the fair policy every burst intensity keeps Jain's index ≥ 0.9 with
+// weight-normalized shares within 10% of each other, the 10x burst forces
+// actual gang reclaims (not just grant withholding), and FIFO demonstrably
+// lacks all of this — the bursting tenant takes over and its neighbours'
+// p99 collapses onto the burst's.
+func TestFairShareAcceptance(t *testing.T) {
+	rows := FairShare(cfg())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 bursts x 2 policies)", len(rows))
+	}
+	byKey := map[string]FairShareRow{}
+	for _, r := range rows {
+		byKey[r.Burst+"/"+r.Policy] = r
+		if r.ContendedSec <= 0 {
+			t.Errorf("%s/%s: empty contention window", r.Burst, r.Policy)
+		}
+		if r.Completed != r.Jobs {
+			t.Errorf("%s/%s: %d of %d jobs completed", r.Burst, r.Policy, r.Completed, r.Jobs)
+		}
+	}
+	for _, burst := range []string{"1x", "3x", "10x"} {
+		fair := byKey[burst+"/fair"]
+		if fair.Jain < 0.9 {
+			t.Errorf("%s fair: Jain = %.3f, want ≥ 0.9", burst, fair.Jain)
+		}
+		if fair.MaxDevPct > 10 {
+			t.Errorf("%s fair: weighted shares deviate %.1f%%, want ≤ 10%%", burst, fair.MaxDevPct)
+		}
+		if fair.Reclaims == 0 {
+			t.Errorf("%s fair: no gang reclaims — the burst never exercised preemption", burst)
+		}
+	}
+	fifo10, fair10 := byKey["10x/fifo"], byKey["10x/fair"]
+	if fifo10.Jain >= fair10.Jain {
+		t.Errorf("10x: FIFO Jain %.3f not below fair %.3f", fifo10.Jain, fair10.Jain)
+	}
+	if fifo10.Shares[1] < 0.6 {
+		t.Errorf("10x fifo: bursting tenant share = %.2f, want monopolization (≥ 0.6)", fifo10.Shares[1])
+	}
+	// Isolation: under FIFO the innocent tenants' p99 rides the burst; the
+	// fair policy must cut it to well under half.
+	for _, i := range []int{0, 2} {
+		if fair10.P99[i] >= fifo10.P99[i]/2 {
+			t.Errorf("10x tenant %s: fair p99 %.1fs not ≪ fifo p99 %.1fs", fairTenants[i], fair10.P99[i], fifo10.P99[i])
+		}
+	}
+}
+
 func TestRunRegistryCoversAllExperiments(t *testing.T) {
 	names := Names()
-	want := []string{"fig3", "fig8", "fig9a", "fig9b", "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "flowburst"}
+	want := []string{"fig3", "fig8", "fig9a", "fig9b", "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "flowburst", "fairshare"}
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries: %v", len(names), names)
 	}

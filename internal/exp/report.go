@@ -93,6 +93,7 @@ var registry = map[string]func(Config, io.Writer) error{
 	"fig15":     reportFig15,
 	"fig16":     reportFig16,
 	"flowburst": reportFlowBurst,
+	"fairshare": reportFairShare,
 }
 
 // Run executes one named experiment and writes its paper-style report. It
@@ -246,6 +247,18 @@ func reportFlowBurst(cfg Config, w io.Writer) error {
 		Headers: []string{"burst", "offered", "admitted", "queued", "shed", "wait_p50_s", "wait_p99_s", "max_queue", "max_inflight", "budget", "completed"}}
 	for _, r := range FlowBurst(cfg) {
 		t.Add(r.Burst, r.Offered, r.Admitted, r.Queued, r.Shed, r.WaitP50, r.WaitP99, r.MaxQueueSeen, r.MaxInFlight, r.Budget, r.Completed)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+func reportFairShare(cfg Config, w io.Writer) error {
+	t := &Table{Title: "Fair share — three tenants (weights 2:1:1), tenant b bursting 1x/3x/10x",
+		Headers: []string{"burst", "policy", "contended_s", "share_a", "share_b", "share_c", "jain", "max_dev_%", "p99_a_s", "p99_b_s", "p99_c_s", "reclaims", "completed"}}
+	for _, r := range FairShare(cfg) {
+		t.Add(r.Burst, r.Policy, r.ContendedSec,
+			r.Shares[0], r.Shares[1], r.Shares[2], r.Jain, r.MaxDevPct,
+			r.P99[0], r.P99[1], r.P99[2], r.Reclaims, r.Completed)
 	}
 	_, err := t.WriteTo(w)
 	return err

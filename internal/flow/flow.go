@@ -18,6 +18,7 @@ package flow
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"swift/internal/core"
 	"swift/internal/obs"
@@ -122,6 +123,14 @@ type Config struct {
 	// Metrics, when non-nil, receives admitted/queued/shed counters,
 	// queue-depth and in-flight gauges, and the admission-wait histogram.
 	Metrics *obs.Registry
+	// TenantBudgets bounds each listed tenant's in-flight tasks on top of
+	// the global budget (tenants not listed are unbounded). Enforcement
+	// needs SetTenantLookup; a tenant with nothing in flight admits one
+	// oversized job alone, mirroring the global liveness rule. When any
+	// budget is set the wait queue releases the first admissible item
+	// rather than strictly the head, so one saturated tenant cannot block
+	// the others' queued work.
+	TenantBudgets map[string]int
 }
 
 func (c Config) withDefaults(totalExecutors int) Config {
@@ -149,6 +158,7 @@ func (c Config) withDefaults(totalExecutors int) Config {
 // Item is one submission moving through admission.
 type Item struct {
 	ID       string
+	Tenant   string // empty counts as core.DefaultTenant
 	Tasks    int
 	Payload  interface{}
 	Enqueued sim.Time
@@ -185,6 +195,20 @@ type Controller struct {
 	head     int // queue[head:] is live; amortised O(1) pops
 	draining bool
 	stats    Stats
+	inflight func(tenant string) int // nil disables tenant budgets
+	tstats   map[string]*TenantStat
+}
+
+// TenantStat is one tenant's cumulative admission statistics plus its
+// current budget occupancy.
+type TenantStat struct {
+	Tenant   string
+	Admitted int64
+	Queued   int64 // ever parked in the wait queue
+	Shed     int64
+	QueueLen int // current wait-queue entries
+	InFlight int // current in-flight tasks (0 without a lookup)
+	Budget   int // configured budget (0 = unbounded)
 }
 
 // NewController builds a flow controller; capacity defaults derive from
@@ -252,6 +276,49 @@ func (f *Controller) fits(snap core.StateSnapshot, tasks int) bool {
 	return inflight+tasks <= f.cfg.MaxInFlightTasks || inflight == 0
 }
 
+// SetTenantLookup wires the per-tenant in-flight reader (normally
+// core.Controller.TenantInFlight) that TenantBudgets enforcement and
+// TenantStats occupancy read from. Without it tenant budgets are inert.
+func (f *Controller) SetTenantLookup(fn func(tenant string) int) { f.inflight = fn }
+
+// tenantOf normalizes an item's tenant label the same way the scheduler
+// does, so budgets and stats key consistently.
+func tenantOf(it Item) string {
+	if it.Tenant == "" {
+		return core.DefaultTenant
+	}
+	return it.Tenant
+}
+
+// tstat returns (creating on first use) a tenant's stat record.
+func (f *Controller) tstat(name string) *TenantStat {
+	if f.tstats == nil {
+		f.tstats = make(map[string]*TenantStat)
+	}
+	ts := f.tstats[name]
+	if ts == nil {
+		ts = &TenantStat{Tenant: name}
+		f.tstats[name] = ts
+	}
+	return ts
+}
+
+// tenantFits reports whether admitting the item stays within its tenant's
+// budget. Unlisted tenants (or a missing lookup) always fit; a tenant with
+// nothing in flight admits one oversized job alone — the same liveness
+// rule fits applies globally.
+func (f *Controller) tenantFits(it Item) bool {
+	if len(f.cfg.TenantBudgets) == 0 || f.inflight == nil {
+		return true
+	}
+	budget := f.cfg.TenantBudgets[tenantOf(it)]
+	if budget <= 0 {
+		return true
+	}
+	in := f.inflight(tenantOf(it))
+	return in+it.Tasks <= budget || in == 0
+}
+
 // QueueLen returns the current wait-queue depth.
 func (f *Controller) QueueLen() int { return len(f.queue) - f.head }
 
@@ -274,12 +341,14 @@ func (f *Controller) Offer(now sim.Time, snap core.StateSnapshot, item Item) (Ou
 	f.stats.Decisions++
 	if f.draining {
 		f.stats.Shed++
+		f.tstat(tenantOf(item)).Shed++
 		f.cfg.Metrics.Count("flow.shed", 1)
 		return Outcome{Decision: Shed, Level: LevelShed, RetryAfter: f.retryAfter()}, ErrDraining
 	}
-	if f.QueueLen() == 0 && f.fits(snap, item.Tasks) && f.hasToken() {
+	if f.QueueLen() == 0 && f.fits(snap, item.Tasks) && f.tenantFits(item) && f.hasToken() {
 		f.takeToken()
 		f.stats.Admitted++
+		f.tstat(tenantOf(item)).Admitted++
 		f.cfg.Metrics.Count("flow.admitted", 1)
 		f.observeWait(0)
 		return Outcome{Decision: Admitted, Level: LevelAccept}, nil
@@ -287,6 +356,7 @@ func (f *Controller) Offer(now sim.Time, snap core.StateSnapshot, item Item) (Ou
 	if f.QueueLen() >= f.cfg.MaxQueue {
 		ra := f.retryAfter()
 		f.stats.Shed++
+		f.tstat(tenantOf(item)).Shed++
 		f.cfg.Metrics.Count("flow.shed", 1)
 		return Outcome{Decision: Shed, Level: LevelShed, RetryAfter: ra},
 			&OverloadError{QueueLen: f.QueueLen(), RetryAfter: ra}
@@ -294,6 +364,7 @@ func (f *Controller) Offer(now sim.Time, snap core.StateSnapshot, item Item) (Ou
 	item.Enqueued = now
 	f.queue = append(f.queue, item)
 	f.stats.Queued++
+	f.tstat(tenantOf(item)).Queued++
 	f.cfg.Metrics.Count("flow.queued", 1)
 	f.cfg.Metrics.Gauge("flow.queue_depth", float64(f.QueueLen()))
 	if q := f.QueueLen(); q > f.stats.MaxQueue {
@@ -310,14 +381,27 @@ func (f *Controller) Offer(now sim.Time, snap core.StateSnapshot, item Item) (Ou
 // in-flight budget has room and (unless draining) a token is available.
 // Callers loop with a fresh snapshot after each admission. Draining
 // bypasses the token governor so queued-but-unadmitted work re-admits
-// promptly before shutdown.
+// promptly before shutdown. With tenant budgets active the scan releases
+// the first admissible entry instead of strictly the head, so a tenant
+// parked at its budget cannot head-of-line-block the rest of the queue.
 func (f *Controller) PopAdmissible(now sim.Time, snap core.StateSnapshot) (Item, bool) {
 	f.refill(now, snap)
 	if f.QueueLen() == 0 {
 		return Item{}, false
 	}
-	head := f.queue[f.head]
-	if !f.fits(snap, head.Tasks) {
+	idx := f.head
+	if len(f.cfg.TenantBudgets) > 0 && f.inflight != nil {
+		idx = -1
+		for i := f.head; i < len(f.queue); i++ {
+			if f.fits(snap, f.queue[i].Tasks) && f.tenantFits(f.queue[i]) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return Item{}, false
+		}
+	} else if !f.fits(snap, f.queue[idx].Tasks) {
 		return Item{}, false
 	}
 	if !f.draining {
@@ -326,20 +410,26 @@ func (f *Controller) PopAdmissible(now sim.Time, snap core.StateSnapshot) (Item,
 		}
 		f.takeToken()
 	}
-	f.head++
-	if f.head == len(f.queue) {
-		f.queue = f.queue[:0]
-		f.head = 0
-	} else if f.head > 64 && 2*f.head >= len(f.queue) {
-		n := copy(f.queue, f.queue[f.head:])
-		f.queue = f.queue[:n]
-		f.head = 0
+	it := f.queue[idx]
+	if idx == f.head {
+		f.head++
+		if f.head == len(f.queue) {
+			f.queue = f.queue[:0]
+			f.head = 0
+		} else if f.head > 64 && 2*f.head >= len(f.queue) {
+			n := copy(f.queue, f.queue[f.head:])
+			f.queue = f.queue[:n]
+			f.head = 0
+		}
+	} else {
+		f.queue = append(f.queue[:idx], f.queue[idx+1:]...)
 	}
 	f.stats.Admitted++
+	f.tstat(tenantOf(it)).Admitted++
 	f.cfg.Metrics.Count("flow.admitted", 1)
 	f.cfg.Metrics.Gauge("flow.queue_depth", float64(f.QueueLen()))
-	f.observeWait((now - head.Enqueued).Seconds())
-	return head, true
+	f.observeWait((now - it.Enqueued).Seconds())
+	return it, true
 }
 
 // CancelQueued removes a queued submission by ID before it is admitted.
@@ -362,6 +452,45 @@ func (f *Controller) Drain() { f.draining = true }
 
 // Draining reports whether Drain was called.
 func (f *Controller) Draining() bool { return f.draining }
+
+// TenantStats returns per-tenant admission statistics sorted by tenant
+// name: cumulative decision counters plus current wait-queue occupancy,
+// in-flight tasks (when a lookup is wired) and the configured budget.
+func (f *Controller) TenantStats() []TenantStat {
+	names := make(map[string]bool, len(f.tstats)+len(f.cfg.TenantBudgets))
+	for n := range f.tstats {
+		names[n] = true
+	}
+	for n := range f.cfg.TenantBudgets {
+		names[n] = true
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	depth := make(map[string]int)
+	for i := f.head; i < len(f.queue); i++ {
+		depth[tenantOf(f.queue[i])]++
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	out := make([]TenantStat, 0, len(sorted))
+	for _, n := range sorted {
+		ts := TenantStat{Tenant: n}
+		if have := f.tstats[n]; have != nil {
+			ts = *have
+		}
+		ts.QueueLen = depth[n]
+		ts.Budget = f.cfg.TenantBudgets[n]
+		if f.inflight != nil {
+			ts.InFlight = f.inflight(n)
+		}
+		out = append(out, ts)
+	}
+	return out
+}
 
 // Stats returns cumulative admission statistics.
 func (f *Controller) Stats() Stats {

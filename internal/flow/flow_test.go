@@ -244,3 +244,79 @@ func BenchmarkFlowDecision(b *testing.B) {
 		}
 	}
 }
+
+// Tenant budgets bound each listed tenant's in-flight work, and the wait
+// queue releases the first admissible entry so a tenant parked at its
+// budget cannot head-of-line-block the others.
+func TestTenantBudgets(t *testing.T) {
+	inflight := map[string]int{}
+	f := NewController(Config{MaxInFlightTasks: 100, MaxQueue: 8, TenantBudgets: map[string]int{"a": 4}}, 4)
+	f.SetTenantLookup(func(n string) int { return inflight[n] })
+	titem := func(id, tenant string, tasks int) Item {
+		return Item{ID: id, Tenant: tenant, Tasks: tasks, Payload: id}
+	}
+	s := snap(4, 4, 0, 0)
+	out, err := f.Offer(0, s, titem("a1", "a", 3))
+	if err != nil || out.Decision != Admitted {
+		t.Fatalf("a1 within budget: %v %v", out.Decision, err)
+	}
+	inflight["a"] = 3
+	if out, _ = f.Offer(0, s, titem("a2", "a", 3)); out.Decision != Queued {
+		t.Fatalf("a2 over budget = %v, want queued", out.Decision)
+	}
+	if out, _ = f.Offer(0, s, titem("b1", "b", 3)); out.Decision != Queued {
+		t.Fatalf("b1 behind non-empty queue = %v, want queued", out.Decision)
+	}
+	// b1 releases past the parked a2.
+	it, ok := f.PopAdmissible(0, s)
+	if !ok || it.ID != "b1" {
+		t.Fatalf("pop = %v %v, want b1", it.ID, ok)
+	}
+	if _, ok := f.PopAdmissible(0, s); ok {
+		t.Fatal("a2 released while tenant a is at budget")
+	}
+	inflight["a"] = 0
+	if it, ok = f.PopAdmissible(0, s); !ok || it.ID != "a2" {
+		t.Fatalf("pop after a freed = %v %v, want a2", it.ID, ok)
+	}
+}
+
+// A tenant with nothing in flight admits one job larger than its whole
+// budget — the per-tenant mirror of the global oversized-alone rule.
+func TestTenantOversizedAdmitsAlone(t *testing.T) {
+	inflight := map[string]int{}
+	f := NewController(Config{MaxInFlightTasks: 100, MaxQueue: 8, TenantBudgets: map[string]int{"a": 2}}, 4)
+	f.SetTenantLookup(func(n string) int { return inflight[n] })
+	s := snap(4, 4, 0, 0)
+	out, _ := f.Offer(0, s, Item{ID: "big", Tenant: "a", Tasks: 10})
+	if out.Decision != Admitted {
+		t.Fatalf("idle tenant oversized job = %v, want admitted", out.Decision)
+	}
+	inflight["a"] = 10
+	if out, _ = f.Offer(0, s, Item{ID: "next", Tenant: "a", Tasks: 1}); out.Decision != Queued {
+		t.Fatalf("busy tenant = %v, want queued", out.Decision)
+	}
+}
+
+// TenantStats: per-tenant counters, sorted, empty tenant under the
+// default name, budget column from config.
+func TestTenantStats(t *testing.T) {
+	f := NewController(Config{MaxInFlightTasks: 4, MaxQueue: 1, TenantBudgets: map[string]int{"zeta": 7}}, 4)
+	s := snap(4, 4, 3, 0)                                  // 3 tasks already in flight
+	f.Offer(0, s, Item{ID: "d1", Tasks: 1})                // default tenant, admitted
+	f.Offer(0, s, Item{ID: "b1", Tenant: "b", Tasks: 100}) // over global budget, queued
+	f.Offer(0, s, Item{ID: "b2", Tenant: "b", Tasks: 1})   // queue full, shed
+	ts := f.TenantStats()
+	if len(ts) != 3 {
+		t.Fatalf("tenants = %d (%v), want 3", len(ts), ts)
+	}
+	if ts[0].Tenant != "b" || ts[1].Tenant != "default" || ts[2].Tenant != "zeta" {
+		t.Fatalf("order = %s,%s,%s", ts[0].Tenant, ts[1].Tenant, ts[2].Tenant)
+	}
+	if ts[1].Admitted != 1 || ts[0].Queued != 1 || ts[0].Shed != 1 || ts[0].QueueLen != 1 {
+		t.Fatalf("stats = %+v", ts)
+	}
+	if ts[2].Budget != 7 {
+		t.Fatalf("zeta budget = %d, want 7", ts[2].Budget)
+	}
+}

@@ -39,19 +39,24 @@ type Service struct {
 type ServiceStatus struct {
 	Snapshot core.StateSnapshot
 	Flow     Stats
-	Level    Level // admission level a 1-task arrival would see
-	Panics   int64 // submissions isolated after panicking
+	Tenants  []TenantStat // per-tenant admission view, sorted by name
+	Level    Level        // admission level a 1-task arrival would see
+	Panics   int64        // submissions isolated after panicking
 }
 
-// NewService builds a service over a fresh core controller.
+// NewService builds a service over a fresh core controller. The flow
+// controller's tenant-budget enforcement reads the scheduler's O(1)
+// per-tenant in-flight counters.
 func NewService(cl *cluster.Cluster, copts core.Options, fcfg Config, clock func() sim.Time) *Service {
-	return &Service{
+	s := &Service{
 		clock:     clock,
 		flow:      NewController(fcfg, cl.NumExecutors()),
 		ctrl:      core.NewController(cl, copts),
 		submitted: make(map[string]bool),
 		drained:   make(chan struct{}),
 	}
+	s.flow.SetTenantLookup(s.ctrl.TenantInFlight)
+	return s
 }
 
 // SetActionSink registers the driver callback receiving controller
@@ -102,7 +107,9 @@ func (s *Service) submitLocked(now sim.Time, job *dag.Job) (out Outcome, acts []
 	if s.submitted[job.ID] {
 		return Outcome{}, nil, fmt.Errorf("flow: duplicate submission id %q", job.ID)
 	}
-	out, err = s.flow.Offer(now, s.ctrl.Snapshot(), Item{ID: job.ID, Tasks: job.NumTasks(), Payload: job})
+	out, err = s.flow.Offer(now, s.ctrl.Snapshot(), Item{
+		ID: job.ID, Tenant: core.TenantName(job), Tasks: job.NumTasks(), Payload: job,
+	})
 	if err != nil {
 		return out, nil, err
 	}
@@ -213,6 +220,7 @@ func (s *Service) Status() ServiceStatus {
 	return ServiceStatus{
 		Snapshot: snap,
 		Flow:     s.flow.Stats(),
+		Tenants:  s.flow.TenantStats(),
 		Level:    s.flow.LevelFor(snap, 1),
 		Panics:   s.panics,
 	}

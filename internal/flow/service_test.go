@@ -286,3 +286,51 @@ func TestServiceCancel(t *testing.T) {
 		t.Fatal("cancel of unknown id succeeded")
 	}
 }
+
+// End-to-end tenant budgets: the flow controller's budget check reads the
+// scheduler's live per-tenant in-flight counters, so a tenant at its
+// budget queues while other tenants keep flowing, and Status reports the
+// per-tenant picture.
+func TestServiceTenantBudgets(t *testing.T) {
+	clock := &testClock{}
+	cl := cluster.New(cluster.Config{Machines: 4, ExecutorsPerMachine: 2})
+	svc := NewService(cl, core.DefaultOptions(),
+		Config{TenantBudgets: map[string]int{"a": 2}}, clock.now)
+	// No action sink: started tasks never finish, so in-flight stays put.
+
+	ja1 := testJob("a1", 1, 2)
+	ja1.Tenant = "a"
+	if out, err := svc.Submit(ja1); err != nil || out.Decision != Admitted {
+		t.Fatalf("a1: %v %v", out.Decision, err)
+	}
+	ja2 := testJob("a2", 1, 1)
+	ja2.Tenant = "a"
+	if out, err := svc.Submit(ja2); err != nil || out.Decision != Queued {
+		t.Fatalf("a2 at budget: %v %v, want queued", out.Decision, err)
+	}
+	// Tenant b flows past the parked a2 (submitted later, admitted by the
+	// pump during this very Submit call).
+	jb := testJob("b1", 1, 1)
+	jb.Tenant = "b"
+	if out, err := svc.Submit(jb); err != nil || out.Decision != Queued {
+		t.Fatalf("b1: %v %v, want queued (then pumped)", out.Decision, err)
+	}
+	st := svc.Status()
+	byName := map[string]TenantStat{}
+	for _, ts := range st.Tenants {
+		byName[ts.Tenant] = ts
+	}
+	a, b := byName["a"], byName["b"]
+	if a.Admitted != 1 || a.QueueLen != 1 || a.InFlight != 2 || a.Budget != 2 {
+		t.Fatalf("tenant a = %+v", a)
+	}
+	if b.Admitted != 1 || b.QueueLen != 0 || b.InFlight != 1 {
+		t.Fatalf("tenant b = %+v", b)
+	}
+	if svc.JobDone("b1") {
+		t.Fatal("b1 cannot be done with no sink")
+	}
+	if v := svc.Invariants(); len(v) != 0 {
+		t.Fatalf("invariants: %v", v)
+	}
+}

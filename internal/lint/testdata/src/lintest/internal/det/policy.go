@@ -1,0 +1,63 @@
+package det
+
+import "sort"
+
+// These fixtures pin the scheduling-policy-boundary idioms: a policy's
+// inputs arrive as per-tenant maps, and its outputs (grant orders, victim
+// picks) must not leak Go's randomised map order. The sanctioned shapes
+// mirror internal/sched — collect into a slice, then impose a total order;
+// pick winners by full iteration with a deterministic tie-break.
+
+type tenantShare struct {
+	name    string
+	running int
+}
+
+// grantOrder is the sanctioned policy shape: collect every tenant from the
+// map, then sort by (running, name) into a total deterministic order.
+func grantOrder(usage map[string]int) []tenantShare {
+	var order []tenantShare
+	for name, running := range usage {
+		order = append(order, tenantShare{name: name, running: running})
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].running != order[j].running {
+			return order[i].running > order[j].running
+		}
+		return order[i].name < order[j].name
+	})
+	return order
+}
+
+// grantOrderUnsorted leaks map order straight into the grant stream.
+func grantOrderUnsorted(usage map[string]int) []tenantShare {
+	var order []tenantShare
+	for name, running := range usage {
+		order = append(order, tenantShare{name: name, running: running}) // want determinism "append to order inside map iteration"
+	}
+	return order
+}
+
+// victimPick is the sanctioned winner-selection shape: iterate the whole
+// map and break ties by name, so the pick is a pure function of the map's
+// contents.
+func victimPick(usage map[string]int) string {
+	victim, worst := "", -1
+	for name, running := range usage {
+		if running > worst || (running == worst && name < victim) {
+			victim, worst = name, running
+		}
+	}
+	return victim
+}
+
+// victimPickFirst grabs whichever tenant Go's map order happens to yield
+// first.
+func victimPickFirst(usage map[string]int) string {
+	var victim string
+	for name := range usage { // want determinism "selects an arbitrary element"
+		victim = name
+		break
+	}
+	return victim
+}

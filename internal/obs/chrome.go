@@ -201,6 +201,12 @@ func (r *Recorder) buildChrome() []traceEvent {
 			clusterUsed = true
 			body = append(body, traceEvent{Name: "fault " + e.Label, Cat: "fault",
 				Ph: "i", Ts: int64(e.T), Pid: clusterPid, Tid: 0, S: "t"})
+		case EvReclaim:
+			instant(e, jobOf(e.Job), 0, "recovery",
+				fmt.Sprintf("reclaim g%d (%d tasks, tenant %s)", e.Graphlet, e.Index, e.Label), nil)
+		case EvTenantShare:
+			// Share accounting has no job/machine timeline to land on; it is
+			// carried by the stream hash and breakdowns, not the Chrome view.
 		}
 	}
 

@@ -88,6 +88,14 @@ const (
 	// EvFault marks a chaos-engine fault being applied; Label holds the
 	// fault kind and the target description.
 	EvFault
+	// EvReclaim marks the scheduling policy reclaiming a whole running
+	// graphlet from an over-share tenant; Index holds the number of
+	// running tasks aborted and Label the victim tenant.
+	EvReclaim
+	// EvTenantShare records one tenant's deserved share at a preemption
+	// decision point; Label holds the tenant, Index the running-task
+	// count, and Process the fractional deserved share in executors.
+	EvTenantShare
 )
 
 // String names the kind for counters and hashes.
@@ -131,6 +139,10 @@ func (k Kind) String() string {
 		return "cacheworker_lost"
 	case EvFault:
 		return "fault"
+	case EvReclaim:
+		return "reclaim"
+	case EvTenantShare:
+		return "tenant_share"
 	}
 	return "invalid"
 }
@@ -323,6 +335,21 @@ func (r *Recorder) CacheWorkerLost(machine int) {
 // Fault records one applied chaos fault.
 func (r *Recorder) Fault(kind, target string) {
 	r.rec(Event{Kind: EvFault, Label: kind + "|" + target, Executor: -1, Machine: -1})
+}
+
+// GangReclaimed records the policy layer reclaiming a running graphlet
+// from an over-share tenant: aborted counts the running tasks returned to
+// pending.
+func (r *Recorder) GangReclaimed(job string, g, aborted int, tenant string) {
+	r.rec(Event{Kind: EvReclaim, Job: job, Graphlet: g, Index: aborted,
+		Label: tenant, Executor: -1, Machine: -1})
+}
+
+// TenantShare records one tenant's deserved share at a preemption
+// decision point.
+func (r *Recorder) TenantShare(tenant string, running int, deserved float64) {
+	r.rec(Event{Kind: EvTenantShare, Label: tenant, Index: running,
+		Process: deserved, Executor: -1, Machine: -1})
 }
 
 // FNV-1a, the same construction the chaos auditor uses for its trace hash.

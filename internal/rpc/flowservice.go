@@ -51,6 +51,18 @@ type FlowStatusReply struct {
 	Draining                                        bool
 	Level                                           string
 	Panics                                          int64
+	Tenants                                         []FlowTenantStatus
+}
+
+// FlowTenantStatus is one tenant's admission and occupancy state, present
+// when the daemon tracks tenants (always at least the default tenant once
+// anything was submitted).
+type FlowTenantStatus struct {
+	Tenant                 string
+	Admitted, Queued, Shed int64
+	QueueLen               int // current wait-queue entries
+	InFlight               int // pending+running tasks in the scheduler
+	Budget                 int // configured in-flight budget (0 = unbounded)
 }
 
 // FlowCancelReply reports a cancellation outcome.

@@ -1,0 +1,462 @@
+package sched
+
+import (
+	"math"
+	"sort"
+)
+
+// QueueSpec declares one node of the hierarchical fair-share tree. Nodes
+// named by a tenant are leaves carrying that tenant's demand; nodes named
+// as another spec's Parent are interior queues. Weight is the node's share
+// among its siblings (<= 0 means FairShareConfig.DefaultWeight); Quota is
+// a hard executor cap on the whole subtree (0 = unlimited).
+type QueueSpec struct {
+	Name   string
+	Parent string // "" attaches to the root
+	Weight float64
+	Quota  int
+}
+
+// FairShareConfig configures a FairShare policy. Tenants that show up at
+// runtime without a QueueSpec are attached to the root with DefaultWeight,
+// so the config only needs to name the tenants it wants to differentiate.
+type FairShareConfig struct {
+	Queues        []QueueSpec
+	DefaultWeight float64 // weight for undeclared tenants; <= 0 means 1
+	// NoBorrow disables redistribution of idle share: each queue gets
+	// min(demand, weighted slice) and unclaimed capacity stays idle. The
+	// default (borrowing) water-fills unclaimed share across queues that
+	// still have demand, never past any node's hard quota.
+	NoBorrow bool
+}
+
+// FairShare is a hierarchical weighted fair-share policy in the
+// proportion-plugin mold: Proportion water-fills cluster capacity down
+// the queue tree, JobOrder serves the most-under-served tenant first
+// under floor(deserved) budgets, and Preempt reclaims one whole graphlet
+// per round from the most-over-share tenant when queued work is starving.
+type FairShare struct {
+	cfg FairShareConfig
+}
+
+// NewFairShare builds the policy; the zero config is a flat equal-weight
+// share over whatever tenants appear.
+func NewFairShare(cfg FairShareConfig) *FairShare {
+	if cfg.DefaultWeight <= 0 {
+		cfg.DefaultWeight = 1
+	}
+	return &FairShare{cfg: cfg}
+}
+
+// Name implements Policy.
+func (f *FairShare) Name() string {
+	if f.cfg.NoBorrow {
+		return "fairshare-noborrow"
+	}
+	return "fairshare"
+}
+
+// rounding epsilon: deserved shares come out of float division, so a
+// tenant deserving "exactly 4" may read 3.9999…; floor/ceil snap first.
+const shareEps = 1e-9
+
+func floorShare(x float64) int { return int(math.Floor(x + shareEps)) }
+func ceilShare(x float64) int  { return int(math.Ceil(x - shareEps)) }
+
+// fsNode is one queue-tree node during a single Proportion evaluation.
+// Trees are rebuilt per call from the static config plus the live view;
+// nothing is cached, so the policy stays a pure function of its inputs.
+type fsNode struct {
+	name     string
+	weight   float64
+	quota    int
+	children []*fsNode
+	demand   int     // tenant demand attached directly to this node
+	cap      float64 // quota-clamped subtree demand
+	assigned float64 // capacity granted to the subtree
+	own      float64 // share kept by this node's own tenant (leaf: == assigned)
+}
+
+// tree builds the queue tree for one evaluation: declared queues first (in
+// declaration order, cycles broken toward the root), then any tenants the
+// view carries that the config never named, attached to the root. The
+// returned map resolves tenant name -> node.
+func (f *FairShare) tree(view View) (*fsNode, map[string]*fsNode) {
+	root := &fsNode{name: ""}
+	nodes := map[string]*fsNode{"": root}
+	parentOf := map[string]string{}
+	var order []string
+	declare := func(name, parent string) {
+		if name == "" {
+			return
+		}
+		if _, ok := nodes[name]; !ok {
+			nodes[name] = &fsNode{name: name, weight: f.cfg.DefaultWeight}
+			parentOf[name] = parent
+			order = append(order, name)
+		}
+	}
+	for _, q := range f.cfg.Queues {
+		declare(q.Name, q.Parent)
+		if n := nodes[q.Name]; q.Name != "" {
+			if q.Weight > 0 {
+				n.weight = q.Weight
+			}
+			if q.Quota > 0 {
+				n.quota = q.Quota
+			}
+		}
+	}
+	// Parents referenced but never declared become root-attached interior
+	// queues. order grows while we walk it, which is the point.
+	for i := 0; i < len(order); i++ {
+		declare(parentOf[order[i]], "")
+	}
+	// A parent chain that loops (a->b->a) would detach from the root and
+	// silently zero every share under it; reparent such nodes to the root.
+	for _, name := range order {
+		hops := 0
+		for p := parentOf[name]; p != ""; p = parentOf[p] {
+			if p == name || hops > len(order) {
+				parentOf[name] = ""
+				break
+			}
+			hops++
+		}
+	}
+	for _, name := range order {
+		nodes[parentOf[name]].children = append(nodes[parentOf[name]].children, nodes[name])
+	}
+	// view.Tenants is sorted by name (controller contract), so runtime
+	// tenants attach in deterministic order too.
+	for _, t := range view.Tenants {
+		if _, ok := nodes[t.Tenant]; !ok {
+			nodes[t.Tenant] = &fsNode{name: t.Tenant, weight: f.cfg.DefaultWeight}
+			root.children = append(root.children, nodes[t.Tenant])
+		}
+		n := nodes[t.Tenant]
+		n.demand += t.Running + t.Pending
+	}
+	return root, nodes
+}
+
+// subtreeCap computes the quota-clamped demand of every subtree
+// (post-order). Clamping at every level is what makes quotas hard: no
+// water-fill below can hand a subtree more than its cap.
+func subtreeCap(n *fsNode) float64 {
+	c := float64(n.demand)
+	for _, ch := range n.children {
+		c += subtreeCap(ch)
+	}
+	if n.quota > 0 && c > float64(n.quota) {
+		c = float64(n.quota)
+	}
+	n.cap = c
+	return c
+}
+
+// distribute hands amount executors to the subtree rooted at n and splits
+// it among the children. Borrow mode water-fills: capacity a capped child
+// cannot absorb is re-offered to its siblings by weight. NoBorrow gives
+// each child min(cap, weighted slice) and lets the rest idle. Demand
+// attached to an interior node is served from whatever its children leave
+// behind.
+func (f *FairShare) distribute(n *fsNode, amount float64) {
+	if amount > n.cap {
+		amount = n.cap
+	}
+	if amount < 0 {
+		amount = 0
+	}
+	n.assigned = amount
+	if len(n.children) == 0 {
+		n.own = amount
+		return
+	}
+	given := 0.0
+	if f.cfg.NoBorrow {
+		totalW := 0.0
+		for _, ch := range n.children {
+			totalW += ch.weight
+		}
+		for _, ch := range n.children {
+			slice := 0.0
+			if totalW > 0 {
+				slice = amount * ch.weight / totalW
+			}
+			f.distribute(ch, slice)
+			given += ch.assigned
+		}
+	} else {
+		active := append([]*fsNode(nil), n.children...)
+		remaining := amount
+		for len(active) > 0 && remaining > shareEps {
+			totalW := 0.0
+			for _, ch := range active {
+				totalW += ch.weight
+			}
+			if totalW <= 0 {
+				break
+			}
+			unit := remaining / totalW
+			next := make([]*fsNode, 0, len(active))
+			saturated := false
+			for _, ch := range active {
+				if unit*ch.weight >= ch.cap-shareEps {
+					f.distribute(ch, ch.cap)
+					remaining -= ch.assigned
+					given += ch.assigned
+					saturated = true
+				} else {
+					next = append(next, ch)
+				}
+			}
+			if !saturated {
+				for _, ch := range next {
+					f.distribute(ch, unit*ch.weight)
+					remaining -= ch.assigned
+					given += ch.assigned
+				}
+				break
+			}
+			active = next
+		}
+	}
+	n.own = n.assigned - given
+	if n.own < 0 {
+		n.own = 0
+	}
+}
+
+// Proportion implements Policy: deserved shares per tenant, sorted by
+// tenant name.
+func (f *FairShare) Proportion(view View) []Share {
+	if len(view.Tenants) == 0 {
+		return nil
+	}
+	root, nodes := f.tree(view)
+	subtreeCap(root)
+	f.distribute(root, float64(view.TotalExecutors))
+	shares := make([]Share, 0, len(view.Tenants))
+	for _, t := range view.Tenants {
+		n := nodes[t.Tenant]
+		shares = append(shares, Share{
+			Tenant:   t.Tenant,
+			Weight:   n.weight,
+			Deserved: n.own,
+			Running:  t.Running,
+			Quota:    n.quota,
+		})
+	}
+	return shares
+}
+
+// shareRatio orders tenants most-under-served first: running over
+// deserved, with zero-deserved tenants sorting last when they hold
+// executors and first when they hold nothing.
+func shareRatio(s Share) float64 {
+	if s.Deserved <= shareEps {
+		if s.Running > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return float64(s.Running) / s.Deserved
+}
+
+// tenantBudget is one tenant's serve plan for a round.
+type tenantBudget struct {
+	name    string
+	budget  int
+	pending int
+	running int
+	quota   int
+	ratio   float64
+}
+
+// JobOrder implements Policy. Each tenant gets a budget of
+// floor(deserved) - running task slots (never past its quota), tenants
+// are served most-under-served first, and within a tenant items keep
+// queue order. Fractional floors can strand free executors, so leftover
+// free capacity tops budgets back up round-robin across tenants that
+// still have demand — hard quotas excepted, the plan is work-conserving.
+func (f *FairShare) JobOrder(items []Item, view View) []Grant {
+	shares := f.Proportion(view)
+	if len(shares) == 0 {
+		return nil
+	}
+	hasItem := make(map[string]bool, len(shares))
+	for _, it := range items {
+		if it.Pending > 0 {
+			hasItem[it.Tenant] = true
+		}
+	}
+	order := make([]*tenantBudget, 0, len(shares))
+	sum := 0
+	for i := range shares {
+		s := shares[i]
+		b := floorShare(s.Deserved) - s.Running
+		if b < 0 {
+			b = 0
+		}
+		if s.Quota > 0 && b > s.Quota-s.Running {
+			b = s.Quota - s.Running
+			if b < 0 {
+				b = 0
+			}
+		}
+		// Liveness floor: a tenant with queued work and nothing running
+		// always rates one slot, so rounding can never starve it outright.
+		if b == 0 && s.Running == 0 && hasItem[s.Tenant] && (s.Quota == 0 || s.Quota >= 1) {
+			b = 1
+		}
+		tb := &tenantBudget{name: s.Tenant, budget: b, running: s.Running,
+			quota: s.Quota, ratio: shareRatio(s)}
+		order = append(order, tb)
+		sum += b
+	}
+	for _, t := range view.Tenants {
+		for _, tb := range order {
+			if tb.name == t.Tenant {
+				tb.pending = t.Pending
+			}
+		}
+	}
+	// Top up stranded capacity (floor rounding) one slot at a time, most
+	// under-served tenant first, demand- and quota-guarded.
+	for extra := view.FreeExecutors - sum; extra > 0; {
+		progress := false
+		for _, tb := range order {
+			if extra == 0 {
+				break
+			}
+			if tb.budget >= tb.pending {
+				continue
+			}
+			if tb.quota > 0 && tb.running+tb.budget >= tb.quota {
+				continue
+			}
+			tb.budget++
+			extra--
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].ratio != order[j].ratio {
+			return order[i].ratio < order[j].ratio
+		}
+		return order[i].name < order[j].name
+	})
+	grants := make([]Grant, 0, len(items))
+	for _, tb := range order {
+		rem := tb.budget
+		if rem <= 0 {
+			continue
+		}
+		for _, it := range items {
+			if it.Tenant != tb.name || it.Pending <= 0 {
+				continue
+			}
+			grants = append(grants, Grant{Index: it.Index, Cap: rem})
+			take := it.Pending
+			if take > rem {
+				take = rem
+			}
+			rem -= take
+			if rem <= 0 {
+				break
+			}
+		}
+	}
+	return grants
+}
+
+// Preempt implements Policy: when some tenant with queued work sits below
+// its floor(deserved) share (or at zero) with quota headroom, reclaim one
+// whole graphlet from the tenant furthest above its ceil(deserved) share.
+// The eligible victim gang must leave its owner at or above ceil(deserved)
+// after the reclaim — that asymmetric floor/ceil band is what stops
+// preemption ping-pong: a tenant granted the liveness floor is never
+// itself over-ceil, and a victim is never cut below what it deserves.
+// Among eligible gangs the smallest goes first (cheapest reclaim), newest
+// job breaking ties, so long-running work is disturbed last.
+func (f *FairShare) Preempt(items []Item, gangs []Gang, view View) []Victim {
+	shares := f.Proportion(view)
+	if len(shares) == 0 {
+		return nil
+	}
+	hasItem := make(map[string]bool, len(shares))
+	for _, it := range items {
+		if it.Pending > 0 {
+			hasItem[it.Tenant] = true
+		}
+	}
+	starved := false
+	for _, s := range shares {
+		if !hasItem[s.Tenant] {
+			continue
+		}
+		if s.Quota > 0 && s.Running >= s.Quota {
+			continue
+		}
+		if s.Running == 0 || floorShare(s.Deserved)-s.Running > 0 {
+			starved = true
+			break
+		}
+	}
+	if !starved {
+		return nil
+	}
+	var victim *Share
+	surplus := 0
+	for i := range shares {
+		s := &shares[i]
+		sp := s.Running - ceilShare(s.Deserved)
+		if sp <= 0 {
+			continue
+		}
+		if victim == nil || sp > surplus || (sp == surplus && s.Tenant < victim.Tenant) {
+			victim, surplus = s, sp
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	keep := ceilShare(victim.Deserved)
+	var best *Gang
+	for i := range gangs {
+		g := &gangs[i]
+		if g.Tenant != victim.Tenant || g.Running <= 0 {
+			continue
+		}
+		if victim.Running-g.Running < keep {
+			continue
+		}
+		if best == nil || gangLess(g, best) {
+			best = g
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return []Victim{{Job: best.Job, Graphlet: best.Graphlet, Tenant: best.Tenant}}
+}
+
+// gangLess orders candidate victim gangs: fewest running tasks first,
+// then newest job (highest admission seq), then job id and graphlet for a
+// total deterministic order.
+func gangLess(a, b *Gang) bool {
+	if a.Running != b.Running {
+		return a.Running < b.Running
+	}
+	if a.Seq != b.Seq {
+		return a.Seq > b.Seq
+	}
+	if a.Job != b.Job {
+		return a.Job < b.Job
+	}
+	return a.Graphlet < b.Graphlet
+}

@@ -1,0 +1,111 @@
+// Package sched is the controller's pluggable scheduling policy layer.
+// core.Controller owns the mechanism — queue bookkeeping, executor leases,
+// gang launch, recovery — and delegates three decisions to a Policy, the
+// plugin shape KAI-Scheduler and kube-arbitrator use for their
+// proportion / job-order / preempt plugins:
+//
+//   - JobOrder: in which order, and with what per-item executor caps, the
+//     queued graphlet requests are served this round;
+//   - Proportion: how much of the cluster each tenant deserves right now
+//     (hierarchical weighted share with hard quotas);
+//   - Preempt: which running graphlet, if any, to reclaim when the pool is
+//     dry and an under-served tenant is starving.
+//
+// Policies are pure functions of the inputs they are handed: they own no
+// clock, no randomness and no state that changes answer-for-equal-inputs,
+// so scheduling stays deterministic and replayable. The package must not
+// import core (core imports it); everything a policy sees is flattened
+// into the plain structs below.
+package sched
+
+// Item is one queued graphlet resource request as a policy sees it. Index
+// is the request's position in the controller's queue (echoed back in
+// Grant); Seq is the owning job's admission sequence number, the FIFO
+// tiebreak. Pending is zero for requests whose job already left the live
+// set — policies may grant or skip them, the controller discards them
+// either way when it processes the grant.
+type Item struct {
+	Index    int
+	Job      string
+	Tenant   string
+	Graphlet int
+	Pending  int
+	Seq      int
+}
+
+// Gang is one graphlet currently holding executors — the unit of
+// preemption. Running counts its placed tasks.
+type Gang struct {
+	Job      string
+	Tenant   string
+	Graphlet int
+	Running  int
+	Seq      int
+}
+
+// TenantUsage is one tenant's point-in-time resource footprint: running
+// and pending task counts over its live jobs, plus how many of its
+// graphlet requests wait in the scheduler queue.
+type TenantUsage struct {
+	Tenant  string
+	Running int
+	Pending int
+	Queued  int
+}
+
+// View is the cluster/tenant state a policy decides against. Tenants is
+// sorted by tenant name (the controller guarantees it), so policies can
+// iterate it directly without re-sorting.
+type View struct {
+	TotalExecutors int
+	FreeExecutors  int
+	Tenants        []TenantUsage
+}
+
+// Grant instructs the controller to serve the queue entry at Index,
+// launching at most Cap of its pending tasks this round (Cap <= 0 means
+// uncapped). Grants are processed in order until the pool runs dry.
+type Grant struct {
+	Index int
+	Cap   int
+}
+
+// Share is one tenant's deserved allocation as computed by Proportion.
+// Deserved is in executors (fractional: water-filling splits idle share);
+// Quota echoes the tenant's hard cap (0 = none).
+type Share struct {
+	Tenant   string
+	Weight   float64
+	Deserved float64
+	Running  int
+	Quota    int
+}
+
+// Victim names a whole graphlet to reclaim: every running task of the
+// graphlet is aborted and re-pended, and the graphlet re-queues.
+type Victim struct {
+	Job      string
+	Graphlet int
+	Tenant   string
+}
+
+// Policy is the pluggable decision surface. Implementations must be
+// deterministic: equal inputs produce equal outputs, and any internal
+// map-keyed state is iterated collect-then-sort.
+type Policy interface {
+	// Name identifies the policy in status output and experiment reports.
+	Name() string
+	// JobOrder returns the serve plan for one scheduling round. A nil
+	// result means "serve every item in queue order, uncapped" — the FIFO
+	// answer, which the controller executes on a fast path with no view
+	// construction at all.
+	JobOrder(items []Item, view View) []Grant
+	// Proportion computes per-tenant deserved shares, sorted by tenant
+	// name. A nil result means the policy does not differentiate tenants.
+	Proportion(view View) []Share
+	// Preempt nominates at most a handful of whole-graphlet victims when
+	// the pool is dry and queued work is starving. A nil result means no
+	// preemption; the controller re-serves the queue after each reclaim
+	// and asks again, so returning a single victim per call is enough.
+	Preempt(items []Item, gangs []Gang, view View) []Victim
+}

@@ -71,7 +71,10 @@ type StagePhases struct {
 
 // JobResult summarises one job's run.
 type JobResult struct {
-	ID        string
+	ID string
+	// Tenant is the job's normalized tenant label (core.DefaultTenant for
+	// unlabelled jobs), so per-tenant reports need no job-table lookups.
+	Tenant    string
 	Submit    sim.Time
 	Finish    sim.Time
 	Completed bool
@@ -226,6 +229,7 @@ func (r *Runner) Submit(job *dag.Job) error {
 		job: job,
 		res: &JobResult{
 			ID:     job.ID,
+			Tenant: core.TenantName(job),
 			Submit: r.eng.Now(),
 			Phases: make(map[string]*StagePhases),
 		},

@@ -33,6 +33,7 @@ type jsonEdge struct {
 
 type jsonJob struct {
 	ID       string      `json:"id"`
+	Tenant   string      `json:"tenant,omitempty"`
 	SubmitAt float64     `json:"submit_at"`
 	Stages   []jsonStage `json:"stages"`
 	Edges    []jsonEdge  `json:"edges"`
@@ -43,7 +44,7 @@ func (t *Trace) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, j := range t.Jobs {
-		jj := jsonJob{ID: j.Job.ID, SubmitAt: j.SubmitAt}
+		jj := jsonJob{ID: j.Job.ID, Tenant: j.Job.Tenant, SubmitAt: j.SubmitAt}
 		for _, s := range j.Job.Stages() {
 			js := jsonStage{
 				Name: s.Name, Tasks: s.Tasks, Idempotent: s.Idempotent,
@@ -87,6 +88,7 @@ func Read(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: decode: %w", err)
 		}
 		job := dag.NewJob(jj.ID)
+		job.Tenant = jj.Tenant
 		for _, s := range jj.Stages {
 			var ops []dag.Operator
 			if s.Scan {

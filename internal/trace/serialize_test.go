@@ -61,6 +61,34 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTenantRoundTrip(t *testing.T) {
+	orig := Generate(Spec{Seed: 4, Tenants: []TenantSpec{
+		{Name: "prod", Jobs: 10, Rate: 1},
+		{Name: "batch", Jobs: 10, ArrivalWindow: 30},
+	}})
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Jobs {
+		if got.Jobs[i].Job.Tenant != orig.Jobs[i].Job.Tenant {
+			t.Fatalf("job %d tenant = %q, want %q", i, got.Jobs[i].Job.Tenant, orig.Jobs[i].Job.Tenant)
+		}
+	}
+	// Untenanted traces serialise without the field at all.
+	var plain bytes.Buffer
+	if err := Generate(Spec{Jobs: 3, Seed: 1}).Write(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain.Bytes(), []byte(`"tenant"`)) {
+		t.Error("untenanted trace serialised a tenant field")
+	}
+}
+
 func TestReadErrors(t *testing.T) {
 	if _, err := Read(strings.NewReader("{bad json")); err == nil {
 		t.Error("bad json accepted")

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"swift/internal/dag"
 )
@@ -28,6 +29,35 @@ type Spec struct {
 	// RuntimeCap truncates the sampled per-job intended runtime (0 = no
 	// cap). The strong-scaling experiment caps the tail so a single
 	// straggler job's critical path does not bound the makespan.
+	RuntimeCap float64
+	// Tenants switches the generator to a multi-tenant arrival process:
+	// each entry draws its jobs from its own sub-RNG (seeded from Seed and
+	// the tenant's position, so adding a tenant never perturbs another's
+	// stream) and tags them with its name. When empty the generator runs
+	// the original single-stream path, byte-identical to earlier versions;
+	// Jobs/ArrivalWindow are ignored when Tenants is set.
+	Tenants []TenantSpec
+}
+
+// TenantSpec configures one tenant's workload within a multi-tenant trace.
+type TenantSpec struct {
+	Name string
+	Jobs int
+	// Rate is the tenant's mean Poisson arrival rate in jobs/second.
+	// When 0 the tenant's jobs spread uniformly over ArrivalWindow
+	// (which then must be > 0).
+	Rate float64
+	// ArrivalWindow bounds uniform arrivals when Rate is 0.
+	ArrivalWindow float64
+	// BurstAt/BurstDur/BurstFactor carve a burst window out of the
+	// Poisson process: inside [BurstAt, BurstAt+BurstDur) the arrival
+	// rate is multiplied by BurstFactor. Zero BurstFactor or BurstDur
+	// means no burst.
+	BurstAt     float64
+	BurstDur    float64
+	BurstFactor float64
+	// Scale/RuntimeCap override the Spec-level values when > 0.
+	Scale      float64
 	RuntimeCap float64
 }
 
@@ -78,6 +108,9 @@ func stageCount(r *rand.Rand) int {
 
 // Generate builds a trace from the spec.
 func Generate(spec Spec) *Trace {
+	if len(spec.Tenants) > 0 {
+		return generateTenants(spec)
+	}
 	if spec.Jobs <= 0 {
 		panic("trace: job count must be positive")
 	}
@@ -94,6 +127,66 @@ func Generate(spec Spec) *Trace {
 		}
 		t.Jobs = append(t.Jobs, Job{Job: job, SubmitAt: at})
 	}
+	return t
+}
+
+// tenantSeed derives a sub-seed for the tenant at position i, decorrelated
+// from the base seed and from other tenants by a golden-ratio multiplier
+// (overflow wraps, which is fine for a seed).
+func tenantSeed(base int64, i int) int64 {
+	return base + int64(i+1)*-0x61C8864680B583EB // 0x9E3779B97F4A7C15 as int64
+}
+
+// generateTenants builds the multi-tenant trace: each tenant's jobs and
+// arrival times come from that tenant's own derived-seed RNG, then the
+// streams merge in arrival order (ties broken by job ID, so the merged
+// order — and therefore FIFO submission order — is deterministic).
+func generateTenants(spec Spec) *Trace {
+	t := &Trace{Spec: spec}
+	for ti, ts := range spec.Tenants {
+		if ts.Jobs <= 0 {
+			panic(fmt.Sprintf("trace: tenant %q job count must be positive", ts.Name))
+		}
+		if ts.Rate <= 0 && ts.ArrivalWindow <= 0 {
+			panic(fmt.Sprintf("trace: tenant %q needs Rate or ArrivalWindow", ts.Name))
+		}
+		scale, rcap := ts.Scale, ts.RuntimeCap
+		if scale <= 0 {
+			scale = spec.Scale
+		}
+		if scale <= 0 {
+			scale = 1
+		}
+		if rcap <= 0 {
+			rcap = spec.RuntimeCap
+		}
+		r := rand.New(rand.NewSource(tenantSeed(spec.Seed, ti)))
+		at := 0.0
+		for i := 0; i < ts.Jobs; i++ {
+			job := synthJob(r, fmt.Sprintf("%s-%04d", ts.Name, i), scale, rcap)
+			job.Tenant = ts.Name
+			if ts.Rate > 0 {
+				// Inhomogeneous Poisson: exponential gap at the rate in
+				// effect at the current time (burst windows multiply it).
+				rate := ts.Rate
+				if ts.BurstFactor > 1 && ts.BurstDur > 0 &&
+					at >= ts.BurstAt && at < ts.BurstAt+ts.BurstDur {
+					rate *= ts.BurstFactor
+				}
+				at += r.ExpFloat64() / rate
+			} else {
+				at = r.Float64() * ts.ArrivalWindow
+			}
+			t.Jobs = append(t.Jobs, Job{Job: job, SubmitAt: at})
+		}
+	}
+	sort.SliceStable(t.Jobs, func(i, j int) bool {
+		a, b := t.Jobs[i], t.Jobs[j]
+		if a.SubmitAt != b.SubmitAt {
+			return a.SubmitAt < b.SubmitAt
+		}
+		return a.Job.ID < b.Job.ID
+	})
 	return t
 }
 

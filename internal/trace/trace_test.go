@@ -135,6 +135,78 @@ func TestShuffleCategoryJob(t *testing.T) {
 	}
 }
 
+func TestGenerateTenants(t *testing.T) {
+	spec := Spec{Seed: 11, Tenants: []TenantSpec{
+		{Name: "a", Jobs: 40, Rate: 0.5},
+		{Name: "b", Jobs: 40, Rate: 0.5, BurstAt: 20, BurstDur: 40, BurstFactor: 10},
+		{Name: "c", Jobs: 20, ArrivalWindow: 100},
+	}}
+	tr := Generate(spec)
+	if len(tr.Jobs) != 100 {
+		t.Fatalf("jobs = %d, want 100", len(tr.Jobs))
+	}
+	perTenant := map[string]int{}
+	last := -1.0
+	for _, j := range tr.Jobs {
+		perTenant[j.Job.Tenant]++
+		if j.SubmitAt < last {
+			t.Fatalf("merged trace not sorted by arrival: %f after %f", j.SubmitAt, last)
+		}
+		last = j.SubmitAt
+		if err := j.Job.Validate(); err != nil {
+			t.Fatalf("invalid job %s: %v", j.Job.ID, err)
+		}
+	}
+	if perTenant["a"] != 40 || perTenant["b"] != 40 || perTenant["c"] != 20 {
+		t.Fatalf("per-tenant counts = %v", perTenant)
+	}
+	// Determinism: regenerating yields the identical merged stream.
+	tr2 := Generate(spec)
+	for i := range tr.Jobs {
+		if tr.Jobs[i].SubmitAt != tr2.Jobs[i].SubmitAt || tr.Jobs[i].Job.ID != tr2.Jobs[i].Job.ID {
+			t.Fatal("multi-tenant trace not deterministic")
+		}
+	}
+	// Stream isolation: dropping tenant c must not perturb a's stream.
+	tr3 := Generate(Spec{Seed: 11, Tenants: spec.Tenants[:2]})
+	var a13, a3 []float64
+	for _, j := range tr.Jobs {
+		if j.Job.Tenant == "a" {
+			a13 = append(a13, j.SubmitAt)
+		}
+	}
+	for _, j := range tr3.Jobs {
+		if j.Job.Tenant == "a" {
+			a3 = append(a3, j.SubmitAt)
+		}
+	}
+	for i := range a13 {
+		if a13[i] != a3[i] {
+			t.Fatal("tenant a's arrival stream changed when tenant c was removed")
+		}
+	}
+}
+
+func TestTenantBurstCompressesArrivals(t *testing.T) {
+	flat := Generate(Spec{Seed: 3, Tenants: []TenantSpec{{Name: "x", Jobs: 200, Rate: 1}}})
+	burst := Generate(Spec{Seed: 3, Tenants: []TenantSpec{
+		{Name: "x", Jobs: 200, Rate: 1, BurstAt: 0, BurstDur: 1e9, BurstFactor: 10},
+	}})
+	span := func(tr *Trace) float64 { return tr.Jobs[len(tr.Jobs)-1].SubmitAt }
+	if s, b := span(flat), span(burst); b > s/4 {
+		t.Errorf("10x burst span = %.1fs vs flat %.1fs, want ≥4x compression", b, s)
+	}
+}
+
+func TestGenerateTenantsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tenant without Rate or ArrivalWindow did not panic")
+		}
+	}()
+	Generate(Spec{Seed: 1, Tenants: []TenantSpec{{Name: "a", Jobs: 5}}})
+}
+
 func TestGenerateValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -36,8 +36,8 @@ go run ./cmd/swiftvet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== chaos soak ($SEEDS seeds, incl. thundering-herd admission storm)"
-go test ./internal/chaos/ -run 'TestSoak$|TestSoakDeterminism|TestThunderingHerd' \
+echo "== chaos soak ($SEEDS seeds, incl. thundering-herd admission storm + fair-share policy)"
+go test ./internal/chaos/ -run 'TestSoak$|TestSoakDeterminism|TestThunderingHerd|TestFairShareSoak' \
     -chaos.seeds="$SEEDS" -count=1
 
 echo "== trace determinism smoke (two seeded runs, byte-identical)"
@@ -48,6 +48,16 @@ go run ./cmd/swiftsim -job q9 -machines 20 -executors 8 -seed 7 \
 go run ./cmd/swiftsim -job q9 -machines 20 -executors 8 -seed 7 \
     -trace "$TRACE_TMP/b.json" > /dev/null
 cmp "$TRACE_TMP/a.json" "$TRACE_TMP/b.json"
+
+echo "== fair-share smoke (seeded 3-tenant burst: reclaims, no starvation, deterministic hash)"
+# -verify re-runs the seed and exits non-zero on any hash mismatch; the
+# greps then require actual gang reclaims and at least one completed job
+# for every tenant (no starvation).
+go run ./cmd/swiftchaos -fair -seed 2 -seeds 1 -verify | tee "$TRACE_TMP/fair.out"
+grep -Eq 'reclaims=[1-9]' "$TRACE_TMP/fair.out"
+grep -Eq 'a\[done=[1-9]' "$TRACE_TMP/fair.out"
+grep -Eq 'b\[done=[1-9]' "$TRACE_TMP/fair.out"
+grep -Eq 'c\[done=[1-9]' "$TRACE_TMP/fair.out"
 
 echo "== parallel sweep determinism smoke (per-seed obs hashes, serial vs parallel)"
 SWEEP="fig3,fig9a,fig12,fig14,table1"
