@@ -214,7 +214,7 @@ func (c *Cluster) Allocate(n int, locality []MachineID) []ExecutorID {
 	if n <= 0 || c.nFree == 0 {
 		return nil
 	}
-	var out []ExecutorID
+	out := make([]ExecutorID, 0, n)
 	for _, mid := range locality {
 		if len(out) >= n {
 			break

@@ -162,6 +162,7 @@ func (c *Controller) Drain() []Action {
 	return a
 }
 
+//lint:hotpath
 func (c *Controller) emit(a Action) {
 	c.actions = append(c.actions, a)
 	c.observe(a)
@@ -326,6 +327,8 @@ const maxPreemptRounds = 4
 // Under a non-FIFO policy a dry pool with starved queued work may also
 // warrant preemption: the policy nominates whole-graphlet victims to
 // reclaim, reusing the deadlock breaker's per-task machinery.
+//
+//lint:hotpath
 func (c *Controller) schedule() {
 	if c.deferSchedule {
 		return

@@ -34,7 +34,7 @@ func (c *Controller) policyItems() []sched.Item {
 // policyGangs flattens every graphlet currently holding executors, in
 // submission order — the preemption candidate set.
 func (c *Controller) policyGangs() []sched.Gang {
-	var gangs []sched.Gang
+	gangs := make([]sched.Gang, 0, len(c.order))
 	for _, id := range c.order {
 		m := c.jobs[id]
 		if m == nil || m.failed || m.done {

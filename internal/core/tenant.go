@@ -60,6 +60,7 @@ func (c *Controller) TenantSnapshots() []TenantCounts {
 		return nil
 	}
 	names := make([]string, 0, len(c.tenants))
+	//lint:allow hotpath collect-then-sort over the tenant registry is O(#tenants) once per scheduling round, not per task
 	for name := range c.tenants {
 		names = append(names, name)
 	}

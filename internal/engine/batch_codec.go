@@ -327,6 +327,8 @@ func (d *decoder) remaining() int { return len(d.data) - d.off }
 // DecodeBatch decodes one batch into fresh storage, requiring the input to
 // be fully consumed. Strings are copied out of data (one slab per column),
 // so the input buffer may be reused.
+//
+//lint:hotpath
 func DecodeBatch(data []byte) (*Batch, error) {
 	b := &Batch{}
 	if err := decodeBatchInto(b, data); err != nil {
@@ -339,6 +341,8 @@ func DecodeBatch(data []byte) (*Batch, error) {
 // capacity suffices — the BatchPool fast path. Every reused field is fully
 // overwritten or cleared, so a recycled batch cannot leak stale rows, null
 // bitmaps or selection vectors.
+//
+//lint:hotpath
 func decodeBatchInto(b *Batch, data []byte) error {
 	d := &decoder{data: data}
 	rows64, err := d.uvarint()

@@ -26,6 +26,8 @@ import (
 // bit-identical to calling Hash on the materialised rows — dictionary
 // columns hash their dictionary strings — so row-emitted, batch-emitted and
 // dictified segments all co-partition.
+//
+//lint:hotpath
 func HashBatchInto(b *Batch, keys []int, dst []uint64) {
 	for i := range dst {
 		dst[i] = fnvOffset64
@@ -52,6 +54,8 @@ func hashFloatValue(h uint64, v float64) uint64 {
 // slot j to physical row sel[j]; nil means dense. The dense lanes stay
 // branch-free over the vectors, which is what keeps HashBatchInto
 // allocation- and indirection-free on the hot path.
+//
+//lint:hotpath
 func hashColInto(c *Column, sel []int32, dst []uint64) {
 	nulls := c.Nulls
 	switch c.Type {
@@ -160,10 +164,12 @@ func hashColInto(c *Column, sel []int32, dst []uint64) {
 	case TAny:
 		if sel == nil {
 			for i := range c.Anys {
+				//lint:allow hotpath the any-kind fallback lane formats unknown types; typed columns never reach it
 				dst[i] = hashAnyValue(dst[i], c.Value(i))
 			}
 		} else {
 			for j, s := range sel {
+				//lint:allow hotpath the any-kind fallback lane formats unknown types; typed columns never reach it
 				dst[j] = hashAnyValue(dst[j], c.Value(int(s)))
 			}
 		}
@@ -295,6 +301,8 @@ func CompareBatchRows(a *Batch, i int, akeys []int, b *Batch, j int, bkeys []int
 // typed plan code reads the column vectors directly; filters compose (a
 // second FilterBatch narrows the same selection). Materialization happens
 // at emit/codec boundaries or via (*Batch).Materialize.
+//
+//lint:hotpath
 func FilterBatch(b *Batch, keep func(i int) bool) *Batch {
 	sel := make([]int32, 0, b.Len)
 	if b.Sel == nil {
@@ -381,6 +389,8 @@ func colComparator(c *Column) func(i, j int) int {
 // materialises the pre-sort view). A single null-free typed key takes a
 // direct comparator — no closure chain — the same fast lane SortRows has
 // for kind-homogeneous columns. The result is dense.
+//
+//lint:hotpath
 func SortBatch(b *Batch, keys []int) *Batch {
 	idx := make([]int32, b.Len)
 	if b.Sel == nil {
@@ -467,6 +477,8 @@ func sortIdxSingleKey(idx []int32, c *Column) bool {
 // key columns — the batch shuffle-write kernel behind EmitBatchByKey.
 // Hashing is columnar, placement a typed scatter into exact-size vectors;
 // lazy inputs scatter straight from the selection without materializing.
+//
+//lint:hotpath
 func PartitionBatchByKey(b *Batch, keys []int, n int) []*Batch {
 	if n <= 1 {
 		return []*Batch{b}
@@ -486,6 +498,8 @@ func PartitionBatchByKey(b *Batch, keys []int, n int) []*Batch {
 // PartitionBatchByRange splits the batch into len(bounds)+1 contiguous
 // partitions: partition i holds rows below bounds[i] under the key columns
 // (bounds are rows, as sampled by a Terasort-style plan).
+//
+//lint:hotpath
 func PartitionBatchByRange(b *Batch, keys []int, bounds []Row) []*Batch {
 	if len(bounds) == 0 {
 		return []*Batch{b}
@@ -507,6 +521,8 @@ func PartitionBatchByRange(b *Batch, keys []int, bounds []Row) []*Batch {
 // goes to pidx[j], partition sizes given by counts), one typed pass per
 // column. Dictionary partitions share the source dictionary; lazy sources
 // scatter through the selection vector.
+//
+//lint:hotpath
 func scatterBatch(b *Batch, pidx []uint32, counts []int) []*Batch {
 	sel := b.Sel
 	parts := make([]*Batch, len(counts))
@@ -644,6 +660,8 @@ func scatterBatch(b *Batch, pidx []uint32, counts []int) []*Batch {
 // build table maps hash → carved index bucket; matches accumulate as
 // physical index pairs and materialise with two typed gathers, so lazy
 // inputs join through their selections.
+//
+//lint:hotpath
 func HashJoinBatch(build *Batch, buildKeys []int, probe *Batch, probeKeys []int) *Batch {
 	bh := make([]uint64, build.Len)
 	HashBatchInto(build, buildKeys, bh)
@@ -654,6 +672,7 @@ func HashJoinBatch(build *Batch, buildKeys []int, probe *Batch, probeKeys []int)
 	backing := make([]int32, build.Len)
 	table := make(map[uint64][]int32, len(counts))
 	off := int32(0)
+	//lint:allow hotpath one table-sizing pass per build batch, amortized over all probe rows; order only carves sub-slices
 	for h, c := range counts {
 		table[h] = backing[off : off : off+c]
 		off += c
@@ -700,6 +719,8 @@ func HashJoinBatch(build *Batch, buildKeys []int, probe *Batch, probeKeys []int)
 // typed pass over the whole batch, so sums over an int64 or float64 column
 // never box a value. Output columns stay typed: Count and int sums are
 // TInt64 vectors, float sums TFloat64, Min/Max the input column's type.
+//
+//lint:hotpath
 func HashAggregateBatch(b *Batch, keys []int, aggs []Agg) *Batch {
 	nk, na := len(keys), len(aggs)
 	if b == nil || b.Len == 0 {
@@ -708,11 +729,11 @@ func HashAggregateBatch(b *Batch, keys []int, aggs []Agg) *Batch {
 	hashes := make([]uint64, b.Len)
 	HashBatchInto(b, keys, hashes)
 	head := make(map[uint64]int32, 64)
-	var (
-		rep  []int32 // group id -> representative (first) row, physical
-		next []int32 // collision chain
-	)
-	gids := make([]int32, b.Len) // logical row -> group id
+	// Worst case every row is its own group; sizing both chains up front
+	// keeps the grouping loop growth-free.
+	rep := make([]int32, 0, b.Len)  // group id -> representative (first) row, physical
+	next := make([]int32, 0, b.Len) // collision chain
+	gids := make([]int32, b.Len)    // logical row -> group id
 	for i := 0; i < b.Len; i++ {
 		h := hashes[i]
 		pi := b.physical(i)
@@ -880,6 +901,8 @@ func withUnseenNulls(c Column, seen []bool) Column {
 // typed column (int64 for ranks, float64 for running sums) — the batch
 // counterpart of Window. SortBatch densifies first, so the pass below runs
 // over physical rows.
+//
+//lint:hotpath
 func WindowBatch(b *Batch, spec WindowSpec) *Batch {
 	keys := append(append([]int(nil), spec.PartitionBy...), spec.OrderBy...)
 	sorted := SortBatch(b, keys)

@@ -28,6 +28,12 @@ import (
 //
 // Seeded *rand.Rand values threaded through call graphs are fine — only
 // the process-global source and clock are forbidden.
+//
+// The transitive half (runDeterminismTransitive, interproc.go) extends
+// the direct-call rule through the whole-program call graph: a call from
+// determinism-scoped code into an out-of-scope module function that
+// transitively reaches the clock or global rand is flagged at the call
+// site, with the full chain available via swiftvet -why.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock, global math/rand, and map/channel-order leaks in deterministic packages",
@@ -104,6 +110,9 @@ func runDeterminism(p *Pass) {
 			})
 		})
 	}
+	// Interprocedural half: calls that launder a clock/rand read through
+	// out-of-scope module code (see interproc.go).
+	runDeterminismTransitive(p)
 }
 
 // pkgFuncCallee resolves a call to a package-level function, returning the

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// Affected implements swiftvet -changed: given the loaded package set and
+// a list of changed file paths (typically `git diff --name-only`), it
+// returns the import paths whose findings must be recomputed — the
+// changed packages plus their transitive reverse-dependency closure.
+//
+// The whole program is still loaded and summarised (an interprocedural
+// analysis cannot skip the graph), but reporting narrows to the affected
+// packages, which is where the analyzers spend their time.
+//
+// The second result is a non-empty staleness reason when the file list
+// cannot be mapped onto the loaded graph — a changed go.mod/go.sum
+// (dependency shape changed under us) or a .go file belonging to no
+// loaded package (new package, deleted package, or a list from another
+// tree). Callers must fall back to a full-tree run in that case.
+func Affected(pkgs []*Package, files []string) (map[string]bool, string) {
+	byDir := make(map[string]*Package)
+	for _, p := range pkgs {
+		byDir[filepath.Clean(p.Dir)] = p
+	}
+	changed := make(map[string]bool)
+	for _, f := range files {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		base := filepath.Base(f)
+		if base == "go.mod" || base == "go.sum" {
+			return nil, base + " changed: dependency graph may be stale"
+		}
+		if !strings.HasSuffix(f, ".go") {
+			continue
+		}
+		abs, err := filepath.Abs(f)
+		if err != nil {
+			return nil, "cannot resolve " + f
+		}
+		pkg, ok := byDir[filepath.Clean(filepath.Dir(abs))]
+		if !ok {
+			return nil, f + " belongs to no loaded package: call graph is stale"
+		}
+		changed[pkg.Path] = true
+	}
+	only := make(map[string]bool)
+	for _, p := range pkgs {
+		if changed[p.Path] {
+			only[p.Path] = true
+			continue
+		}
+		for _, dep := range p.Deps {
+			if changed[dep] {
+				only[p.Path] = true
+				break
+			}
+		}
+	}
+	return only, ""
+}

@@ -1,7 +1,10 @@
 // Package lint is swiftvet's analysis framework: a small go/analysis-style
-// harness built on go/parser + go/ast + go/types only (no x/tools), plus
-// the five project-specific analyzers that machine-enforce this repo's
-// invariants — simulator/controller determinism, lock discipline, error
+// harness built on go/parser + go/ast + go/types only (no x/tools), a
+// whole-program call-graph/summary engine (callgraph.go), and the seven
+// project-specific analyzers that machine-enforce this repo's invariants —
+// simulator/controller determinism (direct and transitive), lock
+// discipline (including transitive may-block reach under a held mutex),
+// global lock-acquisition ordering, hot-path allocation budgets, error
 // discipline, enum-switch exhaustiveness, and batch/row kernel parity.
 //
 // Every reproduction experiment (Figs 3–16, the chaos soak, the invariant
@@ -13,8 +16,10 @@
 //
 //	//lint:allow <analyzer> <reason>
 //
-// on the offending line or the line above. The reason is mandatory; a
-// bare allow is itself reported.
+// on the offending line, the line above, or the first line of the
+// offending multi-line statement. The reason is mandatory; a bare allow
+// is itself reported. An allowed direct fact also stops tainting callers
+// in the interprocedural analyzers.
 package lint
 
 import (
@@ -26,7 +31,9 @@ import (
 	"strings"
 )
 
-// Finding is one analyzer hit.
+// Finding is one analyzer hit. Interprocedural findings carry a Why
+// chain: the call path from the reported site down to the terminal fact,
+// printed by swiftvet -why and included in -json output.
 type Finding struct {
 	Analyzer string         `json:"analyzer"`
 	Pos      token.Position `json:"-"`
@@ -34,6 +41,7 @@ type Finding struct {
 	Line     int            `json:"line"`
 	Col      int            `json:"col"`
 	Message  string         `json:"message"`
+	Why      []string       `json:"why,omitempty"`
 }
 
 // String renders a finding the way go vet does.
@@ -48,18 +56,26 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package. Prog is the
+// whole-program call-graph/summary view shared by every package's pass;
+// intraprocedural analyzers simply ignore it.
 type Pass struct {
 	Analyzer *Analyzer
 	Cfg      *Config
 	Fset     *token.FileSet
 	Pkg      *Package
+	Prog     *Program
 
 	findings *[]Finding
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.reportWhy(pos, nil, format, args...)
+}
+
+// reportWhy records a finding carrying a call-chain witness.
+func (p *Pass) reportWhy(pos token.Pos, why []string, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
 	*p.findings = append(*p.findings, Finding{
 		Analyzer: p.Analyzer.Name,
@@ -68,6 +84,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Line:     position.Line,
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Why:      why,
 	})
 }
 
@@ -130,11 +147,13 @@ func (c *Config) internalPath(path string) bool {
 	return c.inModule(path) && strings.Contains(path, "/internal/")
 }
 
-// All returns the five analyzers in catalogue order.
+// All returns the seven analyzers in catalogue order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
 		LockDiscipline,
+		LockOrder,
+		Hotpath,
 		ErrDiscipline,
 		Exhaustive,
 		BatchParity,
@@ -204,9 +223,42 @@ func collectSuppressions(fset *token.FileSet, pkg *Package) ([]suppression, []Fi
 	return sups, bad
 }
 
-// suppressed reports whether a finding is covered by an allow directive on
-// its own line or the line immediately above.
-func suppressedBy(f Finding, sups []suppression) bool {
+// lineRange is the line span of one multi-line simple statement — the
+// unit an allow comment on the first line suppresses across.
+type lineRange struct {
+	start, end int
+}
+
+// collectStmtRanges records, per file, the line spans of multi-line
+// *simple* statements (calls, assignments, returns, sends, declarations,
+// defer/go) so an allow on the statement's first line covers a finding
+// reported on any of its continuation lines. Control-flow blocks are
+// deliberately excluded: an allow above an `if` must not blanket its body.
+func collectStmtRanges(fset *token.FileSet, pkg *Package, ranges map[string][]lineRange) {
+	files := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ExprStmt, *ast.AssignStmt, *ast.ReturnStmt, *ast.SendStmt,
+				*ast.DeclStmt, *ast.DeferStmt, *ast.GoStmt:
+			default:
+				return true
+			}
+			start := fset.Position(n.Pos())
+			end := fset.Position(n.End())
+			if end.Line > start.Line {
+				ranges[start.Filename] = append(ranges[start.Filename], lineRange{start: start.Line, end: end.Line})
+			}
+			return true
+		})
+	}
+}
+
+// suppressedBy reports whether a finding is covered by an allow directive:
+// on its own line, on the line immediately above, or — when the finding
+// falls inside a multi-line simple statement — on that statement's first
+// line or the line above it.
+func suppressedBy(f Finding, sups []suppression, ranges map[string][]lineRange) bool {
 	for _, s := range sups {
 		if s.analyzer != f.Analyzer || s.file != f.File {
 			continue
@@ -214,16 +266,33 @@ func suppressedBy(f Finding, sups []suppression) bool {
 		if s.line == f.Line || s.line == f.Line-1 {
 			return true
 		}
+		for _, r := range ranges[f.File] {
+			if f.Line >= r.start && f.Line <= r.end && (s.line == r.start || s.line == r.start-1) {
+				return true
+			}
+		}
 	}
 	return false
 }
 
 // Run executes the analyzers over the packages, applies per-package config
 // and //lint:allow suppressions, and returns the surviving findings in
-// file/line order.
+// byte-stable (file, line, col, analyzer, message) order.
 func Run(fset *token.FileSet, pkgs []*Package, cfg *Config, analyzers []*Analyzer) []Finding {
+	return RunPackages(fset, pkgs, cfg, analyzers, nil)
+}
+
+// RunPackages is Run with a reporting filter: the whole-program view is
+// always built over every loaded package (summaries need the full graph),
+// but when only is non-nil, findings are reported just for the packages
+// whose import path it maps to true — the -changed incremental mode.
+func RunPackages(fset *token.FileSet, pkgs []*Package, cfg *Config, analyzers []*Analyzer, only map[string]bool) []Finding {
+	prog := buildProgram(fset, pkgs, cfg)
 	var findings []Finding
 	for _, pkg := range pkgs {
+		if only != nil && !only[pkg.Path] {
+			continue
+		}
 		sups, bad := collectSuppressions(fset, pkg)
 		findings = append(findings, bad...)
 		var raw []Finding
@@ -231,17 +300,26 @@ func Run(fset *token.FileSet, pkgs []*Package, cfg *Config, analyzers []*Analyze
 			if cfg.skipped(pkg.Path, a.Name) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Cfg: cfg, Fset: fset, Pkg: pkg, findings: &raw}
+			pass := &Pass{Analyzer: a, Cfg: cfg, Fset: fset, Pkg: pkg, Prog: prog, findings: &raw}
 			a.Run(pass)
 		}
-		seen := make(map[Finding]bool)
+		seen := make(map[string]bool)
 		for _, f := range raw {
-			if !suppressedBy(f, sups) && !seen[f] {
-				seen[f] = true
+			key := f.String()
+			if !suppressedBy(f, sups, prog.ranges) && !seen[key] {
+				seen[key] = true
 				findings = append(findings, f)
 			}
 		}
 	}
+	sortFindings(findings)
+	return findings
+}
+
+// sortFindings orders findings by (file, line, col, analyzer, message) —
+// the full key, so output is byte-stable even when two findings from the
+// same analyzer land on the same position.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -253,9 +331,11 @@ func Run(fset *token.FileSet, pkgs []*Package, cfg *Config, analyzers []*Analyze
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings
 }
 
 // funcBodies yields every function body in the file — declarations and

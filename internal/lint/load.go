@@ -27,6 +27,7 @@ type listedPackage struct {
 	GoFiles      []string
 	TestGoFiles  []string
 	XTestGoFiles []string
+	Deps         []string
 	Module       *struct {
 		Path string
 		Main bool
@@ -41,6 +42,7 @@ type Package struct {
 	Path      string
 	Dir       string
 	Module    string
+	Deps      []string    // import paths of the transitive dependency closure
 	Files     []*ast.File // production sources, type-checked
 	TestFiles []*ast.File // *_test.go sources, parsed only
 	Types     *types.Package
@@ -102,7 +104,7 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 		if lp.Error != nil {
 			return nil, nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
 		}
-		pkg := &Package{Path: lp.ImportPath, Dir: lp.Dir, Module: lp.Module.Path}
+		pkg := &Package{Path: lp.ImportPath, Dir: lp.Dir, Module: lp.Module.Path, Deps: lp.Deps}
 		for _, name := range lp.GoFiles {
 			af, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
 			if err != nil {

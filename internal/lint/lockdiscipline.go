@@ -165,8 +165,12 @@ func checkHeldRegion(p *Pass, body *ast.BlockStmt, lock mutexOp, start, end toke
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
 				if s := info.Selections[sel]; s != nil && isRPCClient(s.Recv(), p.Cfg.rpcClientPath()) && p.Pkg.Path != p.Cfg.rpcClientPath() {
 					p.Reportf(n.Pos(), "rpc client call while %s is held can stall on the network for the full retry budget; release the mutex first", lock.recv)
+					// The direct rule covered this call; the transitive
+					// rule would only restate it.
+					return true
 				}
 			}
+			checkHeldRegionTransitive(p, lock, n)
 		}
 		return true
 	})

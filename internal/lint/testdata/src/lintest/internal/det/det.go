@@ -131,3 +131,15 @@ func bareAllow() time.Time {
 	//lint:allow determinism
 	return time.Now()
 }
+
+// multiLineAllowed proves an allow on a multi-line statement's first line
+// covers findings on its continuation lines: both time.Since calls sit
+// below the statement's first line and are still silenced.
+func multiLineAllowed(base time.Time) []time.Duration {
+	//lint:allow determinism fixture: allow on the first statement line covers the whole statement
+	out := []time.Duration{
+		time.Since(base),
+		time.Since(base.Add(1)),
+	}
+	return out
+}

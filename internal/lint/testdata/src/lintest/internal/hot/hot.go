@@ -1,0 +1,137 @@
+// Package hot seeds //lint:hotpath violations and their sanctioned
+// counterparts for the hotpath golden tests: a tagged function must not
+// — directly or through any chain of calls — use fmt, iterate a map,
+// grow a slice in a loop, box through an in-loop interface conversion,
+// or spawn a goroutine.
+package hot
+
+import "fmt"
+
+// SumBatch is the clean shape: flat loop, no allocation.
+//
+//lint:hotpath
+func SumBatch(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Format allocates through fmt on a hot path.
+//
+//lint:hotpath
+func Format(x int64) string {
+	return fmt.Sprintf("%d", x) // want hotpath "fmt.Sprintf"
+}
+
+// Keys iterates a map on a hot path.
+//
+//lint:hotpath
+func Keys(m map[string]int) int {
+	n := 0
+	for range m { // want hotpath "map iteration"
+		n++
+	}
+	return n
+}
+
+// Grow grows a slice inside its loop.
+//
+//lint:hotpath
+func Grow(xs []int64) []int64 {
+	var out []int64
+	for _, x := range xs {
+		out = append(out, x) // want hotpath "append grows out inside a loop"
+	}
+	return out
+}
+
+// Box converts to an interface inside a loop.
+//
+//lint:hotpath
+func Box(xs []int64) int {
+	n := 0
+	for _, x := range xs {
+		n += use(any(x)) // want hotpath "interface conversion"
+	}
+	return n
+}
+
+func use(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// Spawn starts a goroutine per call.
+//
+//lint:hotpath
+func Spawn(ch chan int64) {
+	go drain(ch) // want hotpath "spawns a goroutine"
+}
+
+func drain(ch chan int64) {
+	for range ch {
+	}
+}
+
+// Render reaches fmt through untagged helpers; -why prints the chain.
+//
+//lint:hotpath
+func Render(x int64) string {
+	return render1(x) // want hotpath "transitively reaches fmt.Sprintf"
+}
+
+func render1(x int64) string { return render2(x) }
+
+func render2(x int64) string {
+	return fmt.Sprintf("%d", x)
+}
+
+// hashAny mirrors the engine's any-kind fallback lane: the cost is
+// accepted and documented at its site, which also stops the taint — an
+// accepted cost must not re-surface in every tagged caller.
+func hashAny(v any) string {
+	//lint:allow hotpath fixture: accepted fallback cost stops taint at its site
+	return fmt.Sprintf("%v", v)
+}
+
+// Accepted stays clean: its only cost is the allowed one above.
+//
+//lint:hotpath
+func Accepted(v any) string {
+	return hashAny(v)
+}
+
+// Outer stays clean even though Format is dirty: a tagged callee owns its
+// own finding, so the violation is reported exactly once.
+//
+//lint:hotpath
+func Outer(x int64) string {
+	return Format(x)
+}
+
+// GrowPrealloc stays clean: append into capacity the author sized with a
+// three-argument make is amortized O(1), not a growing append.
+//
+//lint:hotpath
+func GrowPrealloc(xs []int64) []int64 {
+	out := make([]int64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// ColdPanic stays clean: a fmt call inside a panic argument runs only on
+// the crash path, which is cold by definition.
+//
+//lint:hotpath
+func ColdPanic(x int64) int64 {
+	if x < 0 {
+		panic(fmt.Sprintf("negative input %d", x))
+	}
+	return x
+}

@@ -63,3 +63,46 @@ func (b *box) closureLeak() func() {
 		b.n++
 	}
 }
+
+// blockHelper parks on the channel: a may-block fact the interprocedural
+// rule must see through.
+func blockHelper(ch chan int) int {
+	return <-ch
+}
+
+// transitive blocking while held: rule 2, one frame down.
+func (b *box) recvHeldTransitively(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n = blockHelper(ch) // want lockdiscipline "transitively reaches channel receive"
+}
+
+// rpcLaundered hides the client call one frame down.
+func rpcLaundered(c *rpc.Client) error {
+	return c.Call("ping")
+}
+
+// laundering the rpc call through a helper must not evade rule 2.
+func (b *box) rpcHeldTransitively(c *rpc.Client) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_ = rpcLaundered(c) // want lockdiscipline "transitively reaches rpc client call"
+}
+
+// released before the helper parks: clean.
+func (b *box) recvAfterHelper(ch chan int) int {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	return blockHelper(ch)
+}
+
+// mapSendHeld lands two analyzers on one line — the byte-stable ordering
+// regression fixture.
+func (b *box) mapSendHeld(m map[string]int, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, v := range m {
+		ch <- v // want determinism "channel send inside map iteration" want lockdiscipline "channel send while b.mu is held"
+	}
+}

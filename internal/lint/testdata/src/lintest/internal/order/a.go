@@ -1,0 +1,26 @@
+// Package order seeds a lock-order cycle spanning two files for the
+// lockorder golden tests, plus a consistently-ordered pair that must
+// stay clean.
+package order
+
+import "sync"
+
+// A and B are two mutex classes acquired in opposite orders across the
+// two files of this package.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockAB acquires B.mu — through a helper in the other file — while A.mu
+// is held: the A.mu -> B.mu half of the cycle.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	lockB(b) // want lockorder "closes a lock-order cycle"
+	a.mu.Unlock()
+}

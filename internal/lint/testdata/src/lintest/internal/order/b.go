@@ -1,0 +1,51 @@
+package order
+
+import "sync"
+
+// lockB is the helper lockAB launders its B.mu acquisition through.
+func lockB(b *B) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// lockBA acquires A.mu directly while B.mu is held: the B.mu -> A.mu half
+// of the cycle, in the opposite order to lockAB.
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want lockorder "closes a lock-order cycle"
+	a.n++
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// C and D are always acquired in the same order: no cycle, no finding.
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockCD(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func lockCDAgain(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d)
+	c.mu.Unlock()
+}
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+}

@@ -1,0 +1,47 @@
+// Package sim mirrors the deterministic simulator core for the
+// cross-package transitive-determinism golden tests: every clock read
+// reachable from here — even through the out-of-scope timeutil layer or
+// a spawned goroutine — must be flagged at the laundering call site.
+package sim
+
+import "lintest/timeutil"
+
+// Tick reads the clock through one out-of-scope frame.
+func Tick() int64 {
+	return timeutil.Stamp() // want determinism "transitively reads the wall clock"
+}
+
+// TickIndirect reads it through two frames; -why prints the full chain.
+func TickIndirect() int64 {
+	return timeutil.Indirect() // want determinism "transitively reads the wall clock"
+}
+
+// Spawn launders the read through a goroutine: async edges still carry
+// clock taint (a spawned wall-clock read breaks replay all the same).
+func Spawn(out chan<- int64) {
+	go func() { out <- timeutil.Stamp() }() // want determinism "transitively reads the wall clock"
+}
+
+// FuncValue proves conservative function-value tracking: a reference to
+// Stamp counts as an eventual call even though nothing invokes it here.
+func FuncValue() func() int64 {
+	return timeutil.Stamp // want determinism "transitively reads the wall clock"
+}
+
+// Scale stays clean: Pure carries no taint.
+func Scale(x int64) int64 {
+	return timeutil.Pure(x)
+}
+
+// stampHelper is determinism-scoped and owns the finding for its own
+// laundering call.
+func stampHelper() int64 {
+	return timeutil.Stamp() // want determinism "transitively reads the wall clock"
+}
+
+// NoCascade stays clean: its callee is in scope and owns the finding, so
+// fixing stampHelper fixes every caller at once instead of fanning one
+// root cause out over the whole tree.
+func NoCascade() int64 {
+	return stampHelper()
+}

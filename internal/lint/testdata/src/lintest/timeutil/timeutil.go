@@ -1,0 +1,23 @@
+// Package timeutil mirrors an out-of-contract utility layer: it lives
+// outside /internal/, so the per-package determinism check ignores it —
+// the whole-program transitive check must see through it and charge
+// determinism-scoped callers at their call sites.
+package timeutil
+
+import "time"
+
+// Stamp reads the wall clock. No finding lands here (the package is out
+// of determinism scope); every determinism-scoped caller is flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Indirect launders Stamp through one more frame.
+func Indirect() int64 {
+	return Stamp() + 1
+}
+
+// Pure is clock-free: calls to it resolve in the graph but carry no taint.
+func Pure(x int64) int64 {
+	return x * 2
+}

@@ -15,6 +15,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 SEEDS="${1:-8}"
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
 
 echo "== gofmt"
 UNFORMATTED="$(gofmt -l .)"
@@ -30,8 +32,26 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== swiftvet ./... (project analyzers; swiftvet -json for tooling)"
-go run ./cmd/swiftvet ./...
+echo "== swiftvet ./... (project analyzers; swiftvet -json artifact for tooling)"
+go build -o "$TRACE_TMP/swiftvet" ./cmd/swiftvet
+ARTIFACTS_DIR="${ARTIFACTS_DIR:-artifacts}"
+mkdir -p "$ARTIFACTS_DIR"
+SWIFTVET_START="$(date +%s)"
+# -json exits 1 on findings just like the plain run; the artifact is
+# written either way so a red gate still ships its machine-readable list.
+"$TRACE_TMP/swiftvet" -json ./... > "$ARTIFACTS_DIR/swiftvet.json"
+SWIFTVET_ELAPSED="$(( $(date +%s) - SWIFTVET_START ))"
+echo "swiftvet: clean in ${SWIFTVET_ELAPSED}s (artifact: $ARTIFACTS_DIR/swiftvet.json)"
+if [ "$SWIFTVET_ELAPSED" -gt 60 ]; then
+    echo "swiftvet: full-tree run took ${SWIFTVET_ELAPSED}s (>60s budget) — profile the call-graph build" >&2
+    exit 1
+fi
+
+echo "== swiftvet -changed smoke (incremental subset + stale fallback)"
+"$TRACE_TMP/swiftvet" -changed internal/core/controller.go 2> "$TRACE_TMP/changed.err"
+grep -q 'analyzing .* of .* packages' "$TRACE_TMP/changed.err"
+"$TRACE_TMP/swiftvet" -changed go.mod 2> "$TRACE_TMP/stale.err"
+grep -q 'analyzing the full tree' "$TRACE_TMP/stale.err"
 
 echo "== go test -race ./..."
 go test -race ./...
@@ -41,8 +61,6 @@ go test ./internal/chaos/ -run 'TestSoak$|TestSoakDeterminism|TestThunderingHerd
     -chaos.seeds="$SEEDS" -count=1
 
 echo "== trace determinism smoke (two seeded runs, byte-identical)"
-TRACE_TMP="$(mktemp -d)"
-trap 'rm -rf "$TRACE_TMP"' EXIT
 go run ./cmd/swiftsim -job q9 -machines 20 -executors 8 -seed 7 \
     -trace "$TRACE_TMP/a.json" > /dev/null
 go run ./cmd/swiftsim -job q9 -machines 20 -executors 8 -seed 7 \
