@@ -60,6 +60,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the first seed's soak")
 	stats := flag.Bool("stats", false, "print the first seed's observability snapshot")
 	fair := flag.Bool("fair", false, "multi-tenant fair-share soak: 3 tenants (weights 2:1:1, one bursty, one quota-capped) under the fair policy")
+	shuffleRep := flag.Bool("shuffle", false, "replicated-shuffle soak: R=3 outputs under a Cache-Worker-crash-only fault mix (every loss should fail over, zero recomputes)")
 	flag.Parse()
 
 	outcomes := exp.Sweep(*seeds, *workers, func(i int) seedOutcome {
@@ -75,13 +76,13 @@ func main() {
 		if (*tracePath != "" || *stats) && i == 0 {
 			rec = obs.New()
 		}
-		configure(&cfg, rec, *fair)
+		configure(&cfg, rec, *fair, *shuffleRep)
 		out := seedOutcome{res: chaos.Run(cfg), rec: rec}
 		if *verify {
 			// The re-run must not share (and re-append to) the first run's
 			// recorder; rebuilding the options drops it (and keeps the fair
 			// policy, which is part of the schedule being verified).
-			configure(&cfg, nil, *fair)
+			configure(&cfg, nil, *fair, *shuffleRep)
 			out.again = chaos.Run(cfg)
 		}
 		return out
@@ -124,16 +125,21 @@ func main() {
 }
 
 // configure rebuilds cfg.Options (and, with fair, the tenant workload)
-// for one soak run: a non-nil recorder attaches observability, and fair
+// for one soak run: a non-nil recorder attaches observability, fair
 // swaps in the 3-tenant fair-share mix — weights 2:1:1, tenant b bursting
 // 10x for 30 s, tenant c hard-capped at 30 executors with the auditor's
-// quota invariant armed. Leaves Options nil (library defaults) when
-// neither applies.
-func configure(cfg *chaos.Config, rec *obs.Recorder, fair bool) {
+// quota invariant armed — and shuffleRep turns on 3-way output
+// replication under a Cache-Worker-crash-only fault profile, where every
+// lost serving copy must promote a survivor and recomputes stay at zero.
+// Leaves Options nil (library defaults) when none applies.
+func configure(cfg *chaos.Config, rec *obs.Recorder, fair, shuffleRep bool) {
 	cfg.Options = nil
-	if rec != nil || fair {
+	if rec != nil || fair || shuffleRep {
 		o := core.DefaultOptions()
 		o.Obs = rec
+		if shuffleRep {
+			o.ShuffleReplicas = 3
+		}
 		if fair {
 			o.Policy = sched.NewFairShare(sched.FairShareConfig{Queues: []sched.QueueSpec{
 				{Name: "a", Weight: 2},
@@ -150,6 +156,20 @@ func configure(cfg *chaos.Config, rec *obs.Recorder, fair bool) {
 			{Name: "c", Jobs: 8, ArrivalWindow: 60},
 		}
 		cfg.TenantQuotas = map[string]int{"c": 30}
+	}
+	if shuffleRep {
+		// Cache-Worker crashes only: each one wipes a single machine's
+		// buffered copies, so with R=3 a survivor always remains and the
+		// soak must report recomputes=0. Machine crashes and direct
+		// output-lost faults are excluded — the former can take several
+		// homes down in one window, the latter models fleet-wide eviction
+		// that bypasses replicas by design.
+		p := chaos.DefaultProfile()
+		p.MachineCrashPerMin = 0
+		p.MachineUnhealthyPerMin = 0
+		p.OutputLostPerMin = 0
+		p.CacheWorkerCrashPerMin = 8
+		cfg.Profile = &p
 	}
 }
 

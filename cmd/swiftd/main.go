@@ -109,9 +109,9 @@ func (d *daemon) onActions(_ sim.Time, acts []core.Action) {
 		case core.ActAbortTask:
 			// No timer cancellation needed: the controller ignores the
 			// stale attempt's finish report.
-		case core.ActResend, core.ActShuffleDegraded:
+		case core.ActResend, core.ActShuffleDegraded, core.ActReplicate:
 			// Data-plane directives; the wall-clock driver models task cost
-			// only, so transfers are free.
+			// only, so transfers (and replica copies) are free.
 		case core.ActJobRestarted, core.ActMachineHealthy, core.ActMachineReadOnly:
 			// No machine faults or whole-job restarts in service mode.
 		}

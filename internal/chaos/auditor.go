@@ -148,6 +148,13 @@ func (a *Auditor) OnAction(now sim.Time, act core.Action) {
 	case core.ActShuffleDegraded:
 		// Mode downgrades are validated by the controller's own invariant
 		// sweep (CheckInvariants) at the next event boundary.
+	case core.ActReplicate:
+		if len(act.Machines) == 0 {
+			a.violate(now, "replicate %s with no target machines", act.Task)
+		}
+		if state, dead := a.terminal[act.Task.Job]; dead {
+			a.violate(now, "replicate %s after its job %s", act.Task, state)
+		}
 	}
 }
 

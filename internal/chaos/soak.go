@@ -135,6 +135,14 @@ type Result struct {
 	Tenants []TenantResult
 	// Reclaims counts whole graphlets preempted by the scheduling policy.
 	Reclaims int
+	// ReplicaHits and Recomputes report shuffle-service recovery outcomes
+	// when Options.ShuffleReplicas > 1: lost serving copies recovered from
+	// a surviving replica versus lost outputs that re-ran their producer.
+	ReplicaHits int
+	Recomputes  int
+	// Replicated records whether the soak ran with output replication, so
+	// the summary line prints the shuffle block only when meaningful.
+	Replicated bool
 }
 
 // TenantResult is one tenant's terminal job tally.
@@ -157,6 +165,9 @@ func (r *Result) String() string {
 		for _, tr := range r.Tenants {
 			s += fmt.Sprintf(" %s[done=%d failed=%d]", tr.Name, tr.Done, tr.Failed)
 		}
+	}
+	if r.Replicated {
+		s += fmt.Sprintf(" shuffle[replica-hits=%d recomputes=%d]", r.ReplicaHits, r.Recomputes)
 	}
 	return s
 }
@@ -409,6 +420,15 @@ func Run(cfg Config) *Result {
 		}
 		res.Reclaims = ctrl.ReclaimedGangs()
 		aud.Fold(fmt.Sprintf("reclaims|%d\n", res.Reclaims))
+	}
+	// Recovery tallies are reported for every soak, but they join the
+	// determinism witness (and the summary line) only when replication is
+	// on, so legacy (R ≤ 1) trace hashes are unchanged.
+	res.ReplicaHits = ctrl.ReplicaRecoveries()
+	res.Recomputes = ctrl.OutputRecomputes()
+	if cfg.Options.ShuffleReplicas > 1 {
+		res.Replicated = true
+		aud.Fold(fmt.Sprintf("shuffle|%d|%d\n", res.ReplicaHits, res.Recomputes))
 	}
 	latency := 0.0
 	for _, jr := range runner.Results().Jobs {

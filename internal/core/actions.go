@@ -89,6 +89,16 @@ type ActShuffleDegraded struct {
 	Old, New shuffle.Mode
 }
 
+// ActReplicate tells the driver to copy a finished task's buffered output
+// to extra Cache Workers for resilience. Machines lists the homes in
+// serving order: the executor's own machine first, then the R−1 replica
+// machines chosen on the healthy-machine ring.
+type ActReplicate struct {
+	Task     TaskRef
+	Attempt  int
+	Machines []cluster.MachineID
+}
+
 func (ActStartTask) isAction()       {}
 func (ActAbortTask) isAction()       {}
 func (ActResend) isAction()          {}
@@ -98,6 +108,7 @@ func (ActJobRestarted) isAction()    {}
 func (ActMachineReadOnly) isAction() {}
 func (ActMachineHealthy) isAction()  {}
 func (ActShuffleDegraded) isAction() {}
+func (ActReplicate) isAction()       {}
 
 // FailureKind classifies a task failure for recovery purposes.
 type FailureKind int

@@ -50,7 +50,12 @@ type stageState struct {
 	// re-enters the pending state, the producer must re-run first —
 	// markPending revives lost inputs transitively.
 	lost []bool
-	done int
+	// homes tracks, per done task, the machines holding copies of its
+	// buffered output in serving order (head = serving copy). Allocated
+	// lazily, only when Options.ShuffleReplicas > 1 and the stage has
+	// consumers; nil rows mean "unreplicated" and recover the v1 way.
+	homes [][]cluster.MachineID
+	done  int
 }
 
 func (s *stageState) complete() bool { return s.done == len(s.status) }
@@ -123,6 +128,12 @@ type Controller struct {
 	tenants  map[string]*TenantCounts
 	nextSeq  int
 	reclaims int // gangs reclaimed by policy preemption, for reports
+	// Shuffle-service recovery counters, for reports: replicaHits counts
+	// lost serving copies recovered by promoting a surviving replica (no
+	// recompute), recomputes counts lost outputs that re-ran the producer
+	// ("rerun" dispositions, replicated or not).
+	replicaHits int
+	recomputes  int
 }
 
 type reqItem struct {
@@ -202,11 +213,24 @@ func (c *Controller) SubmitJob(job *dag.Job) error {
 		}
 	}
 	c.opts.Obs.JobSubmitted(job.ID, len(job.Stages()), job.NumTasks(), len(gs))
+	// The adaptive selector samples the load once per admission, so every
+	// edge of one job sees the same observation (and the probe count stays
+	// a pure function of the job arrival sequence).
+	var load shuffle.Load
+	if al := c.opts.AdaptiveLoad; al != nil && al.Probe != nil {
+		load = al.Probe()
+	}
 	for _, e := range job.Edges() {
 		crossing := m.owner[e.From] != m.owner[e.To]
 		mode := c.opts.Shuffle(job.ShuffleEdgeSize(e), e.Bytes, crossing)
-		m.modes[edgeKey{e.From, e.To}] = mode
 		c.opts.Obs.ShuffleModeSelected(job.ID, e.From, e.To, mode.String(), job.ShuffleEdgeSize(e), e.Bytes)
+		if al := c.opts.AdaptiveLoad; al != nil {
+			if adapted, reason, ok := al.Selector.Adapt(mode, load); ok {
+				c.opts.Obs.ShuffleAdapted(job.ID, e.From, e.To, mode.String(), adapted.String(), reason)
+				mode = adapted
+			}
+		}
+		m.modes[edgeKey{e.From, e.To}] = mode
 	}
 	for _, s := range job.Stages() {
 		st := &stageState{
@@ -652,6 +676,11 @@ func (c *Controller) TaskFinished(ref TaskRef, attempt int) {
 	run := m.gruns[st.graphlet]
 	run.running--
 	e := st.executor[ref.Index]
+	if c.opts.ShuffleReplicas > 1 && len(m.job.Out(ref.Stage)) > 0 {
+		// Replicate the buffered output before the executor is reused: the
+		// copy reads from the producer's Cache Worker, not the executor.
+		c.replicateOutput(m, st, ref, e)
+	}
 
 	// Reuse the freed executor for the next pending task of the same
 	// graphlet; otherwise hand it back to the resource pool. Reuse is only
@@ -755,6 +784,38 @@ func (c *Controller) RunningTask(ref TaskRef) (cluster.ExecutorID, int, bool) {
 	}
 	return st.executor[ref.Index], st.attempt[ref.Index], true
 }
+
+// replicateOutput records the machine homes of a finished task's buffered
+// output and instructs the driver to copy it: the primary home is the
+// executor's machine (where the Cache Worker already buffered the data),
+// the R−1 extras the next healthy machines on the machine-ID ring — a
+// deterministic placement every component can recompute.
+func (c *Controller) replicateOutput(m *monitor, st *stageState, ref TaskRef, e cluster.ExecutorID) {
+	n := c.cl.NumMachines()
+	primary := c.cl.MachineOf(e)
+	homes := make([]cluster.MachineID, 1, c.opts.ShuffleReplicas)
+	homes[0] = primary
+	for i := 1; i < n && len(homes) < c.opts.ShuffleReplicas; i++ {
+		id := cluster.MachineID((int(primary) + i) % n)
+		if c.cl.Machine(id).Health == cluster.Healthy {
+			homes = append(homes, id)
+		}
+	}
+	if st.homes == nil {
+		st.homes = make([][]cluster.MachineID, len(st.status))
+	}
+	st.homes[ref.Index] = homes
+	c.emit(ActReplicate{Task: ref, Attempt: st.attempt[ref.Index], Machines: homes})
+}
+
+// ReplicaRecoveries returns how many lost serving copies recovery resolved
+// by promoting a surviving replica instead of recomputing the producer.
+func (c *Controller) ReplicaRecoveries() int { return c.replicaHits }
+
+// OutputRecomputes returns how many lost buffered outputs required
+// re-running the producer task (the "rerun" disposition), whether or not
+// replication was enabled.
+func (c *Controller) OutputRecomputes() int { return c.recomputes }
 
 // Restarts returns how many times the JobRestart policy reset the job.
 func (c *Controller) Restarts(job string) int {

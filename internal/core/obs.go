@@ -61,6 +61,12 @@ func (c *Controller) observe(a Action) {
 		r.MachineHealthy(int(a.Machine))
 	case ActShuffleDegraded:
 		r.ShuffleDegraded(a.Job, a.From, a.To, a.Old.String(), a.New.String())
+	case ActReplicate:
+		machine := -1
+		if len(a.Machines) > 0 {
+			machine = int(a.Machines[0])
+		}
+		r.Replicated(a.Task.Job, a.Task.Stage, a.Task.Index, a.Attempt, len(a.Machines), machine)
 	}
 }
 

@@ -122,6 +122,9 @@ func (c *Controller) markPending(m *monitor, ref TaskRef, reason StartReason) {
 	st.status[ref.Index] = tPending
 	st.reason[ref.Index] = reason
 	st.lost[ref.Index] = false // a re-run regenerates the output
+	if st.homes != nil {
+		st.homes[ref.Index] = nil // stale copies; re-replicated at finish
+	}
 	run := m.gruns[st.graphlet]
 	run.pending = append(run.pending, ref)
 	if !run.disordered {
@@ -189,6 +192,11 @@ func (c *Controller) MachineFailed(id cluster.MachineID) {
 				case tRunning:
 					victims = append(victims, victim{ref, st.attempt[i], true})
 				case tDone:
+					if st.homes != nil && len(st.homes[i]) > 0 {
+						// Replicated output: the replica pass below decides
+						// whether any copy survived the machine.
+						continue
+					}
 					victims = append(victims, victim{ref, st.attempt[i], false})
 				case tPending:
 					// not placed anywhere: the machine's death cannot
@@ -221,8 +229,63 @@ func (c *Controller) MachineFailed(id cluster.MachineID) {
 			c.TaskOutputLost(v.ref)
 		}
 	}
+	if c.opts.ShuffleReplicas > 1 {
+		// Replicated outputs with a copy on the dead machine: surviving
+		// replicas promote silently, only fully-orphaned outputs recover.
+		for _, ref := range c.strikeReplica(id) {
+			c.TaskOutputLost(ref)
+		}
+	}
 	c.deferSchedule = false
 	c.schedule()
+}
+
+// strikeReplica removes a dead machine from every finished task's replica
+// set. A task whose serving (head) copy died but has survivors promotes the
+// next replica in place — counted as a replica recovery, no scheduling step.
+// Only tasks whose LAST copy died are returned; they need the full
+// output-lost treatment.
+func (c *Controller) strikeReplica(id cluster.MachineID) []TaskRef {
+	var orphans []TaskRef
+	for _, jobID := range c.order {
+		m := c.jobs[jobID]
+		if m == nil || m.failed || m.done {
+			continue
+		}
+		for _, name := range m.job.StageNames() {
+			st := m.stages[name]
+			if st.homes == nil {
+				continue
+			}
+			for i := range st.status {
+				homes := st.homes[i]
+				if st.status[i] != tDone || len(homes) == 0 {
+					continue
+				}
+				pos := -1
+				for j, h := range homes {
+					if h == id {
+						pos = j
+						break
+					}
+				}
+				if pos < 0 {
+					continue
+				}
+				homes = append(homes[:pos], homes[pos+1:]...)
+				st.homes[i] = homes
+				if len(homes) == 0 {
+					orphans = append(orphans, TaskRef{Job: jobID, Stage: name, Index: i})
+					continue
+				}
+				if pos == 0 {
+					c.replicaHits++
+					c.opts.Obs.ReplicaServed(jobID, name, i, int(homes[0]))
+				}
+			}
+		}
+	}
+	return orphans
 }
 
 // outputStillNeeded reports whether some consumer task has yet to receive
@@ -268,6 +331,12 @@ func (c *Controller) TaskOutputLost(ref TaskRef) {
 		c.restartJob(m)
 		return
 	}
+	if st.homes != nil {
+		// Reaching here means every copy is gone (a direct loss report
+		// bypasses replicas by design — e.g. the buffer was evicted fleet-
+		// wide); clear the stale replica set.
+		st.homes[ref.Index] = nil
+	}
 	if !c.outputStillNeeded(m, ref.Stage) {
 		// "No step will be taken" — but remember the loss so a consumer
 		// that later re-enters the pending state revives this producer.
@@ -276,6 +345,7 @@ func (c *Controller) TaskOutputLost(ref TaskRef) {
 		return
 	}
 	c.opts.Obs.OutputLost(ref.Job, ref.Stage, ref.Index, "rerun")
+	c.recomputes++
 	// Regenerating a lost output is a retry like any other: without this
 	// bound, an output that keeps getting lost (flapping Cache Worker,
 	// repeatedly crashing machine) re-runs the task forever.
@@ -327,6 +397,26 @@ func (c *Controller) MachineRecovered(id cluster.MachineID) {
 // by the same worker again. Scheduling is deferred until the whole storm
 // is processed so recovery decisions see the full damage.
 func (c *Controller) CacheWorkerLost(id cluster.MachineID) {
+	if c.opts.ShuffleReplicas > 1 {
+		// Replica-aware path: consult surviving copies before falling back
+		// to producer recompute. Only fully-orphaned outputs recover, and
+		// only their edges degrade — replicated data that failed over keeps
+		// its Cache-Worker-backed mode.
+		c.opts.Obs.CacheWorkerLost(int(id))
+		orphans := c.strikeReplica(id)
+		c.deferSchedule = true
+		for _, ref := range orphans {
+			m := c.jobs[ref.Job]
+			if m == nil || m.failed || m.done {
+				continue
+			}
+			c.degradeEdges(m, ref.Stage)
+			c.TaskOutputLost(ref)
+		}
+		c.deferSchedule = false
+		c.schedule()
+		return
+	}
 	var lost []TaskRef
 	for _, jobID := range c.order {
 		m := c.jobs[jobID]

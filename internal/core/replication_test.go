@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+
+	"swift/internal/cluster"
+	"swift/internal/obs"
+	"swift/internal/shuffle"
+)
+
+func (h *harness) replicates() []ActReplicate {
+	var out []ActReplicate
+	for _, a := range h.events {
+		if r, ok := a.(ActReplicate); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (h *harness) degrades() []ActShuffleDegraded {
+	var out []ActShuffleDegraded
+	for _, a := range h.events {
+		if d, ok := a.(ActShuffleDegraded); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestReplicationDisabledByDefault(t *testing.T) {
+	h := newHarness(t, 4, 4, DefaultOptions())
+	h.submit(barrierJob("j", 3, 2))
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job did not complete")
+	}
+	if got := h.replicates(); len(got) != 0 {
+		t.Fatalf("R<=1 emitted %d ActReplicate actions", len(got))
+	}
+}
+
+func TestTaskFinishEmitsReplicate(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ShuffleReplicas = 2
+	h := newHarness(t, 4, 2, opts)
+	h.submit(barrierJob("j", 3, 2))
+	for i := 0; i < 3; i++ {
+		h.finish(ref("j", "A", i))
+	}
+	reps := h.replicates()
+	if len(reps) != 3 {
+		t.Fatalf("got %d ActReplicate, want 3 (one per producer task)", len(reps))
+	}
+	for _, r := range reps {
+		if len(r.Machines) != 2 {
+			t.Errorf("replicate %s landed %d machines, want 2", r.Task, len(r.Machines))
+		}
+		seen := map[cluster.MachineID]bool{}
+		for _, m := range r.Machines {
+			if seen[m] {
+				t.Errorf("replicate %s placed two copies on machine %d", r.Task, m)
+			}
+			seen[m] = true
+		}
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job did not complete")
+	}
+	// Sink stages have no consumers: their output goes to the client, so
+	// B tasks must not have replicated.
+	for _, r := range reps {
+		if r.Task.Stage != "A" {
+			t.Errorf("sink task %s replicated", r.Task)
+		}
+	}
+}
+
+// TestCacheWorkerLostServedFromReplica is the headline recovery win: the
+// serving copy's Cache Worker dies, a replica survives, and the controller
+// takes no recovery step — no re-run, no degrade, job completes.
+func TestCacheWorkerLostServedFromReplica(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ShuffleReplicas = 2
+	h := newHarness(t, 4, 2, opts)
+	h.submit(barrierJob("j", 2, 2))
+	h.finish(ref("j", "A", 0))
+	h.finish(ref("j", "A", 1))
+	reps := h.replicates()
+	if len(reps) != 2 {
+		t.Fatalf("got %d replicates, want 2", len(reps))
+	}
+	startsBefore := len(h.starts)
+
+	// Kill the Cache Worker holding A[0]'s serving copy.
+	h.c.CacheWorkerLost(reps[0].Machines[0])
+	h.drain()
+
+	if got := h.c.ReplicaRecoveries(); got < 1 {
+		t.Fatalf("ReplicaRecoveries = %d, want >= 1", got)
+	}
+	if got := h.c.OutputRecomputes(); got != 0 {
+		t.Fatalf("OutputRecomputes = %d, want 0 (replica survived)", got)
+	}
+	if got := h.degrades(); len(got) != 0 {
+		t.Fatalf("edges degraded despite surviving replica: %v", got)
+	}
+	for _, s := range h.starts[startsBefore:] {
+		if s.Task.Stage == "A" {
+			t.Fatalf("producer %s re-ran despite surviving replica", s.Task)
+		}
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job did not complete after replica failover")
+	}
+}
+
+// TestAllReplicasLostFallsBackToRecompute: once every copy is gone the
+// replica-aware path must behave like v1 — degrade the edges and re-run the
+// producer whose output a pending consumer still needs.
+func TestAllReplicasLostFallsBackToRecompute(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ShuffleReplicas = 2
+	// 2 machines × 1 executor: B's 4 tasks cannot all launch, so some stay
+	// pending and the lost output is still needed (the "rerun" branch).
+	h := newHarness(t, 2, 1, opts)
+	h.submit(barrierJob("j", 2, 4))
+	h.finish(ref("j", "A", 0))
+	h.finish(ref("j", "A", 1))
+	reps := h.replicates()
+	if len(reps) != 2 || len(reps[0].Machines) != 2 {
+		t.Fatalf("unexpected replication: %+v", reps)
+	}
+
+	// Both machines' Cache Workers die: every copy of every output is gone.
+	h.c.CacheWorkerLost(0)
+	h.drain()
+	h.c.CacheWorkerLost(1)
+	h.drain()
+
+	if got := h.c.OutputRecomputes(); got == 0 {
+		t.Fatal("no recompute recorded after losing every copy")
+	}
+	rerun := false
+	for _, s := range h.starts {
+		if s.Task.Stage == "A" && s.Reason == StartRetry {
+			rerun = true
+		}
+	}
+	if !rerun {
+		t.Fatal("producer never re-ran after losing every copy")
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job did not complete after recompute recovery")
+	}
+}
+
+// TestMachineFailedConsultsReplicas: a machine crash destroys its Cache
+// Worker too, but replicated outputs with surviving copies must not re-run.
+func TestMachineFailedConsultsReplicas(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ShuffleReplicas = 3
+	h := newHarness(t, 4, 2, opts)
+	h.submit(barrierJob("j", 2, 2))
+	h.finish(ref("j", "A", 0))
+	h.finish(ref("j", "A", 1))
+	reps := h.replicates()
+	startsBefore := len(h.starts)
+
+	h.c.MachineFailed(reps[0].Machines[0])
+	h.drain()
+
+	if got := h.c.OutputRecomputes(); got != 0 {
+		t.Fatalf("OutputRecomputes = %d after machine crash with replicas", got)
+	}
+	for _, s := range h.starts[startsBefore:] {
+		if s.Task.Stage == "A" && s.Reason == StartRetry {
+			t.Fatalf("producer %s re-ran despite surviving replicas", s.Task)
+		}
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job did not complete")
+	}
+}
+
+func TestAdaptiveLoadOverridesStaticMode(t *testing.T) {
+	rec := obs.New()
+	opts := DefaultOptions()
+	opts.Obs = rec
+	probes := 0
+	opts.AdaptiveLoad = &AdaptiveLoad{
+		Selector: shuffle.LoadSelector{MaxIncastStreams: 10},
+		Probe: func() shuffle.Load {
+			probes++
+			return shuffle.Load{IncastStreams: 500, MemHeadroom: 0.9}
+		},
+	}
+	h := newHarness(t, 4, 4, opts)
+	// Edge size 3×2=6: statically Direct, escalated to Remote under incast.
+	h.submit(pipelineJob("j", 3, 2))
+	if got := h.c.EdgeMode("j", "A", "B"); got != shuffle.Remote {
+		t.Fatalf("EdgeMode = %v, want Remote under incast pressure", got)
+	}
+	if probes != 1 {
+		t.Errorf("probe sampled %d times, want once per admission", probes)
+	}
+	adapted := 0
+	for _, e := range rec.Events() {
+		if e.Kind == obs.EvShuffleAdapted {
+			adapted++
+			if e.Label != "Direct->Remote|incast" {
+				t.Errorf("adapt label = %q", e.Label)
+			}
+		}
+	}
+	if adapted != 1 {
+		t.Errorf("recorded %d EvShuffleAdapted events, want 1", adapted)
+	}
+	h.finishAll()
+	if !h.completed("j") {
+		t.Fatal("job did not complete")
+	}
+}
+
+func TestAdaptiveLoadNilNeverOverrides(t *testing.T) {
+	h := newHarness(t, 4, 4, DefaultOptions())
+	h.submit(pipelineJob("j", 3, 2))
+	if got := h.c.EdgeMode("j", "A", "B"); got != shuffle.Direct {
+		t.Fatalf("EdgeMode = %v, want Direct with no adaptive selector", got)
+	}
+}

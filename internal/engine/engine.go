@@ -224,6 +224,9 @@ func (e *Engine) applyActions() {
 			// Mode downgrades only matter to the simulator's cost model;
 			// the in-process store serves segments the same way in every
 			// mode.
+		case core.ActReplicate:
+			// The in-process store keeps one authoritative copy per
+			// segment; replication is a simulator-cost concern.
 		}
 	}
 }

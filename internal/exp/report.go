@@ -80,20 +80,21 @@ func Names() []string {
 
 // registry maps experiment ids to report functions.
 var registry = map[string]func(Config, io.Writer) error{
-	"fig3":      reportFig3,
-	"fig8":      reportFig8,
-	"fig9a":     reportFig9a,
-	"fig9b":     reportFig9b,
-	"table1":    reportTable1,
-	"fig10":     reportFig10,
-	"fig11":     reportFig11,
-	"fig12":     reportFig12,
-	"fig13":     reportFig13,
-	"fig14":     reportFig14,
-	"fig15":     reportFig15,
-	"fig16":     reportFig16,
-	"flowburst": reportFlowBurst,
-	"fairshare": reportFairShare,
+	"fig3":            reportFig3,
+	"fig8":            reportFig8,
+	"fig9a":           reportFig9a,
+	"fig9b":           reportFig9b,
+	"table1":          reportTable1,
+	"fig10":           reportFig10,
+	"fig11":           reportFig11,
+	"fig12":           reportFig12,
+	"fig13":           reportFig13,
+	"fig14":           reportFig14,
+	"fig15":           reportFig15,
+	"fig16":           reportFig16,
+	"flowburst":       reportFlowBurst,
+	"fairshare":       reportFairShare,
+	"shufflerecovery": reportShuffleRecovery,
 }
 
 // Run executes one named experiment and writes its paper-style report. It

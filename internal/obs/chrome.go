@@ -207,6 +207,16 @@ func (r *Recorder) buildChrome() []traceEvent {
 		case EvTenantShare:
 			// Share accounting has no job/machine timeline to land on; it is
 			// carried by the stream hash and breakdowns, not the Chrome view.
+		case EvReplicate:
+			instant(e, jobOf(e.Job), 0, "shuffle",
+				fmt.Sprintf("replicate %s[%d] x%d", e.Stage, e.Index, e.Graphlet),
+				map[string]any{"machine": e.Machine})
+		case EvReplicaServed:
+			instant(e, jobOf(e.Job), 0, "recovery",
+				fmt.Sprintf("replica-served %s[%d] m%d", e.Stage, e.Index, e.Machine), nil)
+		case EvShuffleAdapted:
+			instant(e, jobOf(e.Job), 0, "shuffle",
+				fmt.Sprintf("adapt %s>%s %s", e.Stage, e.To, e.Label), nil)
 		}
 	}
 

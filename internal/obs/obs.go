@@ -96,6 +96,18 @@ const (
 	// decision point; Label holds the tenant, Index the running-task
 	// count, and Process the fractional deserved share in executors.
 	EvTenantShare
+	// EvReplicate marks a finished task's buffered output being replicated
+	// to extra Cache Workers; Graphlet holds the copy count and Machine the
+	// primary replica's machine.
+	EvReplicate
+	// EvReplicaServed marks recovery promoting a surviving replica after
+	// the serving copy's worker died — no recompute needed; Machine holds
+	// the new serving machine.
+	EvReplicaServed
+	// EvShuffleAdapted marks the load-observed selector overriding the
+	// static threshold choice for an edge; Label holds
+	// "static->adapted|reason".
+	EvShuffleAdapted
 )
 
 // String names the kind for counters and hashes.
@@ -143,6 +155,12 @@ func (k Kind) String() string {
 		return "reclaim"
 	case EvTenantShare:
 		return "tenant_share"
+	case EvReplicate:
+		return "replicate"
+	case EvReplicaServed:
+		return "replica_served"
+	case EvShuffleAdapted:
+		return "shuffle_adapted"
 	}
 	return "invalid"
 }
@@ -350,6 +368,28 @@ func (r *Recorder) GangReclaimed(job string, g, aborted int, tenant string) {
 func (r *Recorder) TenantShare(tenant string, running int, deserved float64) {
 	r.rec(Event{Kind: EvTenantShare, Label: tenant, Index: running,
 		Process: deserved, Executor: -1, Machine: -1})
+}
+
+// Replicated records a finished task's output being copied to extra Cache
+// Workers; copies is the total copy count (primary included), machine the
+// primary's machine.
+func (r *Recorder) Replicated(job, stage string, index, attempt, copies, machine int) {
+	r.rec(Event{Kind: EvReplicate, Job: job, Stage: stage, Index: index, Attempt: attempt,
+		Graphlet: copies, Machine: machine, Executor: -1})
+}
+
+// ReplicaServed records recovery failing a read over to a surviving
+// replica instead of recomputing; machine is the new serving machine.
+func (r *Recorder) ReplicaServed(job, stage string, index, machine int) {
+	r.rec(Event{Kind: EvReplicaServed, Job: job, Stage: stage, Index: index,
+		Machine: machine, Executor: -1})
+}
+
+// ShuffleAdapted records the load-observed selector overriding the static
+// threshold mode for an edge, with the reason tag.
+func (r *Recorder) ShuffleAdapted(job, from, to, staticMode, adaptedMode, reason string) {
+	r.rec(Event{Kind: EvShuffleAdapted, Job: job, Stage: from, To: to,
+		Label: staticMode + "->" + adaptedMode + "|" + reason, Executor: -1, Machine: -1})
 }
 
 // FNV-1a, the same construction the chaos auditor uses for its trace hash.

@@ -57,7 +57,19 @@ type CacheStats struct {
 	SpillBytes  int64 // bytes swapped out to disk
 	LoadBytes   int64 // spilled bytes loaded back on access
 	Freed       int   // segments released after full consumption
-	PeakUsed    int64
+	// Drops counts segments removed unconditionally by Drop (failure
+	// recovery discarding a failed producer's partial output).
+	Drops int
+	// LostSpilledBytes is the portion of FailAll losses that lived on the
+	// disk tier — the swap file dies with its owner — as opposed to in
+	// memory, so recovery cost models can tell the tiers apart.
+	LostSpilledBytes int64
+	// DiskReads/DiskReadBytes count accesses served directly from the disk
+	// tier without loading the segment back into memory (the over-capacity
+	// case: a segment larger than the whole worker stays spilled).
+	DiskReads     int
+	DiskReadBytes int64
+	PeakUsed      int64
 	// UsedBytes is the worker's current in-memory footprint (a snapshot of
 	// Used at Stats time, spilled segments excluded). It must return to
 	// zero once every segment is dropped — the leak regression pinned by
@@ -162,9 +174,13 @@ func (w *CacheWorker) evictTo(limit int64) int64 {
 }
 
 // Get reads one consumer's view of a segment without consuming it. It
-// reports the payload, whether the segment had been spilled (the caller
-// charges a disk read and the segment returns to memory), and whether the
-// key exists at all.
+// reports the payload, whether the segment was served from the disk tier
+// (the caller charges a disk read), and whether the key exists at all.
+// A spilled segment normally returns to memory; a segment larger than the
+// worker's whole capacity is served from the disk tier in place instead —
+// loading it would only make the trailing eviction re-spill it immediately,
+// charging LoadBytes + SpillBytes on every access (the spill/load thrash
+// this case used to cause).
 func (w *CacheWorker) Get(key string) (payload [][]byte, wasSpilled, ok bool) {
 	s, ok := w.segs[key]
 	if !ok {
@@ -175,6 +191,15 @@ func (w *CacheWorker) Get(key string) (payload [][]byte, wasSpilled, ok bool) {
 	w.stats.Gets++
 	w.count("gets", 1)
 	wasSpilled = s.spilled
+	if s.spilled && w.capacity > 0 && s.size > w.capacity {
+		// Over-capacity segment: it can never be memory-resident, so serve
+		// it from the disk tier without flapping residency.
+		w.stats.DiskReads++
+		w.stats.DiskReadBytes += s.size
+		w.count("disk_reads", 1)
+		w.count("disk_read_bytes", s.size)
+		return s.data, true, true
+	}
 	if s.spilled {
 		s.spilled = false
 		w.used += s.size
@@ -192,6 +217,20 @@ func (w *CacheWorker) Get(key string) (payload [][]byte, wasSpilled, ok bool) {
 	// Loading one segment back may push others out.
 	w.evictTo(w.capacity)
 	return s.data, wasSpilled, true
+}
+
+// Has reports whether the worker holds a segment (in memory or spilled)
+// without touching recency or stats.
+func (w *CacheWorker) Has(key string) bool {
+	_, ok := w.segs[key]
+	return ok
+}
+
+// Spilled reports whether the key's segment currently lives on the disk
+// tier (false for missing keys).
+func (w *CacheWorker) Spilled(key string) bool {
+	s, ok := w.segs[key]
+	return ok && s.spilled
 }
 
 // remove detaches a segment from the LRU list, the key map and the memory
@@ -232,6 +271,8 @@ func (w *CacheWorker) Drop(key string) bool {
 		return false
 	}
 	w.remove(s)
+	w.stats.Drops++
+	w.count("drops", 1)
 	return true
 }
 
@@ -244,13 +285,19 @@ func (w *CacheWorker) Drop(key string) bool {
 // history of what the worker did.
 func (w *CacheWorker) FailAll() []string {
 	keys := make([]string, 0, len(w.segs))
-	for k := range w.segs {
+	var lostSpilled int64
+	for k, s := range w.segs {
 		keys = append(keys, k)
+		if s.spilled {
+			lostSpilled += s.size
+		}
 	}
 	sort.Strings(keys)
 	w.segs = make(map[string]*segment)
 	w.lru.Init()
 	w.used = 0
+	w.stats.LostSpilledBytes += lostSpilled
 	w.count("lost_segments", int64(len(keys)))
+	w.count("lost_spilled_bytes", lostSpilled)
 	return keys
 }

@@ -160,6 +160,179 @@ func TestCacheWorkerZeroRefsDefaultsToOne(t *testing.T) {
 	}
 }
 
+// testSink collects mirrored counter increments for assertions.
+type testSink struct{ counts map[string]int64 }
+
+func (s *testSink) Count(name string, delta int64) {
+	if s.counts == nil {
+		s.counts = make(map[string]int64)
+	}
+	s.counts[name] += delta
+}
+
+// TestCacheWorkerOverCapacityServedFromDiskTier pins the spill/load thrash
+// fix: a segment larger than the whole worker can never be memory-resident,
+// so repeated Gets must serve it from the disk tier instead of loading it
+// back and immediately re-spilling it. Before the fix every access charged
+// LoadBytes + SpillBytes; after it, only the initial Put spills and each
+// access counts a DiskRead.
+func TestCacheWorkerOverCapacityServedFromDiskTier(t *testing.T) {
+	w := NewCacheWorker(10)
+	sink := &testSink{}
+	w.SetStatsSink("cw.", sink)
+	if _, err := w.Put("big", 50, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.SpillBytes != 50 || st.UsedBytes != 0 {
+		t.Fatalf("after put: %+v", st)
+	}
+	for i := 0; i < 3; i++ {
+		_, wasSpilled, ok := w.Get("big")
+		if !ok || !wasSpilled {
+			t.Fatalf("Get %d: spilled=%v ok=%v", i, wasSpilled, ok)
+		}
+	}
+	st := w.Stats()
+	if st.LoadBytes != 0 {
+		t.Errorf("LoadBytes = %d, want 0 (no residency flapping)", st.LoadBytes)
+	}
+	if st.SpillBytes != 50 || st.SpillEvents != 1 {
+		t.Errorf("SpillBytes = %d events = %d, want only the initial spill", st.SpillBytes, st.SpillEvents)
+	}
+	if st.DiskReads != 3 || st.DiskReadBytes != 150 {
+		t.Errorf("DiskReads = %d bytes = %d, want 3/150", st.DiskReads, st.DiskReadBytes)
+	}
+	if w.Used() != 0 {
+		t.Errorf("used = %d, want 0 (segment stays on the disk tier)", w.Used())
+	}
+	if !w.Spilled("big") {
+		t.Error("segment left the disk tier")
+	}
+	if sink.counts["cw.disk_reads"] != 3 || sink.counts["cw.disk_read_bytes"] != 150 {
+		t.Errorf("sink mirror = %v", sink.counts)
+	}
+	// A normally sized spilled segment still loads back into memory.
+	w2 := NewCacheWorker(100)
+	w2.Put("a", 60, nil, 1)
+	w2.Put("b", 60, nil, 1) // spills a
+	if _, wasSpilled, _ := w2.Get("a"); !wasSpilled {
+		t.Fatal("a should have been spilled")
+	}
+	if st := w2.Stats(); st.LoadBytes != 60 || st.DiskReads != 0 {
+		t.Errorf("normal reload stats: %+v", st)
+	}
+}
+
+// TestCacheWorkerDropStats pins the Drop counter gap: recovery-discarded
+// segments must be visible in CacheStats and the sink.
+func TestCacheWorkerDropStats(t *testing.T) {
+	w := NewCacheWorker(0)
+	sink := &testSink{}
+	w.SetStatsSink("cw.", sink)
+	w.Put("x", 7, nil, 3)
+	w.Put("y", 9, nil, 1)
+	if !w.Drop("x") || !w.Drop("y") {
+		t.Fatal("drops failed")
+	}
+	w.Drop("x") // missing: must not count
+	if st := w.Stats(); st.Drops != 2 {
+		t.Errorf("Drops = %d, want 2", st.Drops)
+	}
+	if sink.counts["cw.drops"] != 2 {
+		t.Errorf("sink drops = %d, want 2", sink.counts["cw.drops"])
+	}
+}
+
+// TestCacheWorkerFailAllLostSpilledBytes pins the FailAll tier split: bytes
+// lost from the disk tier are distinguished from in-memory losses.
+func TestCacheWorkerFailAllLostSpilledBytes(t *testing.T) {
+	w := NewCacheWorker(35)
+	sink := &testSink{}
+	w.SetStatsSink("cw.", sink)
+	w.Put("a", 10, nil, 1)
+	w.Put("b", 20, nil, 1)
+	w.Put("c", 30, nil, 1) // spills a and b (LRU), keeps c resident
+	if !w.Spilled("a") || !w.Spilled("b") || w.Spilled("c") {
+		t.Fatalf("unexpected tier layout: used=%d", w.Used())
+	}
+	if lost := w.FailAll(); len(lost) != 3 {
+		t.Fatalf("lost = %v", lost)
+	}
+	if st := w.Stats(); st.LostSpilledBytes != 30 {
+		t.Errorf("LostSpilledBytes = %d, want 30 (a+b)", st.LostSpilledBytes)
+	}
+	if sink.counts["cw.lost_spilled_bytes"] != 30 || sink.counts["cw.lost_segments"] != 3 {
+		t.Errorf("sink mirror = %v", sink.counts)
+	}
+}
+
+// TestCacheWorkerAccountingInvariant drives seeded random op sequences
+// (Put/Get/Consume/Drop/FailAll) and asserts after every step that
+// used == Σ size of resident non-spilled segments and used ≥ 0 — the
+// memory-manager accounting invariant.
+func TestCacheWorkerAccountingInvariant(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		capacity := int64(20 + r.Intn(150))
+		w := NewCacheWorker(capacity)
+		var keys []string
+		next := 0
+		check := func(step int, op string) {
+			t.Helper()
+			var want int64
+			for _, s := range w.segs {
+				if !s.spilled {
+					want += s.size
+				}
+			}
+			if w.used != want {
+				t.Fatalf("seed %d step %d after %s: used=%d, resident sum=%d", seed, step, op, w.used, want)
+			}
+			if w.used < 0 {
+				t.Fatalf("seed %d step %d after %s: used negative: %d", seed, step, op, w.used)
+			}
+			if st := w.Stats(); st.PeakUsed < w.used {
+				t.Fatalf("seed %d step %d after %s: peak %d < used %d", seed, step, op, st.PeakUsed, w.used)
+			}
+		}
+		for step := 0; step < 400; step++ {
+			op := "put"
+			switch r.Intn(10) {
+			case 0, 1, 2:
+				k := fmt.Sprintf("s%d", next)
+				next++
+				// Sizes occasionally exceed capacity to hit the disk-tier
+				// serve path.
+				if _, err := w.Put(k, int64(r.Intn(int(capacity)+40)), nil, 1+r.Intn(3)); err != nil {
+					t.Fatal(err)
+				}
+				keys = append(keys, k)
+			case 3, 4, 5:
+				op = "get"
+				if len(keys) > 0 {
+					w.Get(keys[r.Intn(len(keys))])
+				}
+			case 6, 7:
+				op = "consume"
+				if len(keys) > 0 {
+					w.Consume(keys[r.Intn(len(keys))])
+				}
+			case 8:
+				op = "drop"
+				if len(keys) > 0 {
+					w.Drop(keys[r.Intn(len(keys))])
+				}
+			case 9:
+				op = "failall"
+				if r.Intn(10) == 0 { // rare: it resets everything
+					w.FailAll()
+				}
+			}
+			check(step, op)
+		}
+	}
+}
+
 // TestCacheWorkerProperty: under random operations, memory accounting never
 // exceeds capacity and never goes negative.
 func TestCacheWorkerProperty(t *testing.T) {

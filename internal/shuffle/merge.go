@@ -1,0 +1,141 @@
+package shuffle
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Merger implements FuxiShuffle-style push-based partition merging: instead
+// of every consumer pulling M small fragments (one per producer), producers
+// push fragments to the reducer-side Cache Worker, which appends them into
+// one contiguous per-reducer block and seals the block into the worker once
+// it crosses the flush threshold. Consumers then fetch a handful of merged
+// blocks, collapsing the fetch fan-in from M to the sealed-block count.
+//
+// The merger is payload-agnostic: fragments arrive already encoded, and the
+// engine's batch codec appends encoded batches byte-for-byte (AppendBatch),
+// so a merged block decodes exactly like a producer-side stream. The
+// simulator pushes nil payloads with sizes only, the same contract as
+// CacheWorker.Put.
+type Merger struct {
+	w *CacheWorker
+	// flushSize seals a reducer's block once its accumulated bytes reach
+	// this threshold (0 = only Seal flushes).
+	flushSize int64
+	refs      int
+	blocks    map[string]*mergeBlock
+	order     []string // reducers in first-push order: deterministic Seal
+	stats     MergeStats
+}
+
+type mergeBlock struct {
+	frags [][]byte
+	size  int64
+	nfrag int
+	seq   int // sealed-block counter for this reducer
+}
+
+// MergeStats counts merger activity.
+type MergeStats struct {
+	Fragments     int
+	FragmentBytes int64
+	Blocks        int   // blocks sealed into the cache worker
+	MergedBytes   int64 // bytes written as merged blocks
+	SpillBytes    int64 // bytes the backing worker spilled absorbing blocks
+}
+
+// FanIn returns the consumer-side fetch fan-in reduction factor: fragments
+// merged per sealed block (1 when nothing merged).
+func (s MergeStats) FanIn() float64 {
+	if s.Blocks == 0 {
+		return 1
+	}
+	return float64(s.Fragments) / float64(s.Blocks)
+}
+
+// NewMerger returns a merger that seals merged blocks into w. refs is the
+// consumer count each sealed block will serve (CacheWorker.Put semantics);
+// flushSize bounds per-reducer accumulation (0 = unbounded until Seal).
+func NewMerger(w *CacheWorker, flushSize int64, refs int) *Merger {
+	return &Merger{w: w, flushSize: flushSize, refs: refs, blocks: make(map[string]*mergeBlock)}
+}
+
+// BlockKey names the seq-th sealed block of a reducer partition; consumers
+// fetch these keys from the backing worker.
+func BlockKey(reducer string, seq int) string {
+	return reducer + "#" + strconv.Itoa(seq)
+}
+
+// Push appends one producer fragment to a reducer's pending block, sealing
+// the block if it crosses the flush threshold. frag may be nil when only
+// accounting is needed (the simulator); size must then be supplied.
+//
+//lint:hotpath
+func (m *Merger) Push(reducer string, frag []byte, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("shuffle: merger: negative fragment size for %q", reducer)
+	}
+	b := m.blocks[reducer]
+	if b == nil {
+		b = &mergeBlock{}
+		m.blocks[reducer] = b
+		m.order = append(m.order, reducer)
+	}
+	if frag != nil {
+		b.frags = append(b.frags, frag)
+	}
+	b.size += size
+	b.nfrag++
+	m.stats.Fragments++
+	m.stats.FragmentBytes += size
+	if m.flushSize > 0 && b.size >= m.flushSize {
+		return m.seal(reducer, b)
+	}
+	return nil
+}
+
+// seal writes a reducer's accumulated block into the backing worker and
+// resets the accumulator for the next block.
+//
+//lint:hotpath
+func (m *Merger) seal(reducer string, b *mergeBlock) error {
+	if b.nfrag == 0 {
+		return nil
+	}
+	spilled, err := m.w.Put(BlockKey(reducer, b.seq), b.size, b.frags, m.refs)
+	if err != nil {
+		return err
+	}
+	m.stats.Blocks++
+	m.stats.MergedBytes += b.size
+	m.stats.SpillBytes += spilled
+	b.seq++
+	b.frags = nil
+	b.size = 0
+	b.nfrag = 0
+	return nil
+}
+
+// Seal flushes every partially accumulated block (end of the producer
+// stage), in first-push order so reruns are deterministic.
+func (m *Merger) Seal() error {
+	for _, reducer := range m.order {
+		if err := m.seal(reducer, m.blocks[reducer]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Blocks returns how many blocks have been sealed for a reducer so far;
+// consumers fetch BlockKey(reducer, 0..Blocks-1).
+func (m *Merger) Blocks(reducer string) int {
+	b := m.blocks[reducer]
+	if b == nil {
+		return 0
+	}
+	return b.seq
+}
+
+// Stats returns a copy of the merger's activity counters.
+func (m *Merger) Stats() MergeStats { return m.stats }

@@ -1,0 +1,143 @@
+package shuffle
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMergerFlushOnThreshold(t *testing.T) {
+	w := NewCacheWorker(1 << 20)
+	m := NewMerger(w, 100, 1)
+
+	// Fragments below the threshold accumulate without sealing.
+	for i := 0; i < 4; i++ {
+		if err := m.Push("r0", nil, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Blocks("r0"); got != 0 {
+		t.Fatalf("sealed %d blocks below threshold", got)
+	}
+	// The fifth fragment crosses 100 bytes and seals block #0.
+	if err := m.Push("r0", nil, 25); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Blocks("r0"); got != 1 {
+		t.Fatalf("Blocks = %d, want 1", got)
+	}
+	if !w.Has(BlockKey("r0", 0)) {
+		t.Fatal("sealed block not in the backing worker")
+	}
+	st := m.Stats()
+	if st.Fragments != 5 || st.FragmentBytes != 105 {
+		t.Errorf("fragment stats = %+v", st)
+	}
+	if st.Blocks != 1 || st.MergedBytes != 105 {
+		t.Errorf("block stats = %+v", st)
+	}
+	if got := st.FanIn(); got != 5 {
+		t.Errorf("FanIn = %v, want 5", got)
+	}
+}
+
+func TestMergerSealFlushesPartialBlocks(t *testing.T) {
+	w := NewCacheWorker(1 << 20)
+	m := NewMerger(w, 0, 2) // no auto-flush: only Seal writes
+
+	reducers := []string{"r2", "r0", "r1"}
+	for _, r := range reducers {
+		for i := 0; i < 3; i++ {
+			if err := m.Push(r, []byte{byte(i)}, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := m.Stats(); st.Blocks != 0 {
+		t.Fatalf("sealed %d blocks with flushSize=0", st.Blocks)
+	}
+	if err := m.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reducers {
+		if m.Blocks(r) != 1 {
+			t.Errorf("%s: Blocks = %d, want 1", r, m.Blocks(r))
+		}
+		payload, _, ok := w.Get(BlockKey(r, 0))
+		if !ok {
+			t.Fatalf("%s: merged block missing", r)
+		}
+		if len(payload) != 3 {
+			t.Errorf("%s: %d fragments in block, want 3", r, len(payload))
+		}
+	}
+	// Sealing again is a no-op: empty accumulators are skipped.
+	if err := m.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Blocks != 3 {
+		t.Errorf("double Seal grew blocks: %d", st.Blocks)
+	}
+}
+
+// TestMergerFanInReduction is the point of push-based merging: a consumer
+// fetches far fewer blocks than there were producer fragments.
+func TestMergerFanInReduction(t *testing.T) {
+	w := NewCacheWorker(10 << 20)
+	m := NewMerger(w, 4096, 1)
+
+	const producers = 200
+	for p := 0; p < producers; p++ {
+		if err := m.Push("part7", nil, 128); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	blocks := m.Blocks("part7")
+	if blocks >= producers/10 {
+		t.Fatalf("merging left %d blocks for %d fragments", blocks, producers)
+	}
+	// Every sealed block is fetchable, and together they hold all the bytes.
+	var total int64
+	for i := 0; i < blocks; i++ {
+		if _, _, ok := w.Get(BlockKey("part7", i)); !ok {
+			t.Fatalf("block %d missing", i)
+		}
+	}
+	total = m.Stats().MergedBytes
+	if total != producers*128 {
+		t.Errorf("merged bytes = %d, want %d", total, producers*128)
+	}
+	if fi := m.Stats().FanIn(); fi < 10 {
+		t.Errorf("fan-in reduction only %.1fx", fi)
+	}
+}
+
+func TestMergerRejectsNegativeSize(t *testing.T) {
+	m := NewMerger(NewCacheWorker(1<<20), 0, 1)
+	if err := m.Push("r0", nil, -1); err == nil {
+		t.Fatal("negative fragment size accepted")
+	}
+}
+
+func TestMergerSpillAccounting(t *testing.T) {
+	// A tiny worker spills while absorbing sealed blocks; the merger
+	// surfaces those bytes so the driver can charge disk cost.
+	w := NewCacheWorker(50)
+	m := NewMerger(w, 40, 1)
+	for i := 0; i < 6; i++ {
+		if err := m.Push(fmt.Sprintf("r%d", i%2), nil, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SpillBytes == 0 {
+		t.Error("over-capacity merge reported no spill bytes")
+	}
+	if m.Stats().SpillBytes != w.Stats().SpillBytes {
+		t.Errorf("merger spill %d != worker spill %d", m.Stats().SpillBytes, w.Stats().SpillBytes)
+	}
+}

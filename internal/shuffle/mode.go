@@ -43,10 +43,14 @@ func (m Mode) String() string {
 }
 
 // Thresholds configures adaptive selection. The paper's production values
-// are 10,000 and 90,000 shuffle edges.
+// are 10,000 and 90,000 shuffle edges. Both boundaries are half-open:
+// [0, SmallMax) selects Direct, [SmallMax, LargeMin) Remote, and
+// [LargeMin, ∞) Local, so each threshold value belongs to the bucket it
+// opens. (An earlier version used `> LargeMin` on the upper boundary,
+// silently classifying an edge of exactly LargeMin as middle-sized.)
 type Thresholds struct {
-	SmallMax int // edge sizes below this use Direct
-	LargeMin int // edge sizes above this use Local; between: Remote
+	SmallMax int // edge sizes in [0, SmallMax) use Direct
+	LargeMin int // edge sizes in [LargeMin, ∞) use Local; between: Remote
 }
 
 // DefaultThresholds returns the production thresholds from the paper.
@@ -60,7 +64,7 @@ func (t Thresholds) Select(edgeSize int) Mode {
 	switch {
 	case edgeSize < t.SmallMax:
 		return Direct
-	case edgeSize > t.LargeMin:
+	case edgeSize >= t.LargeMin:
 		return Local
 	default:
 		return Remote
@@ -90,12 +94,13 @@ func (c SizeClass) String() string {
 	return "invalid"
 }
 
-// Class returns the size class of an edge size under the thresholds.
+// Class returns the size class of an edge size under the thresholds, with
+// the same half-open boundary semantics as Select.
 func (t Thresholds) Class(edgeSize int) SizeClass {
 	switch {
 	case edgeSize < t.SmallMax:
 		return SmallShuffle
-	case edgeSize > t.LargeMin:
+	case edgeSize >= t.LargeMin:
 		return LargeShuffle
 	default:
 		return MediumShuffle

@@ -2,6 +2,11 @@ package shuffle
 
 import "testing"
 
+// TestSelectThresholds pins the half-open boundary semantics over the
+// paper's 10,000/90,000 production values: [0, SmallMax) → Direct,
+// [SmallMax, LargeMin) → Remote, [LargeMin, ∞) → Local. The 90,000 row
+// fails against the old asymmetric `> LargeMin` comparison, which silently
+// classified an edge of exactly LargeMin as middle-sized.
 func TestSelectThresholds(t *testing.T) {
 	th := DefaultThresholds()
 	cases := []struct {
@@ -10,9 +15,10 @@ func TestSelectThresholds(t *testing.T) {
 	}{
 		{1, Direct},
 		{9999, Direct},
-		{10000, Remote}, // boundary: not "small" anymore
+		{10000, Remote}, // boundary: SmallMax opens the Remote bucket
 		{50000, Remote},
-		{90000, Remote}, // boundary: not yet "huge"
+		{89999, Remote},
+		{90000, Local}, // boundary: LargeMin opens the Local bucket
 		{90001, Local},
 		{2250000, Local}, // 1500x1500 Terasort
 	}
@@ -23,10 +29,17 @@ func TestSelectThresholds(t *testing.T) {
 	}
 }
 
+// TestSizeClass checks Class agrees with Select on both boundaries.
 func TestSizeClass(t *testing.T) {
 	th := DefaultThresholds()
 	if th.Class(100) != SmallShuffle || th.Class(20000) != MediumShuffle || th.Class(100000) != LargeShuffle {
 		t.Error("classes wrong")
+	}
+	if th.Class(9999) != SmallShuffle || th.Class(10000) != MediumShuffle {
+		t.Error("SmallMax boundary not half-open")
+	}
+	if th.Class(89999) != MediumShuffle || th.Class(90000) != LargeShuffle {
+		t.Error("LargeMin boundary not half-open")
 	}
 	if SmallShuffle.String() != "small" || MediumShuffle.String() != "medium" || LargeShuffle.String() != "large" {
 		t.Error("class strings wrong")

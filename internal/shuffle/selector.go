@@ -1,0 +1,50 @@
+package shuffle
+
+// Load is a point-in-time sample of the pressures FuxiShuffle's adaptive
+// mode switching reacts to. Drivers fill it from deterministic sources
+// (the cluster's connection census, the obs registry's cache-worker
+// gauges), so the same seed always samples the same load.
+type Load struct {
+	// IncastStreams is the current fan-in pressure: concurrent inbound
+	// streams at the hottest machine, or a proxy such as active
+	// connections per machine.
+	IncastStreams float64
+	// MemHeadroom is the cache workers' free-memory fraction in [0, 1]
+	// (1 = empty, 0 = full).
+	MemHeadroom float64
+}
+
+// LoadSelector overrides static threshold selection per edge when the
+// observed load says the statically chosen mode would misbehave: Direct
+// edges escalate to Remote under incast pressure (Cache Workers absorb the
+// fan-in), and cache-backed modes fall back to Direct when the workers
+// have no memory headroom left to buffer. Zero thresholds disable the
+// corresponding override, so the zero value never overrides anything.
+type LoadSelector struct {
+	// MaxIncastStreams escalates Direct to Remote above this fan-in
+	// (0 disables).
+	MaxIncastStreams float64
+	// MinHeadroom degrades Local/Remote to Direct below this free-memory
+	// fraction (0 disables).
+	MinHeadroom float64
+}
+
+// Adapt returns the mode to use for an edge given its statically selected
+// mode and the sampled load, a short reason tag for the override, and
+// whether an override applies (false: use the static mode unchanged).
+func (s LoadSelector) Adapt(static Mode, l Load) (Mode, string, bool) {
+	switch static {
+	case Local, Remote:
+		if s.MinHeadroom > 0 && l.MemHeadroom < s.MinHeadroom {
+			return Direct, "low-headroom", true
+		}
+	case Direct:
+		if s.MaxIncastStreams > 0 && l.IncastStreams > s.MaxIncastStreams {
+			return Remote, "incast", true
+		}
+	case Disk:
+		// The file-based baseline never adapts: it exists to model
+		// Spark/Bubble, not Swift's runtime.
+	}
+	return static, "", false
+}

@@ -1,0 +1,52 @@
+package shuffle
+
+import "testing"
+
+func TestLoadSelectorZeroValueNeverOverrides(t *testing.T) {
+	var s LoadSelector
+	for _, m := range []Mode{Direct, Local, Remote, Disk} {
+		for _, l := range []Load{{}, {IncastStreams: 1e9}, {MemHeadroom: 0}, {IncastStreams: 1e9, MemHeadroom: 0}} {
+			got, reason, ok := s.Adapt(m, l)
+			if ok || got != m || reason != "" {
+				t.Errorf("zero selector overrode %v under %+v: -> %v (%q)", m, l, got, reason)
+			}
+		}
+	}
+}
+
+func TestLoadSelectorIncastEscalation(t *testing.T) {
+	s := LoadSelector{MaxIncastStreams: 100}
+	if got, reason, ok := s.Adapt(Direct, Load{IncastStreams: 250, MemHeadroom: 0.9}); !ok || got != Remote || reason != "incast" {
+		t.Errorf("Direct under incast -> %v (%q, %v)", got, reason, ok)
+	}
+	if _, _, ok := s.Adapt(Direct, Load{IncastStreams: 100, MemHeadroom: 0.9}); ok {
+		t.Error("boundary fan-in (== max) should not override")
+	}
+	// Cache-backed modes absorb fan-in themselves: no escalation.
+	if _, _, ok := s.Adapt(Remote, Load{IncastStreams: 1e6, MemHeadroom: 0.9}); ok {
+		t.Error("Remote escalated under incast")
+	}
+}
+
+func TestLoadSelectorHeadroomDegradation(t *testing.T) {
+	s := LoadSelector{MinHeadroom: 0.2}
+	for _, m := range []Mode{Local, Remote} {
+		if got, reason, ok := s.Adapt(m, Load{MemHeadroom: 0.05}); !ok || got != Direct || reason != "low-headroom" {
+			t.Errorf("%v at 5%% headroom -> %v (%q, %v)", m, got, reason, ok)
+		}
+		if _, _, ok := s.Adapt(m, Load{MemHeadroom: 0.5}); ok {
+			t.Errorf("%v overrode with ample headroom", m)
+		}
+	}
+	// Direct has no cache-worker memory to run out of.
+	if _, _, ok := s.Adapt(Direct, Load{MemHeadroom: 0}); ok {
+		t.Error("Direct degraded on headroom")
+	}
+}
+
+func TestLoadSelectorDiskNeverAdapts(t *testing.T) {
+	s := LoadSelector{MaxIncastStreams: 1, MinHeadroom: 0.99}
+	if got, _, ok := s.Adapt(Disk, Load{IncastStreams: 1e9, MemHeadroom: 0}); ok || got != Disk {
+		t.Errorf("Disk adapted to %v", got)
+	}
+}

@@ -1,0 +1,202 @@
+package shuffle
+
+import "fmt"
+
+// Service is the shuffle-service view over a fleet of Cache Workers: writes
+// replicate to R workers chosen by deterministic ring placement, reads fail
+// over to any surviving replica, and a worker crash reports exactly the
+// keys whose last copy died. It is the data-plane counterpart of the
+// controller's replica-aware recovery (core.Options.ShuffleReplicas): the
+// controller tracks which machines hold a task's output, this type holds
+// the bytes.
+type Service struct {
+	workers  []*CacheWorker
+	live     []bool
+	replicas int
+}
+
+// NewService builds a service over the given workers with replication
+// factor replicas (clamped to [1, len(workers)]).
+func NewService(workers []*CacheWorker, replicas int) *Service {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(workers) {
+		replicas = len(workers)
+	}
+	live := make([]bool, len(workers))
+	for i := range live {
+		live[i] = true
+	}
+	return &Service{workers: workers, live: live, replicas: replicas}
+}
+
+// Replicas returns the configured replication factor.
+func (s *Service) Replicas() int { return s.replicas }
+
+// FNV-1a parameters (the same construction obs and chaos use for their
+// determinism hashes).
+const (
+	fnv1aOffset uint64 = 14695981039346656037
+	fnv1aPrime  uint64 = 1099511628211
+)
+
+// home returns a key's primary worker index: FNV-1a over the key, mod the
+// fleet size — a pure function of the key, so producers, consumers and
+// recovery all agree on placement without coordination.
+//
+//lint:hotpath
+func (s *Service) home(key string) int {
+	var h uint64 = fnv1aOffset
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnv1aPrime
+	}
+	return int(h % uint64(len(s.workers)))
+}
+
+// placement returns up to R live worker indices for a key, walking the ring
+// from the key's home. Fewer than R live workers means fewer copies.
+func (s *Service) placement(key string) []int {
+	out := make([]int, 0, s.replicas)
+	start := s.home(key)
+	for i := 0; i < len(s.workers) && len(out) < s.replicas; i++ {
+		w := (start + i) % len(s.workers)
+		if s.live[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Put writes a segment to R live workers. It returns the total bytes the
+// writes spilled (summed over replicas, for disk-cost charging) and the
+// first error.
+func (s *Service) Put(key string, size int64, payload [][]byte, refs int) (spilled int64, err error) {
+	targets := s.placement(key)
+	if len(targets) == 0 {
+		return 0, fmt.Errorf("shuffle: service: no live workers for %q", key)
+	}
+	for _, w := range targets {
+		sp, err := s.workers[w].Put(key, size, payload, refs)
+		if err != nil {
+			return spilled, err
+		}
+		spilled += sp
+	}
+	return spilled, nil
+}
+
+// Get reads a segment from the first live replica holding it, walking the
+// ring from the key's home. It returns the payload, the serving worker's
+// index, whether the read hit the disk tier, and whether any copy exists.
+func (s *Service) Get(key string) (payload [][]byte, worker int, wasSpilled, ok bool) {
+	start := s.home(key)
+	for i := 0; i < len(s.workers); i++ {
+		w := (start + i) % len(s.workers)
+		if !s.live[w] || !s.workers[w].Has(key) {
+			continue
+		}
+		p, sp, _ := s.workers[w].Get(key)
+		return p, w, sp, true
+	}
+	return nil, -1, false, false
+}
+
+// CopiesOf returns how many live workers currently hold the key.
+func (s *Service) CopiesOf(key string) int {
+	n := 0
+	for w, cw := range s.workers {
+		if s.live[w] && cw.Has(key) {
+			n++
+		}
+	}
+	return n
+}
+
+// Consume releases one consumer's reference on every live copy, so replica
+// memory frees in step with the primary. It reports whether any copy
+// existed.
+func (s *Service) Consume(key string) bool {
+	any := false
+	for w, cw := range s.workers {
+		if s.live[w] && cw.Consume(key) {
+			any = true
+		}
+	}
+	return any
+}
+
+// Drop removes every live copy of a key (failure recovery discarding a
+// partial output). It reports whether any copy existed.
+func (s *Service) Drop(key string) bool {
+	any := false
+	for w, cw := range s.workers {
+		if s.live[w] && cw.Drop(key) {
+			any = true
+		}
+	}
+	return any
+}
+
+// FailWorker crashes one worker: its segments (memory and disk tier alike)
+// are lost and it leaves the placement ring until ReviveWorker. The return
+// value lists only the keys whose LAST live copy died — exactly the set the
+// controller must hand to recovery; keys with surviving replicas need no
+// step.
+func (s *Service) FailWorker(i int) []string {
+	if i < 0 || i >= len(s.workers) || !s.live[i] {
+		return nil
+	}
+	s.live[i] = false
+	lost := s.workers[i].FailAll()
+	orphans := lost[:0]
+	for _, k := range lost {
+		if s.CopiesOf(k) == 0 {
+			orphans = append(orphans, k)
+		}
+	}
+	return orphans
+}
+
+// ReviveWorker re-admits a crashed worker to the placement ring, empty, as
+// a restarted process would be.
+func (s *Service) ReviveWorker(i int) {
+	if i >= 0 && i < len(s.workers) {
+		s.live[i] = true
+	}
+}
+
+// LiveWorkers returns how many workers are currently in the ring.
+func (s *Service) LiveWorkers() int {
+	n := 0
+	for _, l := range s.live {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats aggregates the fleet's cache stats (live and dead workers both:
+// history survives crashes).
+func (s *Service) Stats() CacheStats {
+	var agg CacheStats
+	for _, w := range s.workers {
+		st := w.Stats()
+		agg.Puts += st.Puts
+		agg.Gets += st.Gets
+		agg.Misses += st.Misses
+		agg.SpillEvents += st.SpillEvents
+		agg.SpillBytes += st.SpillBytes
+		agg.LoadBytes += st.LoadBytes
+		agg.Freed += st.Freed
+		agg.Drops += st.Drops
+		agg.LostSpilledBytes += st.LostSpilledBytes
+		agg.DiskReads += st.DiskReads
+		agg.DiskReadBytes += st.DiskReadBytes
+		agg.PeakUsed += st.PeakUsed
+		agg.UsedBytes += st.UsedBytes
+	}
+	return agg
+}

@@ -1,0 +1,248 @@
+package shuffle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newTestService(workers int, capacity int64, replicas int) *Service {
+	ws := make([]*CacheWorker, workers)
+	for i := range ws {
+		ws[i] = NewCacheWorker(capacity)
+	}
+	return NewService(ws, replicas)
+}
+
+func TestServicePutReplicates(t *testing.T) {
+	s := newTestService(5, 1<<20, 3)
+	if _, err := s.Put("k", 100, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CopiesOf("k"); got != 3 {
+		t.Fatalf("CopiesOf = %d, want 3", got)
+	}
+	if _, _, _, ok := s.Get("k"); !ok {
+		t.Fatal("Get missed a key with three copies")
+	}
+}
+
+func TestServiceReplicasClamped(t *testing.T) {
+	if s := newTestService(2, 1<<20, 5); s.Replicas() != 2 {
+		t.Errorf("R not clamped to fleet size: %d", s.Replicas())
+	}
+	if s := newTestService(4, 1<<20, 0); s.Replicas() != 1 {
+		t.Errorf("R not clamped to 1: %d", s.Replicas())
+	}
+}
+
+func TestServiceFailoverServesFromReplica(t *testing.T) {
+	s := newTestService(4, 1<<20, 2)
+	if _, err := s.Put("k", 64, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, primary, _, ok := s.Get("k")
+	if !ok {
+		t.Fatal("initial Get missed")
+	}
+	orphans := s.FailWorker(primary)
+	if len(orphans) != 0 {
+		t.Fatalf("replica survived but FailWorker reported orphans %v", orphans)
+	}
+	_, backup, _, ok := s.Get("k")
+	if !ok {
+		t.Fatal("Get missed after primary crash with a live replica")
+	}
+	if backup == primary {
+		t.Fatal("Get served from the dead worker")
+	}
+	if got := s.CopiesOf("k"); got != 1 {
+		t.Errorf("CopiesOf after crash = %d, want 1", got)
+	}
+}
+
+func TestServiceOrphansReportedWhenLastCopyDies(t *testing.T) {
+	s := newTestService(3, 1<<20, 1) // R=1: every key has one copy
+	for i := 0; i < 30; i++ {
+		if _, err := s.Put(fmt.Sprintf("k%d", i), 8, nil, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var orphans []string
+	for i := 0; i < 3; i++ {
+		orphans = append(orphans, s.FailWorker(i)...)
+	}
+	if len(orphans) != 30 {
+		t.Fatalf("lost %d orphans, want all 30", len(orphans))
+	}
+	if s.LiveWorkers() != 0 {
+		t.Errorf("LiveWorkers = %d after failing all", s.LiveWorkers())
+	}
+	// Double-fail is a no-op.
+	if got := s.FailWorker(0); got != nil {
+		t.Errorf("re-failing a dead worker returned %v", got)
+	}
+}
+
+func TestServiceReviveRejoinsEmpty(t *testing.T) {
+	s := newTestService(2, 1<<20, 2)
+	if _, err := s.Put("k", 16, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.FailWorker(0)
+	s.ReviveWorker(0)
+	if s.LiveWorkers() != 2 {
+		t.Fatalf("LiveWorkers = %d after revive", s.LiveWorkers())
+	}
+	// The restarted worker is empty: only the surviving copy remains.
+	if got := s.CopiesOf("k"); got != 1 {
+		t.Errorf("CopiesOf after revive = %d, want 1", got)
+	}
+	// New writes reach the revived worker again.
+	if _, err := s.Put("k2", 16, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CopiesOf("k2"); got != 2 {
+		t.Errorf("CopiesOf for post-revive write = %d, want 2", got)
+	}
+}
+
+func TestServiceConsumeAndDropHitAllCopies(t *testing.T) {
+	s := newTestService(4, 1<<20, 3)
+	if _, err := s.Put("k", 32, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Consume("k") {
+		t.Fatal("Consume missed")
+	}
+	// refs=1 and one consume: every copy freed.
+	if got := s.CopiesOf("k"); got != 0 {
+		t.Errorf("CopiesOf after final consume = %d, want 0", got)
+	}
+	if _, err := s.Put("d", 32, nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Drop("d") {
+		t.Fatal("Drop missed")
+	}
+	if got := s.CopiesOf("d"); got != 0 {
+		t.Errorf("CopiesOf after drop = %d, want 0", got)
+	}
+	if s.Drop("d") {
+		t.Error("double Drop reported a copy")
+	}
+}
+
+func TestServiceNoLiveWorkers(t *testing.T) {
+	s := newTestService(2, 1<<20, 2)
+	s.FailWorker(0)
+	s.FailWorker(1)
+	if _, err := s.Put("k", 8, nil, 1); err == nil {
+		t.Fatal("Put succeeded with no live workers")
+	}
+	if _, _, _, ok := s.Get("k"); ok {
+		t.Fatal("Get succeeded with no live workers")
+	}
+}
+
+// TestServiceReplicaConsistencyProperty (satellite S4, replication half):
+// under a random mix of puts, consumes, drops, crashes and revives, every
+// key that was written and not released must (a) still be Get-able as long
+// as fewer than R of its writers crashed since the write, and (b) have all
+// surviving copies agree; and the fleet-wide accounting invariant from the
+// cache-worker property test must hold on every worker at every step.
+func TestServiceReplicaConsistencyProperty(t *testing.T) {
+	const (
+		workers = 5
+		R       = 2
+		steps   = 300
+	)
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := newTestService(workers, 1<<20, R)
+		type liveKey struct {
+			key     string
+			copies  int // copies actually written (fewer than R if workers were down)
+			crashes int // worker crashes since this key was written
+		}
+		var keys []liveKey
+		next := 0
+		failed := map[int]bool{}
+
+		check := func(step int) {
+			for wi, w := range s.workers {
+				var resident int64
+				for _, seg := range w.segs {
+					if !seg.spilled {
+						resident += seg.size
+					}
+				}
+				if w.used != resident || w.used < 0 {
+					t.Fatalf("seed %d step %d worker %d: used=%d resident=%d", seed, step, wi, w.used, resident)
+				}
+			}
+			for _, lk := range keys {
+				if lk.crashes >= lk.copies {
+					continue // all copies may legitimately be gone
+				}
+				if _, _, _, ok := s.Get(lk.key); !ok {
+					t.Fatalf("seed %d step %d: key %q lost with only %d crashes since its %d-copy write",
+						seed, step, lk.key, lk.crashes, lk.copies)
+				}
+			}
+		}
+
+		for step := 0; step < steps; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // put
+				k := fmt.Sprintf("s%d-k%d", seed, next)
+				next++
+				if _, err := s.Put(k, int64(1+rng.Intn(256)), nil, 1+rng.Intn(3)); err == nil {
+					keys = append(keys, liveKey{key: k, copies: s.CopiesOf(k)})
+				}
+			case op < 6: // get an existing key
+				if len(keys) > 0 {
+					s.Get(keys[rng.Intn(len(keys))].key)
+				}
+			case op < 7: // drop: releases the key from tracking
+				if len(keys) > 0 {
+					i := rng.Intn(len(keys))
+					s.Drop(keys[i].key)
+					keys = append(keys[:i], keys[i+1:]...)
+				}
+			case op < 9: // crash a live worker
+				w := rng.Intn(workers)
+				if !failed[w] && len(failed) < workers-1 {
+					s.FailWorker(w)
+					failed[w] = true
+					for i := range keys {
+						keys[i].crashes++
+					}
+				}
+			default: // revive one crashed worker
+				for w := range failed {
+					s.ReviveWorker(w)
+					delete(failed, w)
+					break
+				}
+			}
+			check(step)
+		}
+	}
+}
+
+func TestServiceStatsAggregate(t *testing.T) {
+	s := newTestService(3, 1<<20, 2)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Put(fmt.Sprintf("k%d", i), 100, nil, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Puts != 20 { // 10 keys × R=2
+		t.Errorf("aggregate Puts = %d, want 20", st.Puts)
+	}
+	if st.UsedBytes != 2000 {
+		t.Errorf("aggregate UsedBytes = %d, want 2000", st.UsedBytes)
+	}
+}

@@ -55,6 +55,10 @@ func (r *Runner) handleActions() {
 		case core.ActMachineHealthy, core.ActShuffleDegraded:
 			// Allocation/shuffle-mode side effects only; the degraded
 			// re-run cost is dominated by the re-execution itself.
+		case core.ActReplicate:
+			// Replica copies ride the cost model (Breakdown.Replicate via
+			// edgeCosts), not per-action charging; the controller already
+			// tracks the homes for recovery.
 		}
 	}
 	if r.afterEvent != nil {

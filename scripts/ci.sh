@@ -77,6 +77,19 @@ grep -Eq 'a\[done=[1-9]' "$TRACE_TMP/fair.out"
 grep -Eq 'b\[done=[1-9]' "$TRACE_TMP/fair.out"
 grep -Eq 'c\[done=[1-9]' "$TRACE_TMP/fair.out"
 
+echo "== replicated-shuffle smoke (Cache-Worker crashes on an R=3 store: failover only, zero recomputes)"
+# -shuffle soaks with 3-way output replication under a Cache-Worker-crash-only
+# profile; -verify re-runs the seed and exits non-zero on a hash mismatch.
+# The greps then require real failovers (replica-hits > 0) and that no lost
+# output ever fell back to producer recompute.
+go run ./cmd/swiftchaos -shuffle -seed 1 -seeds 1 -verify | tee "$TRACE_TMP/shuffle.out"
+grep -Eq 'replica-hits=[1-9]' "$TRACE_TMP/shuffle.out"
+grep -Eq 'recomputes=0' "$TRACE_TMP/shuffle.out"
+
+echo "== shuffle recovery experiment smoke (replica arm strictly cheaper than recompute)"
+go run ./cmd/swiftbench -reduced -run shufflerecovery > "$TRACE_TMP/shufflerecovery.out"
+grep -q 'replica' "$TRACE_TMP/shufflerecovery.out"
+
 echo "== parallel sweep determinism smoke (per-seed obs hashes, serial vs parallel)"
 SWEEP="fig3,fig9a,fig12,fig14,table1"
 for SWEEP_SEED in 1 7 13; do
